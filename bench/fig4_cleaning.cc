@@ -1,0 +1,65 @@
+// Figure 4 — "Cleaning phases per period", 1000 samples per 20 s period.
+//
+// The cost of the relaxed algorithm: because each window starts with the
+// threshold deliberately lowered (z/f), the cleaning phases must adapt it
+// back up, so the relaxed variant performs a handful of cleaning phases per
+// window where the non-relaxed variant performs about one. Both spike in
+// the first window(s) while the threshold is found from cold.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace streamop;
+using namespace streamop::bench;
+
+namespace {
+
+std::vector<WindowStats> RunWindows(const Trace& trace, double relax) {
+  CompiledQuery cq = MustCompile(
+      SubsetSumSql(1000, relax, 2.0, /*probabilistic=*/true), /*seed=*/17);
+  Result<SingleRunResult> run = RunQueryOverTrace(cq, trace);
+  if (!run.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", run.status().ToString().c_str());
+    std::exit(1);
+  }
+  return run->windows;
+}
+
+double MeanAfterWarmup(const std::vector<WindowStats>& windows) {
+  if (windows.size() <= 3) return 0.0;
+  double total = 0.0;
+  for (size_t w = 2; w + 1 < windows.size(); ++w) {
+    total += static_cast<double>(windows[w].cleaning_phases);
+  }
+  return total / static_cast<double>(windows.size() - 3);
+}
+
+}  // namespace
+
+int main() {
+  Trace trace = TraceGenerator::MakeResearchFeed(601.0, /*seed=*/2005);
+
+  PrintHeader("Figure 4: cleaning phases per period (target 1000)");
+  std::vector<WindowStats> relaxed = RunWindows(trace, 10.0);
+  std::vector<WindowStats> nonrelaxed = RunWindows(trace, 1.0);
+
+  std::printf("%-8s %14s %14s\n", "window", "relaxed", "nonrelaxed");
+  size_t windows = std::min(relaxed.size(), nonrelaxed.size());
+  for (size_t w = 0; w < windows; ++w) {
+    std::printf("%-8zu %14llu %14llu\n", w,
+                static_cast<unsigned long long>(relaxed[w].cleaning_phases),
+                static_cast<unsigned long long>(nonrelaxed[w].cleaning_phases));
+  }
+  double rel_mean = MeanAfterWarmup(relaxed);
+  double nonrel_mean = MeanAfterWarmup(nonrelaxed);
+  std::printf(
+      "\nsummary (after warm-up): relaxed %.1f cleaning phases/window, "
+      "nonrelaxed %.1f\n",
+      rel_mean, nonrel_mean);
+  std::printf(
+      "paper shape: relaxed ~4 phases vs nonrelaxed ~1 after stabilizing "
+      "-> %s\n",
+      (rel_mean > nonrel_mean + 0.5) ? "REPRODUCED" : "CHECK");
+  return 0;
+}

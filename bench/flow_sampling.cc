@@ -1,0 +1,167 @@
+// §8 extension — flow-integrated subset-sum sampling ("sampled flows").
+//
+// The paper's conclusion describes the problem: computing flow statistics
+// by first aggregating flows and then sampling needs one group per flow,
+// and a DDoS of single-packet flows explodes the group table. Their fix —
+// "integrating flow aggregation with sampling into a single query
+// processing phase [so] small flows can be quickly sampled and purged from
+// the group table" — is expressible in the sampling operator as-is.
+//
+// The sampled-flows query admits *packets* through the dynamic subset-sum
+// test (ssample in WHERE) and aggregates the admitted packets into flow
+// groups, accumulating HT-adjusted packet weights
+// (sum(UMAX(len, ssthreshold()))); cleaning phases then re-threshold whole
+// flows by their adjusted weight. Small flows rarely get a packet past the
+// admission test ("small flows can be quickly sampled and purged"), so the
+// group table tracks the sample-size target instead of the flow count.
+//
+// This benchmark runs a DDoS trace through (a) the naive flow-aggregation
+// query and (b) the sampled-flows query, and reports the group-table
+// high-water mark (the memory story), the per-window byte-sum estimate
+// accuracy, and heavy-flow recovery.
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "net/flow_generator.h"
+
+using namespace streamop;
+using namespace streamop::bench;
+
+namespace {
+
+constexpr char kFlowCols[] = "srcIP, destIP, srcPort, destPort, proto";
+
+std::string NaiveFlowSql() {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "SELECT tb, %s, sum(len), count(*) FROM PKT "
+                "GROUP BY time/20 as tb, %s",
+                kFlowCols, kFlowCols);
+  return buf;
+}
+
+std::string SampledFlowSql(uint64_t n) {
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf), R"(
+      SELECT tb, %s,
+             UMAX(sum(UMAX(len, ssthreshold())), ssthreshold()), count(*)
+      FROM PKT
+      WHERE ssample(len, %llu, 2, 10) = TRUE
+      GROUP BY time/20 as tb, %s
+      HAVING ssfinal_clean(sum(UMAX(len, ssthreshold())),
+                           count_distinct$(*)) = TRUE
+      CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
+      CLEANING BY ssclean_with(sum(UMAX(len, ssthreshold()))) = TRUE
+  )",
+                kFlowCols, static_cast<unsigned long long>(n), kFlowCols);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  FlowTraceConfig cfg;
+  cfg.duration_sec = 100.0;
+  cfg.seed = 88;
+  cfg.attack_enabled = true;
+  cfg.attack_start_sec = 40.0;
+  cfg.attack_duration_sec = 20.0;
+  cfg.attack_flows_per_sec = 25000.0;
+  Trace trace = GenerateFlowTrace(cfg);
+  FlowWindowTruth truth = ComputeFlowTruth(trace, 20);
+
+  PrintHeader("sampled flows: flow aggregation integrated with sampling");
+  std::printf(
+      "trace: %zu packets over %.0f s; single-packet-flow flood during "
+      "[%.0f s, %.0f s)\n\n",
+      trace.size(), trace.DurationSec(), cfg.attack_start_sec,
+      cfg.attack_start_sec + cfg.attack_duration_sec);
+
+  const uint64_t kTarget = 1000;
+  CompiledQuery naive = MustCompile(NaiveFlowSql(), 91);
+  CompiledQuery sampled = MustCompile(SampledFlowSql(kTarget), 92);
+
+  Result<SingleRunResult> naive_run = RunQueryOverTrace(naive, trace);
+  Result<SingleRunResult> sampled_run = RunQueryOverTrace(sampled, trace);
+  if (!naive_run.ok() || !sampled_run.ok()) {
+    std::fprintf(stderr, "run failed\n");
+    return 1;
+  }
+
+  // Per-window byte estimates from the sampled-flows output.
+  std::vector<double> est(truth.bytes_per_window.size(), 0.0);
+  for (const Tuple& t : sampled_run->output) {
+    uint64_t tb = t[0].AsUInt();
+    if (tb < est.size()) est[tb] += t[6].AsDouble();
+  }
+
+  std::printf("%-8s %12s | %14s %14s | %12s %8s\n", "window", "flows",
+              "naive groups", "sampled peak", "est. bytes", "err");
+  uint64_t naive_peak = 0, sampled_peak = 0;
+  for (size_t w = 0; w < truth.flows_per_window.size(); ++w) {
+    uint64_t ng = w < naive_run->windows.size()
+                      ? naive_run->windows[w].peak_groups
+                      : 0;
+    uint64_t sg = w < sampled_run->windows.size()
+                      ? sampled_run->windows[w].peak_groups
+                      : 0;
+    naive_peak = std::max(naive_peak, ng);
+    sampled_peak = std::max(sampled_peak, sg);
+    double actual = static_cast<double>(truth.bytes_per_window[w]);
+    std::printf("%-8zu %12llu | %14llu %14llu | %12.3e %+7.1f%%\n", w,
+                static_cast<unsigned long long>(truth.flows_per_window[w]),
+                static_cast<unsigned long long>(ng),
+                static_cast<unsigned long long>(sg), est[w],
+                actual > 0 ? 100.0 * (est[w] - actual) / actual : 0.0);
+  }
+
+  // Heavy-flow recovery: are the top true flows in the sample?
+  std::map<uint64_t, uint64_t> flow_bytes;  // flow hash -> bytes (all windows)
+  for (const PacketRecord& p : trace.packets()) {
+    flow_bytes[FlowKeyOf(p).Hash()] += p.len;
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> ranked;  // (bytes, hash)
+  for (auto& [h, b] : flow_bytes) ranked.push_back({b, h});
+  std::sort(ranked.rbegin(), ranked.rend());
+
+  std::set<std::array<uint64_t, 5>> sampled_flows;
+  for (const Tuple& t : sampled_run->output) {
+    sampled_flows.insert({t[1].AsUInt(), t[2].AsUInt(), t[3].AsUInt(),
+                          t[4].AsUInt(), t[5].AsUInt()});
+  }
+  std::map<uint64_t, bool> hash_sampled;
+  for (const auto& f : sampled_flows) {
+    FlowKey k{static_cast<uint32_t>(f[0]), static_cast<uint32_t>(f[1]),
+              static_cast<uint16_t>(f[2]), static_cast<uint16_t>(f[3]),
+              static_cast<uint8_t>(f[4])};
+    hash_sampled[k.Hash()] = true;
+  }
+  int top_recovered = 0;
+  const int kTop = 50;
+  for (int i = 0; i < kTop && i < static_cast<int>(ranked.size()); ++i) {
+    if (hash_sampled.count(ranked[static_cast<size_t>(i)].second) > 0) {
+      ++top_recovered;
+    }
+  }
+
+  std::printf(
+      "\nsummary: naive flow aggregation peaks at %llu live groups during "
+      "the flood; the sampled-flows query peaks at %llu (budget: "
+      "beta*N = %llu); top-%d heaviest flows recovered in sample: %d\n",
+      static_cast<unsigned long long>(naive_peak),
+      static_cast<unsigned long long>(sampled_peak),
+      static_cast<unsigned long long>(2 * kTarget), kTop, top_recovered);
+  std::printf(
+      "paper shape: integrated sampling keeps the group table bounded "
+      "through the flood while heavy flows stay in the sample -> %s\n",
+      (sampled_peak < naive_peak / 10 && top_recovered > kTop * 8 / 10)
+          ? "REPRODUCED"
+          : "CHECK");
+  return 0;
+}

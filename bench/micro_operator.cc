@@ -1,0 +1,117 @@
+// Micro-benchmarks (google-benchmark): the query-engine hot paths — tuple
+// conversion, selection, plain aggregation through the sampling operator,
+// and the full dynamic subset-sum query — in tuples/second.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "engine/query_node.h"
+#include "net/trace_generator.h"
+#include "stream/stream_source.h"
+
+namespace streamop {
+namespace {
+
+const Trace& BenchTrace() {
+  static const Trace* trace =
+      new Trace(TraceGenerator::MakeDataCenterFeed(2.0, 7));
+  return *trace;
+}
+
+void BM_PacketToTuple(benchmark::State& state) {
+  const Trace& trace = BenchTrace();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PacketToTuple(trace.at(i)));
+    i = (i + 1) % trace.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketToTuple);
+
+// Pushes the whole trace through a freshly compiled query once per
+// iteration; reports tuples/second.
+void RunQueryBenchmark(benchmark::State& state, const std::string& sql) {
+  const Trace& trace = BenchTrace();
+  Catalog catalog = Catalog::Default();
+  for (auto _ : state) {
+    Result<CompiledQuery> cq = CompileQuery(sql, catalog, {.seed = 3});
+    if (!cq.ok()) {
+      state.SkipWithError(cq.status().ToString().c_str());
+      return;
+    }
+    QueryNode node("bench", *cq);
+    for (const PacketRecord& p : trace.packets()) {
+      Status s = node.Push(PacketToTuple(p));
+      if (!s.ok()) {
+        state.SkipWithError(s.ToString().c_str());
+        return;
+      }
+    }
+    Status s = node.Finish();
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(node.DrainOutput());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(trace.size()));
+}
+
+void BM_SelectionPassThrough(benchmark::State& state) {
+  RunQueryBenchmark(state,
+                    "SELECT time, srcIP, destIP, len FROM PKT");
+}
+BENCHMARK(BM_SelectionPassThrough);
+
+void BM_SelectionFiltered(benchmark::State& state) {
+  RunQueryBenchmark(state,
+                    "SELECT time, srcIP, len FROM PKT WHERE len > 1400");
+}
+BENCHMARK(BM_SelectionFiltered);
+
+void BM_SelectionBasicSubsetSum(benchmark::State& state) {
+  RunQueryBenchmark(state, bench::BasicSubsetSumSelectionSql(50000.0));
+}
+BENCHMARK(BM_SelectionBasicSubsetSum);
+
+void BM_AggregationQuery(benchmark::State& state) {
+  RunQueryBenchmark(state,
+                    "SELECT tb, srcIP, sum(len), count(*) FROM PKT "
+                    "GROUP BY time/20 as tb, srcIP");
+}
+BENCHMARK(BM_AggregationQuery);
+
+void BM_DynamicSubsetSumQuery(benchmark::State& state) {
+  RunQueryBenchmark(
+      state, bench::SubsetSumSql(static_cast<uint64_t>(state.range(0)), 10.0));
+}
+BENCHMARK(BM_DynamicSubsetSumQuery)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_HeavyHitterQuery(benchmark::State& state) {
+  RunQueryBenchmark(state, R"(
+      SELECT tb, srcIP, sum(len), count(*)
+      FROM TCP
+      GROUP BY time/60 as tb, srcIP
+      CLEANING WHEN local_count(1000) = TRUE
+      CLEANING BY count(*) >= current_bucket() - first(current_bucket())
+  )");
+}
+BENCHMARK(BM_HeavyHitterQuery)->Unit(benchmark::kMillisecond);
+
+void BM_QueryCompilation(benchmark::State& state) {
+  Catalog catalog = Catalog::Default();
+  const std::string sql = bench::SubsetSumSql(1000, 10.0);
+  for (auto _ : state) {
+    Result<CompiledQuery> cq = CompileQuery(sql, catalog);
+    benchmark::DoNotOptimize(cq);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueryCompilation);
+
+}  // namespace
+}  // namespace streamop
+
+BENCHMARK_MAIN();

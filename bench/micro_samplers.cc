@@ -1,0 +1,203 @@
+// Micro-benchmarks (google-benchmark): raw throughput of the standalone
+// sampling engines, including the reservoir admission-strategy ablation
+// (per-record Algorithm R vs skip-based Algorithm L) called out in
+// DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "sampling/bernoulli.h"
+#include "sampling/distinct.h"
+#include "sampling/gk_quantile.h"
+#include "sampling/kmv.h"
+#include "sampling/lossy_counting.h"
+#include "sampling/priority.h"
+#include "sampling/reservoir.h"
+#include "sampling/subset_sum.h"
+
+namespace streamop {
+namespace {
+
+// Pre-generated weights shared by the weighted samplers.
+const std::vector<double>& Weights() {
+  static const std::vector<double>* weights = [] {
+    auto* w = new std::vector<double>();
+    Pcg64 rng(1);
+    w->reserve(1 << 16);
+    for (int i = 0; i < (1 << 16); ++i) {
+      w->push_back(40.0 + static_cast<double>(rng.NextBounded(1460)));
+    }
+    return w;
+  }();
+  return *weights;
+}
+
+void BM_ThresholdCore(benchmark::State& state) {
+  const auto& w = Weights();
+  ThresholdSamplerCore core(5000.0);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core.Offer(w[i++ & 0xffff]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ThresholdCore);
+
+void BM_BasicSubsetSum(benchmark::State& state) {
+  const auto& w = Weights();
+  const double z = static_cast<double>(state.range(0));
+  size_t i = 0;
+  BasicSubsetSumSampler<uint64_t> sampler(z);
+  for (auto _ : state) {
+    sampler.Offer(i, w[i & 0xffff]);
+    ++i;
+    if (sampler.samples().size() > (1u << 20)) {
+      state.PauseTiming();
+      sampler.Clear();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BasicSubsetSum)->Arg(1000)->Arg(100000);
+
+void BM_DynamicSubsetSum(benchmark::State& state) {
+  const auto& w = Weights();
+  DynamicSubsetSumSampler<uint64_t>::Options opt;
+  opt.target_samples = static_cast<uint64_t>(state.range(0));
+  opt.relaxed = true;
+  DynamicSubsetSumSampler<uint64_t> sampler(opt);
+  size_t i = 0;
+  for (auto _ : state) {
+    sampler.Offer(i, w[i & 0xffff]);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DynamicSubsetSum)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ReservoirPerRecord(benchmark::State& state) {
+  ReservoirSampler<uint64_t> sampler(
+      static_cast<uint64_t>(state.range(0)), 7,
+      ReservoirControl::Mode::kPerRecord);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    sampler.Offer(i++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReservoirPerRecord)->Arg(100)->Arg(10000);
+
+void BM_ReservoirSkip(benchmark::State& state) {
+  ReservoirSampler<uint64_t> sampler(static_cast<uint64_t>(state.range(0)), 7,
+                                     ReservoirControl::Mode::kSkip);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    sampler.Offer(i++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReservoirSkip)->Arg(100)->Arg(10000);
+
+void BM_CandidateReservoir(benchmark::State& state) {
+  CandidateReservoir<uint64_t> sampler(100, 20.0, 7);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    sampler.Offer(i++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CandidateReservoir);
+
+void BM_LossyCounting(benchmark::State& state) {
+  const double eps = 1.0 / static_cast<double>(state.range(0));
+  LossyCounting<uint64_t> lc(eps);
+  Pcg64 rng(3);
+  ZipfDistribution zipf(100000, 1.1);
+  std::vector<uint64_t> elems;
+  elems.reserve(1 << 16);
+  for (int i = 0; i < (1 << 16); ++i) elems.push_back(zipf.Sample(rng));
+  size_t i = 0;
+  for (auto _ : state) {
+    lc.Offer(elems[i++ & 0xffff]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LossyCounting)->Arg(100)->Arg(1000);
+
+void BM_KmvSketch(benchmark::State& state) {
+  KMinHashSketch sk(static_cast<uint64_t>(state.range(0)));
+  uint64_t i = 0;
+  for (auto _ : state) {
+    sk.Offer(i++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KmvSketch)->Arg(100)->Arg(1000);
+
+void BM_Bernoulli(benchmark::State& state) {
+  BernoulliSampler<uint64_t> s(0.01, 5);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    s.Offer(i++);
+    if (s.sample().size() > (1u << 20)) {
+      state.PauseTiming();
+      s.Clear();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Bernoulli);
+
+void BM_GkQuantile(benchmark::State& state) {
+  const double eps = 1.0 / static_cast<double>(state.range(0));
+  GkQuantileSketch sk(eps);
+  Pcg64 rng(11);
+  std::vector<double> vals;
+  vals.reserve(1 << 16);
+  for (int i = 0; i < (1 << 16); ++i) vals.push_back(rng.NextDouble() * 1e6);
+  size_t i = 0;
+  for (auto _ : state) {
+    sk.Insert(vals[i++ & 0xffff]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GkQuantile)->Arg(100)->Arg(1000);
+
+void BM_DistinctSampler(benchmark::State& state) {
+  DistinctSampler ds(static_cast<size_t>(state.range(0)));
+  uint64_t i = 0;
+  for (auto _ : state) {
+    ds.Offer(i++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DistinctSampler)->Arg(256)->Arg(4096);
+
+void BM_BackoffReservoir(benchmark::State& state) {
+  BackoffReservoir<uint64_t> r(100, 20.0, 7);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    r.Offer(i++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BackoffReservoir);
+
+void BM_PrioritySampler(benchmark::State& state) {
+  const auto& w = Weights();
+  PrioritySampler<uint64_t> s(static_cast<uint64_t>(state.range(0)), 9);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    s.Offer(i, w[i & 0xffff]);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrioritySampler)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace streamop
+
+BENCHMARK_MAIN();

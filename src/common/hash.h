@@ -1,0 +1,57 @@
+// 64-bit mixing hashes used throughout the engine: group-table keys,
+// min-hash value hashing, and hash combination for composite keys.
+
+#ifndef STREAMOP_COMMON_HASH_H_
+#define STREAMOP_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace streamop {
+
+/// SplitMix64 finalizer: a full-avalanche bijective mix of a 64-bit word.
+/// This is the workhorse for hashing fixed-width values.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines an accumulated hash with a new 64-bit value (boost-style but
+/// with a 64-bit golden-ratio constant and a remix).
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return Mix64(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+/// FNV-1a over bytes, then remixed; used for string values.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+/// A seeded hash family: H_seed(x). Distinct seeds give (approximately)
+/// independent hash functions, as needed by min-hash signatures.
+inline uint64_t SeededHash64(uint64_t x, uint64_t seed) {
+  return Mix64(x ^ Mix64(seed));
+}
+
+/// Maps a 64-bit hash to a double uniform in [0, 1); convenient for
+/// hash-based sampling decisions (e.g., min-hash thresholds).
+inline double HashToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace streamop
+
+#endif  // STREAMOP_COMMON_HASH_H_

@@ -1,0 +1,47 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace streamop {
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double s) : n_(n), s_(s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (uint64_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  norm_ = acc;
+  for (uint64_t k = 0; k < n; ++k) cdf_[k] /= norm_;
+  cdf_[n - 1] = 1.0;  // guard against rounding
+}
+
+uint64_t ZipfDistribution::Sample(Pcg64& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(uint64_t k) const {
+  if (k >= n_) return 0.0;
+  return (1.0 / std::pow(static_cast<double>(k + 1), s_)) / norm_;
+}
+
+double ChiSquareUniform(const std::vector<uint64_t>& observed) {
+  if (observed.empty()) return 0.0;
+  uint64_t total = 0;
+  for (uint64_t c : observed) total += c;
+  double expected =
+      static_cast<double>(total) / static_cast<double>(observed.size());
+  if (expected <= 0.0) return 0.0;
+  double chi2 = 0.0;
+  for (uint64_t c : observed) {
+    double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  return chi2;
+}
+
+}  // namespace streamop

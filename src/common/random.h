@@ -1,0 +1,130 @@
+// Deterministic pseudo-random number generation and the heavy-tailed
+// distributions used by the synthetic traffic generators.
+//
+// All experiments in this repo are seeded, so every figure regenerates
+// bit-identically. The core generator is PCG64 (O'Neill), chosen for speed,
+// statistical quality and a tiny state that copies cheaply into samplers.
+
+#ifndef STREAMOP_COMMON_RANDOM_H_
+#define STREAMOP_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace streamop {
+
+/// PCG-XSH-RR 64/32 with 64-bit output composed of two 32-bit draws.
+/// Deterministic given the seed; copyable so that samplers can own one.
+class Pcg64 {
+ public:
+  explicit Pcg64(uint64_t seed = 0x853c49e6748fea9bULL,
+                 uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    Next32();
+    state_ += seed;
+    Next32();
+  }
+
+  /// Uniform 32-bit draw.
+  uint32_t Next32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+  }
+
+  /// Uniform 64-bit draw.
+  uint64_t Next64() {
+    return (static_cast<uint64_t>(Next32()) << 32) | Next32();
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1]; never returns exactly 0, safe for log().
+  double NextDoubleOpen() {
+    return (static_cast<double>(Next64() >> 11) + 1.0) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection.
+  uint64_t NextBounded(uint64_t bound) {
+    if (bound == 0) return 0;
+    // Rejection sampling to remove modulo bias.
+    uint64_t threshold = (-bound) % bound;
+    for (;;) {
+      uint64_t r = Next64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// True with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponential with the given rate (mean 1/rate).
+  double NextExponential(double rate) {
+    return -std::log(NextDoubleOpen()) / rate;
+  }
+
+  /// Pareto with shape alpha and minimum xm (heavy-tailed for alpha <= 2).
+  double NextPareto(double alpha, double xm) {
+    return xm / std::pow(NextDoubleOpen(), 1.0 / alpha);
+  }
+
+  /// Standard normal via Box-Muller (one value per call; no caching to keep
+  /// the generator state trivially copyable).
+  double NextGaussian() {
+    double u1 = NextDoubleOpen();
+    double u2 = NextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Geometric: number of failures before the first success, P(success)=p.
+  /// Computed in O(1) by inverting the CDF.
+  uint64_t NextGeometric(double p) {
+    if (p >= 1.0) return 0;
+    if (p <= 0.0) return UINT64_MAX;
+    double g = std::floor(std::log(NextDoubleOpen()) / std::log1p(-p));
+    if (g > 9.2e18) return UINT64_MAX;
+    return static_cast<uint64_t>(g);
+  }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+/// Zipf(s) sampler over {0, 1, ..., n-1} using the inverted-CDF table method:
+/// O(n) setup, O(log n) per draw via binary search. Rank 0 is the most
+/// frequent item. Used for source/destination address popularity.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double s);
+
+  /// Draws a rank in [0, n).
+  uint64_t Sample(Pcg64& rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+  /// Probability mass of rank k.
+  double Pmf(uint64_t k) const;
+
+ private:
+  uint64_t n_;
+  double s_;
+  double norm_;               // generalized harmonic number H_{n,s}
+  std::vector<double> cdf_;   // cumulative masses, size n
+};
+
+/// Computes the empirical chi-square statistic for observed counts against
+/// uniform expectation; helper shared by the statistical property tests.
+double ChiSquareUniform(const std::vector<uint64_t>& observed);
+
+}  // namespace streamop
+
+#endif  // STREAMOP_COMMON_RANDOM_H_

@@ -1,0 +1,177 @@
+// Status and Result<T>: exception-free error handling, modeled on the
+// conventions of Arrow / RocksDB. Every fallible operation in streamop
+// returns a Status (or Result<T> when it also produces a value).
+
+#ifndef STREAMOP_COMMON_STATUS_H_
+#define STREAMOP_COMMON_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace streamop {
+
+/// Broad classification of an error. Kept deliberately small; the detailed
+/// explanation lives in the message string.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,       // lexical or syntactic error in query text
+  kAnalysisError,    // semantically invalid query (bad column, bad supergroup)
+  kTypeError,        // expression or value type mismatch
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+  kIOError,
+};
+
+/// Returns a short human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A Status carries success or an (code, message) error. The OK state is
+/// represented by a null rep so that passing OK around is free.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(msg)});
+    }
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status AnalysisError(std::string msg) {
+    return Status(StatusCode::kAnalysisError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->msg : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<Rep> rep_;  // null == OK
+};
+
+/// Result<T> is either a value or an error Status. Access to the value of a
+/// failed Result is a programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : var_(std::move(value)) {}          // NOLINT implicit
+  Result(Status status) : var_(std::move(status)) {    // NOLINT implicit
+    assert(!std::get<Status>(var_).ok() && "Result constructed from OK Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(var_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(var_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(var_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+// Propagate an error Status from an expression that yields Status.
+#define STREAMOP_RETURN_NOT_OK(expr)                  \
+  do {                                                \
+    ::streamop::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+// Evaluate an expression yielding Result<T>; on error propagate the Status,
+// otherwise bind the value to `lhs`.
+#define STREAMOP_ASSIGN_OR_RETURN_IMPL(result_name, lhs, expr) \
+  auto result_name = (expr);                                   \
+  if (!result_name.ok()) return result_name.status();          \
+  lhs = std::move(result_name).value();
+
+#define STREAMOP_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define STREAMOP_ASSIGN_OR_RETURN_CONCAT(x, y) \
+  STREAMOP_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define STREAMOP_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  STREAMOP_ASSIGN_OR_RETURN_IMPL(                                             \
+      STREAMOP_ASSIGN_OR_RETURN_CONCAT(_streamop_result_, __LINE__), lhs, expr)
+
+}  // namespace streamop
+
+#endif  // STREAMOP_COMMON_STATUS_H_

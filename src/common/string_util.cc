@@ -1,0 +1,88 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace streamop {
+
+std::string AsciiToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> SplitString(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string FormatIpv4(uint32_t addr) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr >> 24) & 0xff,
+                (addr >> 16) & 0xff, (addr >> 8) & 0xff, addr & 0xff);
+  return buf;
+}
+
+bool ParseIpv4(std::string_view text, uint32_t* addr) {
+  uint32_t parts[4] = {0, 0, 0, 0};
+  int part = 0;
+  bool digit_seen = false;
+  for (char c : text) {
+    if (c == '.') {
+      if (!digit_seen || part >= 3) return false;
+      ++part;
+      digit_seen = false;
+    } else if (c >= '0' && c <= '9') {
+      parts[part] = parts[part] * 10 + static_cast<uint32_t>(c - '0');
+      if (parts[part] > 255) return false;
+      digit_seen = true;
+    } else {
+      return false;
+    }
+  }
+  if (part != 3 || !digit_seen) return false;
+  *addr = (parts[0] << 24) | (parts[1] << 16) | (parts[2] << 8) | parts[3];
+  return true;
+}
+
+std::string FormatWithCommas(uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+}  // namespace streamop

@@ -1,0 +1,36 @@
+// Small string helpers shared by the lexer, error messages and examples.
+
+#ifndef STREAMOP_COMMON_STRING_UTIL_H_
+#define STREAMOP_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace streamop {
+
+/// Lower-cases ASCII; query keywords are case-insensitive.
+std::string AsciiToLower(std::string_view s);
+
+/// True if two ASCII strings compare equal ignoring case.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Splits on a delimiter; empty pieces are preserved.
+std::vector<std::string> SplitString(std::string_view s, char delim);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Renders a 32-bit IPv4 address in dotted-quad notation ("10.1.2.3").
+std::string FormatIpv4(uint32_t addr);
+
+/// Parses dotted-quad IPv4 text; returns false on malformed input.
+bool ParseIpv4(std::string_view text, uint32_t* addr);
+
+/// Human-friendly number with thousands separators ("1,234,567").
+std::string FormatWithCommas(uint64_t v);
+
+}  // namespace streamop
+
+#endif  // STREAMOP_COMMON_STRING_UTIL_H_

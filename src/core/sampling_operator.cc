@@ -1,0 +1,343 @@
+#include "core/sampling_operator.h"
+
+#include "common/hash.h"
+#include "expr/evaluator.h"
+
+namespace streamop {
+
+SamplingOperator::SamplingOperator(
+    std::shared_ptr<const SamplingQueryPlan> plan)
+    : plan_(std::move(plan)) {}
+
+SamplingOperator::~SamplingOperator() {
+  DestroySupergroupStates(new_supergroups_);
+  DestroySupergroupStates(old_supergroups_);
+}
+
+void SamplingOperator::DestroySupergroupStates(SupergroupTable& table) {
+  for (auto& [key, sg] : table) {
+    for (size_t i = 0; i < sg.states.size(); ++i) {
+      const SfunStateDef* def = plan_->sfun_states[i];
+      if (def->destroy != nullptr && sg.states[i] != nullptr) {
+        def->destroy(sg.states[i]);
+      }
+    }
+    sg.states.clear();
+    sg.blobs.clear();
+  }
+  table.clear();
+}
+
+SamplingOperator::SupergroupEntry& SamplingOperator::GetOrCreateSupergroup(
+    const GroupKey& sk) {
+  auto it = new_supergroups_.find(sk);
+  if (it != new_supergroups_.end()) return it->second;
+
+  SupergroupEntry entry;
+  // Locate the equivalent supergroup of the previous window, if any, so
+  // that SFUN states can carry over (dynamic subset-sum threshold).
+  const SupergroupEntry* old_entry = nullptr;
+  auto old_it = old_supergroups_.find(sk);
+  if (old_it != old_supergroups_.end()) old_entry = &old_it->second;
+
+  const size_t n_states = plan_->sfun_states.size();
+  entry.blobs.reserve(n_states);
+  entry.states.reserve(n_states);
+  uint64_t sg_seed =
+      HashCombine(plan_->seed, Mix64(++supergroup_seq_) ^ sk.Hash());
+  for (size_t i = 0; i < n_states; ++i) {
+    const SfunStateDef* def = plan_->sfun_states[i];
+    size_t words =
+        (def->size + sizeof(std::max_align_t) - 1) / sizeof(std::max_align_t);
+    entry.blobs.push_back(std::make_unique<std::max_align_t[]>(words));
+    void* mem = entry.blobs.back().get();
+    const void* old_state =
+        old_entry != nullptr ? old_entry->states[i] : nullptr;
+    def->init(mem, old_state, HashCombine(sg_seed, i));
+    entry.states.push_back(mem);
+  }
+  entry.superaggs.reserve(plan_->superaggs.size());
+  for (const SuperAggSpec& spec : plan_->superaggs) {
+    entry.superaggs.emplace_back(&spec);
+  }
+  auto [ins_it, inserted] = new_supergroups_.emplace(sk, std::move(entry));
+  (void)inserted;
+  return ins_it->second;
+}
+
+std::vector<Value> SamplingOperator::SuperAggFinals(
+    const SupergroupEntry& sg) const {
+  std::vector<Value> out;
+  out.reserve(sg.superaggs.size());
+  for (const SuperAggState& s : sg.superaggs) out.push_back(s.Final());
+  return out;
+}
+
+std::vector<Value> SamplingOperator::AggFinals(const GroupEntry& g) const {
+  std::vector<Value> out;
+  out.reserve(g.aggs.size());
+  for (const AggregateAccumulator& a : g.aggs) out.push_back(a.Final());
+  return out;
+}
+
+Status SamplingOperator::Process(const Tuple& input) {
+  // 1. Compute every group-by variable.
+  std::vector<Value> gb_values;
+  gb_values.reserve(plan_->group_by_exprs.size());
+  {
+    EvalContext gb_ctx;
+    gb_ctx.input = &input;
+    for (const ExprPtr& e : plan_->group_by_exprs) {
+      STREAMOP_ASSIGN_OR_RETURN(Value v, Evaluate(*e, gb_ctx));
+      gb_values.push_back(std::move(v));
+    }
+  }
+
+  // 2. Window boundary: any ordered group-by variable changed value.
+  std::vector<Value> window_id;
+  for (size_t i = 0; i < gb_values.size(); ++i) {
+    if (plan_->group_by_ordered[i]) window_id.push_back(gb_values[i]);
+  }
+  if (!window_open_) {
+    window_open_ = true;
+    current_window_id_ = window_id;
+    live_stats_ = WindowStats{};
+    live_stats_.window_id = window_id;
+  } else if (window_id != current_window_id_) {
+    STREAMOP_RETURN_NOT_OK(FlushWindow());
+    current_window_id_ = window_id;
+    live_stats_ = WindowStats{};
+    live_stats_.window_id = window_id;
+  }
+  ++live_stats_.tuples_in;
+
+  // 3. Supergroup lookup / creation (with previous-window state hand-off).
+  std::vector<Value> sk_values;
+  sk_values.reserve(plan_->supergroup_slots.size());
+  for (int slot : plan_->supergroup_slots) {
+    sk_values.push_back(gb_values[static_cast<size_t>(slot)]);
+  }
+  GroupKey sk(std::move(sk_values));
+  SupergroupEntry& sg = GetOrCreateSupergroup(sk);
+
+  GroupKey gk(std::move(gb_values));
+
+  // 4. WHERE: the sampling admission predicate.
+  std::vector<Value> sa_finals = SuperAggFinals(sg);
+  {
+    EvalContext ctx;
+    ctx.input = &input;
+    ctx.group_key = &gk;
+    ctx.superaggs = &sa_finals;
+    ctx.sfun_states = sg.states.data();
+    ctx.num_sfun_states = sg.states.size();
+    STREAMOP_ASSIGN_OR_RETURN(bool admitted,
+                              EvaluatePredicate(plan_->where.get(), ctx));
+    if (!admitted) return Status::OK();
+  }
+  ++live_stats_.tuples_admitted;
+
+  // 5. Tuple-level superaggregate updates (sum$/count$/first$).
+  for (size_t i = 0; i < plan_->superaggs.size(); ++i) {
+    const SuperAggSpec& spec = plan_->superaggs[i];
+    if (spec.kind == SuperAggKind::kSum || spec.kind == SuperAggKind::kCount ||
+        spec.kind == SuperAggKind::kFirst) {
+      Value v = Value::Null();
+      if (spec.arg != nullptr) {
+        EvalContext ctx;
+        ctx.input = &input;
+        ctx.group_key = &gk;
+        ctx.sfun_states = sg.states.data();
+        ctx.num_sfun_states = sg.states.size();
+        STREAMOP_ASSIGN_OR_RETURN(v, Evaluate(*spec.arg, ctx));
+      }
+      sg.superaggs[i].OnTuple(v);
+    }
+  }
+
+  // 6. Group lookup / creation + aggregate update.
+  auto git = groups_.find(gk);
+  if (git == groups_.end()) {
+    GroupEntry entry;
+    entry.aggs.reserve(plan_->aggregates.size());
+    for (const AggregateSpec& spec : plan_->aggregates) {
+      entry.aggs.emplace_back(spec.kind, spec.param);
+    }
+    git = groups_.emplace(gk, std::move(entry)).first;
+    for (SuperAggState& s : sg.superaggs) s.OnGroupCreated(gk);
+    supergroup_groups_[sk].push_back(gk);
+    ++live_stats_.groups_created;
+    if (groups_.size() > live_stats_.peak_groups) {
+      live_stats_.peak_groups = groups_.size();
+    }
+  }
+  {
+    EvalContext ctx;
+    ctx.input = &input;
+    ctx.group_key = &gk;
+    ctx.sfun_states = sg.states.data();
+    ctx.num_sfun_states = sg.states.size();
+    for (size_t i = 0; i < plan_->aggregates.size(); ++i) {
+      const AggregateSpec& spec = plan_->aggregates[i];
+      if (spec.star || spec.arg == nullptr) {
+        git->second.aggs[i].Update(Value::Null());
+      } else {
+        STREAMOP_ASSIGN_OR_RETURN(Value v, Evaluate(*spec.arg, ctx));
+        git->second.aggs[i].Update(v);
+      }
+    }
+  }
+
+  // 7. CLEANING WHEN: the cleaning trigger, evaluated against the
+  // supergroup state and fresh superaggregates.
+  if (plan_->cleaning_when != nullptr) {
+    std::vector<Value> fresh = SuperAggFinals(sg);
+    EvalContext ctx;
+    ctx.input = &input;
+    ctx.group_key = &gk;
+    ctx.superaggs = &fresh;
+    ctx.sfun_states = sg.states.data();
+    ctx.num_sfun_states = sg.states.size();
+    STREAMOP_ASSIGN_OR_RETURN(bool trigger,
+                              EvaluatePredicate(plan_->cleaning_when.get(), ctx));
+    if (trigger) {
+      ++live_stats_.cleaning_phases;
+      STREAMOP_RETURN_NOT_OK(RunCleaningPhase(sk, sg));
+    }
+  }
+  return Status::OK();
+}
+
+void SamplingOperator::RemoveGroup(const GroupKey& gk, SupergroupEntry& sg) {
+  auto git = groups_.find(gk);
+  if (git == groups_.end()) return;
+  for (size_t i = 0; i < sg.superaggs.size(); ++i) {
+    const SuperAggSpec& spec = plan_->superaggs[i];
+    Value shadow = Value::Null();
+    if (spec.shadow_agg_slot >= 0 &&
+        static_cast<size_t>(spec.shadow_agg_slot) < git->second.aggs.size()) {
+      shadow = git->second.aggs[static_cast<size_t>(spec.shadow_agg_slot)]
+                   .Final();
+    }
+    sg.superaggs[i].OnGroupRemoved(gk, shadow);
+  }
+  groups_.erase(git);
+  ++live_stats_.groups_removed;
+}
+
+Status SamplingOperator::RunCleaningPhase(const GroupKey& sk,
+                                          SupergroupEntry& sg) {
+  auto mit = supergroup_groups_.find(sk);
+  if (mit == supergroup_groups_.end()) return Status::OK();
+
+  // Superaggregates are materialized once at the start of the pass; the
+  // CLEANING BY predicate sees a consistent snapshot while removals update
+  // the live superaggregate state underneath.
+  std::vector<Value> sa_finals = SuperAggFinals(sg);
+
+  std::vector<GroupKey> survivors;
+  survivors.reserve(mit->second.size());
+  for (const GroupKey& gk : mit->second) {
+    auto git = groups_.find(gk);
+    if (git == groups_.end()) continue;  // already removed
+    std::vector<Value> agg_finals = AggFinals(git->second);
+    EvalContext ctx;
+    ctx.group_key = &gk;
+    ctx.aggregates = &agg_finals;
+    ctx.superaggs = &sa_finals;
+    ctx.sfun_states = sg.states.data();
+    ctx.num_sfun_states = sg.states.size();
+    STREAMOP_ASSIGN_OR_RETURN(bool keep,
+                              EvaluatePredicate(plan_->cleaning_by.get(), ctx));
+    if (keep) {
+      survivors.push_back(gk);
+    } else {
+      RemoveGroup(gk, sg);
+    }
+  }
+  mit->second = std::move(survivors);
+  return Status::OK();
+}
+
+Status SamplingOperator::FlushWindow() {
+  // Signal end-of-window to every SFUN state that cares.
+  for (auto& [sk, sg] : new_supergroups_) {
+    for (size_t i = 0; i < sg.states.size(); ++i) {
+      const SfunStateDef* def = plan_->sfun_states[i];
+      if (def->window_final != nullptr) def->window_final(sg.states[i]);
+    }
+  }
+
+  // HAVING + SELECT per group, walking supergroup membership lists so the
+  // SFUN states see their own groups in a contiguous pass (the final
+  // cleaning of subset-sum / reservoir depends on this).
+  for (auto& [sk, member_keys] : supergroup_groups_) {
+    auto sgit = new_supergroups_.find(sk);
+    if (sgit == new_supergroups_.end()) continue;
+    SupergroupEntry& sg = sgit->second;
+    std::vector<Value> sa_finals = SuperAggFinals(sg);
+
+    for (const GroupKey& gk : member_keys) {
+      auto git = groups_.find(gk);
+      if (git == groups_.end()) continue;
+      std::vector<Value> agg_finals = AggFinals(git->second);
+      EvalContext ctx;
+      ctx.group_key = &gk;
+      ctx.aggregates = &agg_finals;
+      ctx.superaggs = &sa_finals;
+      ctx.sfun_states = sg.states.data();
+      ctx.num_sfun_states = sg.states.size();
+
+      STREAMOP_ASSIGN_OR_RETURN(bool sampled,
+                                EvaluatePredicate(plan_->having.get(), ctx));
+      if (!sampled) {
+        RemoveGroup(gk, sg);
+        continue;
+      }
+      // Emit the output row.
+      std::vector<Value> row;
+      row.reserve(plan_->select_exprs.size());
+      for (const ExprPtr& e : plan_->select_exprs) {
+        STREAMOP_ASSIGN_OR_RETURN(Value v, Evaluate(*e, ctx));
+        row.push_back(std::move(v));
+      }
+      output_.emplace_back(std::move(row));
+      ++live_stats_.groups_output;
+    }
+  }
+
+  window_stats_.push_back(live_stats_);
+
+  // Table swap per §6.4: clear the group and membership tables, drop the
+  // old supergroup table, move new -> old.
+  groups_.clear();
+  supergroup_groups_.clear();
+  DestroySupergroupStates(old_supergroups_);
+  old_supergroups_ = std::move(new_supergroups_);
+  new_supergroups_.clear();
+  return Status::OK();
+}
+
+Status SamplingOperator::FinishStream() {
+  if (!window_open_) return Status::OK();
+  window_open_ = false;
+  return FlushWindow();
+}
+
+std::vector<Tuple> SamplingOperator::DrainOutput() {
+  std::vector<Tuple> out = std::move(output_);
+  output_.clear();
+  return out;
+}
+
+Result<std::vector<Tuple>> RunToCompletion(SamplingOperator& op,
+                                           StreamSource& source) {
+  Tuple t;
+  while (source.Next(&t)) {
+    STREAMOP_RETURN_NOT_OK(op.Process(t));
+  }
+  STREAMOP_RETURN_NOT_OK(op.FinishStream());
+  return op.DrainOutput();
+}
+
+}  // namespace streamop

@@ -1,0 +1,178 @@
+// The generic sampling operator (§5), the paper's core contribution.
+//
+// A sampling query
+//
+//   SELECT <exprs> FROM <stream> WHERE <pred>
+//   GROUP BY <vars> [SUPERGROUP <vars>] [HAVING <pred>]
+//   CLEANING WHEN <pred> CLEANING BY <pred>
+//
+// is evaluated per §6.4 with three hash tables: the group table, the
+// (old/new) supergroup tables holding stateful-function states and
+// superaggregates, and the supergroup->group membership table. Windows are
+// delimited by changes of the ordered group-by variables; on a window
+// boundary the HAVING clause decides which groups are emitted, and each new
+// supergroup's SFUN states are initialized from the equivalent supergroup
+// of the previous window (threshold carry-over).
+
+#ifndef STREAMOP_CORE_SAMPLING_OPERATOR_H_
+#define STREAMOP_CORE_SAMPLING_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/superagg.h"
+#include "expr/aggregate.h"
+#include "expr/expr.h"
+#include "expr/stateful.h"
+#include "stream/stream_source.h"
+#include "tuple/schema.h"
+#include "tuple/tuple.h"
+
+namespace streamop {
+
+/// The analyzed form of a sampling query, produced by the query analyzer
+/// (or hand-assembled by library users who skip SQL).
+struct SamplingQueryPlan {
+  SchemaPtr input_schema;
+
+  // SELECT: expressions over (group key, aggregates, superaggregates,
+  // stateful functions), plus output column names.
+  std::vector<ExprPtr> select_exprs;
+  std::vector<std::string> output_names;
+  SchemaPtr output_schema;
+
+  // WHERE: over (input, group key, superaggregates, stateful functions).
+  ExprPtr where;
+
+  // GROUP BY: expressions over the input tuple; `ordered` flags mark the
+  // variables derived monotonically from ordered stream attributes (these
+  // define the window).
+  std::vector<ExprPtr> group_by_exprs;
+  std::vector<std::string> group_by_names;
+  std::vector<bool> group_by_ordered;
+
+  // SUPERGROUP: subset of group-by variable slots, excluding ordered ones
+  // (ordered variables are implicitly part of every supergroup).
+  std::vector<int> supergroup_slots;
+
+  ExprPtr having;         // per group at window end
+  ExprPtr cleaning_when;  // per tuple, against supergroup state
+  ExprPtr cleaning_by;    // per group during a cleaning phase
+
+  std::vector<AggregateSpec> aggregates;  // group aggregates (incl. shadows)
+  std::vector<SuperAggSpec> superaggs;
+
+  // Stateful-function state slots referenced anywhere in the query.
+  std::vector<const SfunStateDef*> sfun_states;
+
+  uint64_t seed = 1;  // seeds per-supergroup SFUN RNG streams
+};
+
+/// Per-window execution statistics (the quantities behind Figs. 3 and 4).
+struct WindowStats {
+  std::vector<Value> window_id;  // values of the ordered group-by variables
+  uint64_t tuples_in = 0;        // tuples arriving within the window
+  uint64_t tuples_admitted = 0;  // tuples passing WHERE
+  uint64_t groups_created = 0;
+  uint64_t groups_removed = 0;   // by cleaning phases
+  uint64_t peak_groups = 0;      // high-water mark of the group table
+  uint64_t cleaning_phases = 0;  // CLEANING WHEN fired
+  uint64_t groups_output = 0;    // groups surviving HAVING
+};
+
+/// Executes one sampling query over a tuple stream.
+class SamplingOperator {
+ public:
+  explicit SamplingOperator(std::shared_ptr<const SamplingQueryPlan> plan);
+  ~SamplingOperator();
+
+  SamplingOperator(const SamplingOperator&) = delete;
+  SamplingOperator& operator=(const SamplingOperator&) = delete;
+
+  /// Processes one input tuple; output rows of any window it closes become
+  /// available via DrainOutput().
+  Status Process(const Tuple& input);
+
+  /// Closes the final window at end-of-stream.
+  Status FinishStream();
+
+  /// Removes and returns the output rows produced so far.
+  std::vector<Tuple> DrainOutput();
+
+  /// Statistics of every closed window, oldest first.
+  const std::vector<WindowStats>& window_stats() const {
+    return window_stats_;
+  }
+
+  const SamplingQueryPlan& plan() const { return *plan_; }
+
+  /// Number of live groups / supergroups (introspection for tests).
+  size_t num_groups() const { return groups_.size(); }
+  size_t num_supergroups() const { return new_supergroups_.size(); }
+
+ private:
+  struct GroupEntry {
+    std::vector<AggregateAccumulator> aggs;
+  };
+
+  struct SupergroupEntry {
+    // SFUN state blobs, indexed by plan_->sfun_states slot.
+    std::vector<std::unique_ptr<std::max_align_t[]>> blobs;
+    std::vector<void*> states;
+    std::vector<SuperAggState> superaggs;
+  };
+
+  using GroupTable = std::unordered_map<GroupKey, GroupEntry, GroupKeyHash>;
+  using SupergroupTable =
+      std::unordered_map<GroupKey, SupergroupEntry, GroupKeyHash>;
+  using MembershipTable =
+      std::unordered_map<GroupKey, std::vector<GroupKey>, GroupKeyHash>;
+
+  // Creates (or finds) the supergroup for `sk`, initializing SFUN states
+  // from the previous window's equivalent supergroup when present.
+  SupergroupEntry& GetOrCreateSupergroup(const GroupKey& sk);
+
+  // Materializes the current superaggregate values of a supergroup.
+  std::vector<Value> SuperAggFinals(const SupergroupEntry& sg) const;
+
+  // Materializes the final values of a group's aggregates.
+  std::vector<Value> AggFinals(const GroupEntry& g) const;
+
+  // Runs one cleaning phase over the groups of supergroup `sk`.
+  Status RunCleaningPhase(const GroupKey& sk, SupergroupEntry& sg);
+
+  // Removes a group: superaggregate corrections + table erasure.
+  void RemoveGroup(const GroupKey& gk, SupergroupEntry& sg);
+
+  // Window boundary: HAVING + SELECT per group, stats, table swap.
+  Status FlushWindow();
+
+  void DestroySupergroupStates(SupergroupTable& table);
+
+  std::shared_ptr<const SamplingQueryPlan> plan_;
+
+  GroupTable groups_;
+  SupergroupTable new_supergroups_;
+  SupergroupTable old_supergroups_;
+  MembershipTable supergroup_groups_;
+
+  bool window_open_ = false;
+  std::vector<Value> current_window_id_;
+
+  WindowStats live_stats_;
+  std::vector<WindowStats> window_stats_;
+  std::vector<Tuple> output_;
+  uint64_t supergroup_seq_ = 0;  // distinct RNG stream per supergroup
+};
+
+/// Convenience driver: runs `op` over every tuple of `source`, finishes the
+/// stream, and returns all output rows.
+Result<std::vector<Tuple>> RunToCompletion(SamplingOperator& op,
+                                           StreamSource& source);
+
+}  // namespace streamop
+
+#endif  // STREAMOP_CORE_SAMPLING_OPERATOR_H_

@@ -1,0 +1,98 @@
+#include "core/sfun_distinct.h"
+
+#include <new>
+
+#include "expr/stateful.h"
+#include "sampling/distinct.h"
+#include "tuple/value.h"
+
+namespace streamop {
+
+namespace {
+
+void DistinctStateInit(void* state, const void* old_state, uint64_t seed) {
+  (void)seed;  // fully deterministic: the hash is supplied by the query
+  auto* s = new (state) DistinctSfunState();
+  if (old_state != nullptr) {
+    // Distinct sampling restarts each window, but the configuration (and
+    // the level, as a warm start for similar load) carries over.
+    const auto* o = static_cast<const DistinctSfunState*>(old_state);
+    s->capacity = o->capacity;
+    s->level = o->level > 0 ? o->level - 1 : 0;  // allow recovery downwards
+    s->pending_level = s->level;
+  }
+}
+
+void DistinctStateDestroy(void* state) {
+  static_cast<DistinctSfunState*>(state)->~DistinctSfunState();
+}
+
+// dssample(hash [, capacity]) -> bool: level-test admission.
+Value DsSample(void* state, const Value* args, size_t nargs) {
+  auto* s = static_cast<DistinctSfunState*>(state);
+  if (s->capacity == 0) {
+    s->capacity = nargs > 1 ? args[1].AsUInt() : 256;
+    if (s->capacity == 0) s->capacity = 1;
+  }
+  uint64_t h = args[0].AsUInt();
+  return Value::Bool(HashLevel(h) >= s->level);
+}
+
+// dsdo_clean(count_distinct$) -> bool: the sample outgrew the capacity;
+// raise the level by one and arm the purge pass.
+Value DsDoClean(void* state, const Value* args, size_t nargs) {
+  auto* s = static_cast<DistinctSfunState*>(state);
+  if (s->capacity == 0) return Value::Bool(false);
+  uint64_t live = nargs > 0 ? args[0].AsUInt() : 0;
+  if (live <= s->capacity) return Value::Bool(false);
+  if (s->level >= 63) return Value::Bool(false);
+  ++s->level;
+  s->pending_level = s->level;
+  return Value::Bool(true);
+}
+
+// dsclean_with(hash) -> bool keep: the group's element survives the new
+// level.
+Value DsCleanWith(void* state, const Value* args, size_t nargs) {
+  auto* s = static_cast<DistinctSfunState*>(state);
+  uint64_t h = nargs > 0 ? args[0].AsUInt() : 0;
+  return Value::Bool(HashLevel(h) >= s->pending_level);
+}
+
+// dsfactor() -> uint: the inverse inclusion probability 2^level.
+Value DsFactor(void* state, const Value* /*args*/, size_t /*nargs*/) {
+  auto* s = static_cast<DistinctSfunState*>(state);
+  return Value::UInt(uint64_t{1} << s->level);
+}
+
+// dslevel() -> uint: the current level.
+Value DsLevel(void* state, const Value* /*args*/, size_t /*nargs*/) {
+  auto* s = static_cast<DistinctSfunState*>(state);
+  return Value::UInt(s->level);
+}
+
+}  // namespace
+
+Status RegisterDistinctSfunPackage() {
+  SfunRegistry& reg = SfunRegistry::Global();
+  if (reg.FindState("distinct_sampling_state") != nullptr) return Status::OK();
+  SfunStateDef state;
+  state.name = "distinct_sampling_state";
+  state.size = sizeof(DistinctSfunState);
+  state.init = DistinctStateInit;
+  state.destroy = DistinctStateDestroy;
+  STREAMOP_RETURN_NOT_OK(reg.RegisterState(state));
+  const SfunStateDef* sd = reg.FindState(state.name);
+
+  STREAMOP_RETURN_NOT_OK(
+      reg.RegisterFunction({"dssample", sd, 1, 2, DsSample}));
+  STREAMOP_RETURN_NOT_OK(
+      reg.RegisterFunction({"dsdo_clean", sd, 1, 1, DsDoClean}));
+  STREAMOP_RETURN_NOT_OK(
+      reg.RegisterFunction({"dsclean_with", sd, 1, 1, DsCleanWith}));
+  STREAMOP_RETURN_NOT_OK(reg.RegisterFunction({"dsfactor", sd, 0, 0, DsFactor}));
+  STREAMOP_RETURN_NOT_OK(reg.RegisterFunction({"dslevel", sd, 0, 0, DsLevel}));
+  return Status::OK();
+}
+
+}  // namespace streamop

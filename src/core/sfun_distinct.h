@@ -1,0 +1,43 @@
+// The distinct sampling stateful-function package (Gibbons' algorithm
+// expressed through the sampling operator — a fifth algorithm beyond the
+// paper's four, demonstrating the operator's extensibility claim):
+//
+//   STATE distinct_sampling_state;
+//   SFUN dssample(hash [, capacity])   -- WHERE: admit iff the hash has at
+//                                         least `level` trailing zeros
+//   SFUN dsdo_clean(count_distinct$)   -- CLEANING WHEN: sample > capacity;
+//                                         raises the level
+//   SFUN dsclean_with(hash)            -- CLEANING BY: keep iff the group's
+//                                         hash survives the new level
+//   SFUN dsfactor()                    -- SELECT: the scale factor 2^level
+//   SFUN dslevel()                     -- SELECT: the current level
+//
+// Query shape (distinct source addresses per minute, with counts):
+//
+//   SELECT tb, srcIP, count(*), count_distinct$(*) * dsfactor()
+//   FROM PKT
+//   WHERE dssample(H(srcIP), 256) = TRUE
+//   GROUP BY time/60 as tb, srcIP
+//   CLEANING WHEN dsdo_clean(count_distinct$(*)) = TRUE
+//   CLEANING BY dsclean_with(H(srcIP)) = TRUE
+
+#ifndef STREAMOP_CORE_SFUN_DISTINCT_H_
+#define STREAMOP_CORE_SFUN_DISTINCT_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace streamop {
+
+struct DistinctSfunState {
+  uint64_t capacity = 0;  // latched by the first dssample call
+  uint32_t level = 0;
+  uint32_t pending_level = 0;  // armed by dsdo_clean for the cleaning pass
+};
+
+Status RegisterDistinctSfunPackage();
+
+}  // namespace streamop
+
+#endif  // STREAMOP_CORE_SFUN_DISTINCT_H_

@@ -1,0 +1,61 @@
+#include "core/sfun_heavy_hitter.h"
+
+#include <new>
+
+#include "expr/stateful.h"
+#include "tuple/value.h"
+
+namespace streamop {
+
+namespace {
+
+void HeavyHitterStateInit(void* state, const void* old_state, uint64_t seed) {
+  (void)old_state;  // lossy counting restarts each window
+  (void)seed;
+  new (state) HeavyHitterSfunState();
+}
+
+void HeavyHitterStateDestroy(void* state) {
+  static_cast<HeavyHitterSfunState*>(state)->~HeavyHitterSfunState();
+}
+
+// local_count(w) -> bool: true once every w tuples, advancing the bucket.
+Value LocalCount(void* state, const Value* args, size_t nargs) {
+  auto* s = static_cast<HeavyHitterSfunState*>(state);
+  uint64_t w = nargs > 0 ? args[0].AsUInt() : 1000;
+  if (w == 0) w = 1;
+  ++s->tuples_seen;
+  if (s->tuples_seen % w == 0) {
+    ++s->current_bucket;
+    return Value::Bool(true);
+  }
+  return Value::Bool(false);
+}
+
+// current_bucket() -> uint: the live bucket id (starts at 1).
+Value CurrentBucket(void* state, const Value* /*args*/, size_t /*nargs*/) {
+  auto* s = static_cast<HeavyHitterSfunState*>(state);
+  return Value::UInt(s->current_bucket);
+}
+
+}  // namespace
+
+Status RegisterHeavyHitterSfunPackage() {
+  SfunRegistry& reg = SfunRegistry::Global();
+  if (reg.FindState("heavy_hitter_state") != nullptr) return Status::OK();
+  SfunStateDef state;
+  state.name = "heavy_hitter_state";
+  state.size = sizeof(HeavyHitterSfunState);
+  state.init = HeavyHitterStateInit;
+  state.destroy = HeavyHitterStateDestroy;
+  STREAMOP_RETURN_NOT_OK(reg.RegisterState(state));
+  const SfunStateDef* sd = reg.FindState(state.name);
+
+  STREAMOP_RETURN_NOT_OK(
+      reg.RegisterFunction({"local_count", sd, 1, 1, LocalCount}));
+  STREAMOP_RETURN_NOT_OK(
+      reg.RegisterFunction({"current_bucket", sd, 0, 0, CurrentBucket}));
+  return Status::OK();
+}
+
+}  // namespace streamop

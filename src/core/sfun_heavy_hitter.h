@@ -1,0 +1,32 @@
+// Heavy-hitter (Manku-Motwani lossy counting) helper stateful functions of
+// the §6.6 query:
+//
+//   STATE heavy_hitter_state;
+//   SFUN local_count(w)      -- counts tuples; true once every w tuples,
+//                               advancing the bucket id (CLEANING WHEN)
+//   SFUN current_bucket()    -- the current bucket id (CLEANING BY /
+//                               aggregated with first() per group)
+//
+// The per-element counting itself is ordinary grouping + count(*); pruning
+// is the CLEANING BY predicate `count(*) >= current_bucket() -
+// first(current_bucket())`.
+
+#ifndef STREAMOP_CORE_SFUN_HEAVY_HITTER_H_
+#define STREAMOP_CORE_SFUN_HEAVY_HITTER_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace streamop {
+
+struct HeavyHitterSfunState {
+  uint64_t tuples_seen = 0;
+  uint64_t current_bucket = 1;
+};
+
+Status RegisterHeavyHitterSfunPackage();
+
+}  // namespace streamop
+
+#endif  // STREAMOP_CORE_SFUN_HEAVY_HITTER_H_

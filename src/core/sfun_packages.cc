@@ -1,0 +1,19 @@
+#include "core/sfun_distinct.h"
+#include "core/sfun_heavy_hitter.h"
+#include "core/sfun_reservoir.h"
+#include "core/sfun_subset_sum.h"
+#include "expr/stateful.h"
+
+namespace streamop {
+
+void EnsureBuiltinSfunPackagesRegistered() {
+  // Registration is idempotent; Status failures here would indicate a
+  // conflicting user registration of the same names, which the individual
+  // packages treat as "already present".
+  (void)RegisterSubsetSumSfunPackage();
+  (void)RegisterReservoirSfunPackage();
+  (void)RegisterHeavyHitterSfunPackage();
+  (void)RegisterDistinctSfunPackage();
+}
+
+}  // namespace streamop

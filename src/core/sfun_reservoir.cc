@@ -1,0 +1,145 @@
+#include "core/sfun_reservoir.h"
+
+#include <new>
+
+#include "expr/stateful.h"
+#include "tuple/value.h"
+
+namespace streamop {
+
+namespace {
+
+void ReservoirStateInit(void* state, const void* old_state, uint64_t seed) {
+  auto* s = new (state) ReservoirSfunState();
+  s->rng = Pcg64(seed ^ 0x7e57ab1eULL);
+  if (old_state != nullptr) {
+    const auto* o = static_cast<const ReservoirSfunState*>(old_state);
+    if (o->n > 0) {
+      s->n = o->n;
+      s->tolerance = o->tolerance;
+      s->mode = o->mode;
+      s->control = ReservoirControl(o->n, ReservoirControl::Mode::kSkip, seed);
+    }
+  }
+}
+
+void ReservoirStateDestroy(void* state) {
+  static_cast<ReservoirSfunState*>(state)->~ReservoirSfunState();
+}
+
+// rsample(n [, tolerance [, mode]]) -> bool: admit this tuple as a
+// candidate. mode 1 switches from the paper's skip scheme to the exactly
+// uniform Bernoulli-backoff scheme.
+Value RsSample(void* state, const Value* args, size_t nargs) {
+  auto* s = static_cast<ReservoirSfunState*>(state);
+  if (s->n == 0) {
+    s->n = nargs > 0 ? args[0].AsUInt() : 100;
+    if (s->n == 0) s->n = 1;
+    if (nargs > 1) {
+      s->tolerance = args[1].AsDouble();
+      if (s->tolerance < 1.5) s->tolerance = 1.5;
+    }
+    if (nargs > 2 && args[2].AsUInt() == 1) {
+      s->mode = ReservoirSfunMode::kBernoulliBackoff;
+    }
+    s->control =
+        ReservoirControl(s->n, ReservoirControl::Mode::kSkip, s->rng.Next64());
+  }
+  if (s->mode == ReservoirSfunMode::kBernoulliBackoff) {
+    return Value::Bool(s->admit_p >= 1.0 || s->rng.NextBernoulli(s->admit_p));
+  }
+  return Value::Bool(s->control.Offer());
+}
+
+// Arms a selection-sampling pass keeping `keep` of `pool` groups.
+void ArmPass(ReservoirSfunState* s, uint64_t pool, uint64_t keep) {
+  s->pass_pool = pool;
+  s->pass_keep = keep < pool ? keep : pool;
+}
+
+// One Knuth-S decision: keep with probability keep_remaining/pool_remaining.
+bool PassKeep(ReservoirSfunState* s) {
+  if (s->pass_pool == 0) return true;  // defensive: pass not armed
+  bool keep = s->rng.NextBounded(s->pass_pool) < s->pass_keep;
+  --s->pass_pool;
+  if (keep && s->pass_keep > 0) --s->pass_keep;
+  return keep;
+}
+
+// rsdo_clean(count_distinct$) -> bool: candidates exceeded T*n.
+Value RsDoClean(void* state, const Value* args, size_t nargs) {
+  auto* s = static_cast<ReservoirSfunState*>(state);
+  uint64_t live = nargs > 0 ? args[0].AsUInt() : 0;
+  if (s->n == 0) return Value::Bool(false);
+  double cap = s->tolerance * static_cast<double>(s->n);
+  if (static_cast<double>(live) <= cap) return Value::Bool(false);
+  if (s->mode == ReservoirSfunMode::kBernoulliBackoff) {
+    s->admit_p *= 0.5;
+    s->coin_pass = true;
+  } else {
+    ArmPass(s, live, s->n);
+  }
+  ++s->cleanings_this_window;
+  return Value::Bool(true);
+}
+
+// rsclean_with() -> bool keep.
+Value RsCleanWith(void* state, const Value* /*args*/, size_t /*nargs*/) {
+  auto* s = static_cast<ReservoirSfunState*>(state);
+  if (s->coin_pass) return Value::Bool(s->rng.NextBernoulli(0.5));
+  return Value::Bool(PassKeep(s));
+}
+
+// rsfinal_clean(count_distinct$) -> bool keep: uniform n-subset at the
+// window boundary; the first call arms the pass with the live group count.
+Value RsFinalClean(void* state, const Value* args, size_t nargs) {
+  auto* s = static_cast<ReservoirSfunState*>(state);
+  if (!s->final_armed) {
+    s->final_armed = true;
+    s->coin_pass = false;  // the final pass is exact selection sampling
+    uint64_t live = nargs > 0 ? args[0].AsUInt() : 0;
+    if (s->n == 0 || live <= s->n) {
+      s->pass_pool = 0;  // pass-through
+      s->pass_keep = 0;
+      return Value::Bool(true);
+    }
+    ArmPass(s, live, s->n);
+  }
+  if (s->pass_pool == 0 && s->pass_keep == 0) return Value::Bool(true);
+  return Value::Bool(PassKeep(s));
+}
+
+// rscleanings() -> uint: cleaning phases this window.
+Value RsCleanings(void* state, const Value* /*args*/, size_t /*nargs*/) {
+  auto* s = static_cast<ReservoirSfunState*>(state);
+  return Value::UInt(s->cleanings_this_window);
+}
+
+}  // namespace
+
+Status RegisterReservoirSfunPackage() {
+  SfunRegistry& reg = SfunRegistry::Global();
+  if (reg.FindState("reservoir_sampling_state") != nullptr) {
+    return Status::OK();
+  }
+  SfunStateDef state;
+  state.name = "reservoir_sampling_state";
+  state.size = sizeof(ReservoirSfunState);
+  state.init = ReservoirStateInit;
+  state.destroy = ReservoirStateDestroy;
+  STREAMOP_RETURN_NOT_OK(reg.RegisterState(state));
+  const SfunStateDef* sd = reg.FindState(state.name);
+
+  STREAMOP_RETURN_NOT_OK(reg.RegisterFunction({"rsample", sd, 0, 3, RsSample}));
+  STREAMOP_RETURN_NOT_OK(
+      reg.RegisterFunction({"rsdo_clean", sd, 1, 1, RsDoClean}));
+  STREAMOP_RETURN_NOT_OK(
+      reg.RegisterFunction({"rsclean_with", sd, 0, 0, RsCleanWith}));
+  STREAMOP_RETURN_NOT_OK(
+      reg.RegisterFunction({"rsfinal_clean", sd, 0, 1, RsFinalClean}));
+  STREAMOP_RETURN_NOT_OK(
+      reg.RegisterFunction({"rscleanings", sd, 0, 0, RsCleanings}));
+  return Status::OK();
+}
+
+}  // namespace streamop

@@ -1,0 +1,58 @@
+// The reservoir sampling stateful-function package (§6.6):
+//
+//   STATE reservoir_sampling_state;
+//   SFUN rsample(n [, tolerance [, mode]]) -- WHERE: candidate admission
+//   SFUN rsdo_clean(count_distinct$)   -- CLEANING WHEN: candidates > T*n
+//   SFUN rsclean_with()                -- CLEANING BY: keep decision
+//   SFUN rsfinal_clean(count_distinct$)-- HAVING: uniform keep-n at window end
+//
+// Two admission modes:
+//   mode 0 (default) — the paper's §4.1/§6.6 scheme: skip-based admission
+//     targeting an n-reservoir, cleaning keeps n of the candidates
+//     uniformly (Knuth's Algorithm S: group i of a pool of P remaining
+//     groups is kept with probability keep_remaining / pool_remaining).
+//     Faithful to the paper, but measurably biased toward early stream
+//     positions (see EXPERIMENTS.md).
+//   mode 1 — Bernoulli backoff: admit every tuple with probability p
+//     (initially 1); when candidates exceed T*n, halve p and flip a fair
+//     coin per candidate. Exactly uniform after the final subsample.
+
+#ifndef STREAMOP_CORE_SFUN_RESERVOIR_H_
+#define STREAMOP_CORE_SFUN_RESERVOIR_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "sampling/reservoir.h"
+
+namespace streamop {
+
+/// Admission strategy for rsample (3rd argument).
+enum class ReservoirSfunMode {
+  kSkipCandidates = 0,   // the paper's scheme (early-position bias)
+  kBernoulliBackoff = 1, // exactly uniform
+};
+
+struct ReservoirSfunState {
+  uint64_t n = 0;           // target sample size; latched on first rsample
+  double tolerance = 20.0;  // T in (10, 40): candidate buffer is T*n
+  ReservoirSfunMode mode = ReservoirSfunMode::kSkipCandidates;
+  ReservoirControl control{1, ReservoirControl::Mode::kSkip, 1};
+  Pcg64 rng{1};
+  double admit_p = 1.0;  // kBernoulliBackoff admission probability
+
+  // Live cleaning pass: selection sampling (mode 0) or coin flips (mode 1).
+  uint64_t pass_pool = 0;  // groups not yet examined in this pass
+  uint64_t pass_keep = 0;  // groups still to keep
+  bool coin_pass = false;  // mode 1 intra-window cleaning: keep w.p. 1/2
+  bool final_armed = false;
+
+  uint64_t cleanings_this_window = 0;
+};
+
+Status RegisterReservoirSfunPackage();
+
+}  // namespace streamop
+
+#endif  // STREAMOP_CORE_SFUN_RESERVOIR_H_

@@ -1,0 +1,61 @@
+// The subset-sum sampling stateful-function package (§6.2/§6.5), the exact
+// set of functions the paper added to the Gigascope runtime library:
+//
+//   STATE subsetsum_sampling_state;
+//   SFUN ssample(x, N [, beta [, relax_factor [, z0 [, mode]]]])  -- WHERE
+//        (mode: 0 = counter admission per §4.4, 1 = probabilistic DLT)
+//   SFUN ssdo_clean(count_distinct)                      -- CLEANING WHEN
+//   SFUN ssclean_with(weight)                            -- CLEANING BY
+//   SFUN ssfinal_clean(weight, count_distinct)           -- HAVING
+//   SFUN ssthreshold()                                   -- SELECT
+//   SFUN ssinit(N, ...)     -- WHERE (flow-integrated variant: admit all)
+//   SFUN sscleanings()                                   -- SELECT (stats)
+//
+// Semantics: basic threshold admission in WHERE; when the live sample
+// exceeds beta*N the threshold is adjusted aggressively and every retained
+// group is re-offered at the new threshold (ssclean_with), with weights
+// below the previous threshold standing in at z_prev; the window-final
+// cleaning enforces |S| <= N; and the closing threshold seeds the next
+// window's state — divided by relax_factor under the paper's *relaxed*
+// scheme (relax_factor = 1 reproduces the original, non-relaxed algorithm).
+
+#ifndef STREAMOP_CORE_SFUN_SUBSET_SUM_H_
+#define STREAMOP_CORE_SFUN_SUBSET_SUM_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "sampling/threshold_core.h"
+
+namespace streamop {
+
+/// The shared state behind the ss* functions. Exposed in a header so that
+/// tests and the engine can introspect it (the paper prints the same
+/// counters from its instrumented runs).
+struct SubsetSumSfunState {
+  ThresholdSamplerCore admit{1.0};  // stream admission at current z
+  ThresholdSamplerCore clean{1.0};  // re-offer core during a cleaning phase
+  double z_prev = 1.0;              // threshold before the latest adjustment
+  double initial_z = 1.0;
+
+  uint64_t target = 0;       // N; 0 until the first ssample call sets it
+  double beta = 2.0;         // cleaning trigger at beta*N
+  double relax_factor = 1.0; // 1 = non-relaxed; paper uses f = 10
+  ThresholdMode mode = ThresholdMode::kCounter;
+  uint64_t seed = 1;         // per-supergroup RNG stream
+  uint64_t rng_seq = 0;      // derives fresh streams for cleaning cores
+
+  uint64_t large_count = 0;  // B: admitted weights exceeding z
+  uint64_t cleanings_this_window = 0;
+  uint64_t admitted_this_window = 0;
+
+  bool final_adjust_done = false;  // first ssfinal_clean call latch
+  bool final_pass_through = false; // window ended with |S| <= N
+};
+
+/// Registers the package with SfunRegistry::Global(); idempotent.
+Status RegisterSubsetSumSfunPackage();
+
+}  // namespace streamop
+
+#endif  // STREAMOP_CORE_SFUN_SUBSET_SUM_H_

@@ -1,0 +1,135 @@
+#include "core/superagg.h"
+
+#include "common/string_util.h"
+
+namespace streamop {
+
+bool LookupSuperAggKind(const std::string& name, SuperAggKind* kind) {
+  if (EqualsIgnoreCase(name, "count_distinct")) {
+    *kind = SuperAggKind::kCountDistinct;
+    return true;
+  }
+  if (EqualsIgnoreCase(name, "kth_smallest_value") ||
+      EqualsIgnoreCase(name, "kth_smallest")) {
+    *kind = SuperAggKind::kKthSmallest;
+    return true;
+  }
+  if (EqualsIgnoreCase(name, "kth_largest_value") ||
+      EqualsIgnoreCase(name, "kth_largest")) {
+    *kind = SuperAggKind::kKthLargest;
+    return true;
+  }
+  if (EqualsIgnoreCase(name, "sum")) {
+    *kind = SuperAggKind::kSum;
+    return true;
+  }
+  if (EqualsIgnoreCase(name, "count")) {
+    *kind = SuperAggKind::kCount;
+    return true;
+  }
+  if (EqualsIgnoreCase(name, "first")) {
+    *kind = SuperAggKind::kFirst;
+    return true;
+  }
+  return false;
+}
+
+void SuperAggState::OnTuple(const Value& v) {
+  switch (spec_->kind) {
+    case SuperAggKind::kSum:
+      acc_.Update(v);
+      break;
+    case SuperAggKind::kCount:
+      ++tuple_count_;
+      break;
+    case SuperAggKind::kFirst:
+      if (!has_first_) {
+        first_ = v;
+        has_first_ = true;
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void SuperAggState::OnGroupCreated(const GroupKey& key) {
+  switch (spec_->kind) {
+    case SuperAggKind::kCountDistinct:
+      ++group_count_;
+      break;
+    case SuperAggKind::kKthSmallest:
+    case SuperAggKind::kKthLargest:
+      if (spec_->group_by_slot >= 0 &&
+          static_cast<size_t>(spec_->group_by_slot) < key.size()) {
+        values_.emplace(key.at(static_cast<size_t>(spec_->group_by_slot)), 0);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void SuperAggState::OnGroupRemoved(const GroupKey& key,
+                                   const Value& shadow_value) {
+  switch (spec_->kind) {
+    case SuperAggKind::kCountDistinct:
+      if (group_count_ > 0) --group_count_;
+      break;
+    case SuperAggKind::kKthSmallest:
+    case SuperAggKind::kKthLargest: {
+      if (spec_->group_by_slot >= 0 &&
+          static_cast<size_t>(spec_->group_by_slot) < key.size()) {
+        auto it =
+            values_.find(key.at(static_cast<size_t>(spec_->group_by_slot)));
+        if (it != values_.end()) values_.erase(it);
+      }
+      break;
+    }
+    case SuperAggKind::kSum:
+      if (!shadow_value.is_null()) {
+        acc_.Subtract(shadow_value);  // sum is subtractable
+      }
+      break;
+    case SuperAggKind::kCount:
+      if (!shadow_value.is_null()) {
+        uint64_t c = shadow_value.AsUInt();
+        tuple_count_ = tuple_count_ >= c ? tuple_count_ - c : 0;
+      }
+      break;
+    case SuperAggKind::kFirst:
+      break;  // first$ is insensitive to removal
+  }
+}
+
+Value SuperAggState::Final() const {
+  switch (spec_->kind) {
+    case SuperAggKind::kCountDistinct:
+      return Value::UInt(group_count_);
+    case SuperAggKind::kKthSmallest: {
+      if (values_.size() < spec_->k || spec_->k == 0) {
+        return Value::UInt(UINT64_MAX);
+      }
+      auto it = values_.begin();
+      std::advance(it, static_cast<long>(spec_->k - 1));
+      return it->first;
+    }
+    case SuperAggKind::kKthLargest: {
+      if (values_.size() < spec_->k || spec_->k == 0) {
+        return Value::UInt(0);
+      }
+      auto it = values_.rbegin();
+      std::advance(it, static_cast<long>(spec_->k - 1));
+      return it->first;
+    }
+    case SuperAggKind::kSum:
+      return acc_.Final();
+    case SuperAggKind::kCount:
+      return Value::UInt(tuple_count_);
+    case SuperAggKind::kFirst:
+      return has_first_ ? first_ : Value::Null();
+  }
+  return Value::Null();
+}
+
+}  // namespace streamop

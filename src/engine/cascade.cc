@@ -1,0 +1,64 @@
+#include "engine/cascade.h"
+
+namespace streamop {
+
+Result<std::unique_ptr<CascadeRuntime>> CascadeRuntime::Create(
+    const std::vector<std::string>& sqls, const Catalog& base_catalog,
+    const AnalyzerOptions& options) {
+  if (sqls.empty()) {
+    return Status::InvalidArgument("a cascade needs at least one stage");
+  }
+  auto runtime = std::unique_ptr<CascadeRuntime>(new CascadeRuntime());
+  Catalog catalog = base_catalog;
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    AnalyzerOptions stage_options = options;
+    stage_options.seed = options.seed + i * 0x9e37;  // distinct RNG streams
+    STREAMOP_ASSIGN_OR_RETURN(CompiledQuery cq,
+                              CompileQuery(sqls[i], catalog, stage_options));
+    SchemaPtr out = cq.output_schema();
+    // Register this stage's output as S<i> for the next stage's FROM.
+    auto named = std::make_shared<Schema>("S" + std::to_string(i),
+                                          out->fields());
+    STREAMOP_RETURN_NOT_OK(catalog.RegisterStream(named));
+    runtime->stages_.push_back(
+        std::make_unique<QueryNode>("stage" + std::to_string(i), cq));
+    runtime->output_schema_ = named;
+  }
+  return runtime;
+}
+
+Status CascadeRuntime::Propagate(size_t from, std::vector<Tuple> rows) {
+  for (size_t i = from; i < stages_.size() && !rows.empty(); ++i) {
+    for (const Tuple& t : rows) {
+      STREAMOP_RETURN_NOT_OK(stages_[i]->Push(t));
+    }
+    if (i + 1 == stages_.size()) return Status::OK();  // keep final output
+    rows = stages_[i]->DrainOutput();
+  }
+  return Status::OK();
+}
+
+Status CascadeRuntime::Push(const Tuple& t) {
+  STREAMOP_RETURN_NOT_OK(stages_[0]->Push(t));
+  if (stages_.size() == 1) return Status::OK();
+  std::vector<Tuple> rows = stages_[0]->DrainOutput();
+  return Propagate(1, std::move(rows));
+}
+
+Status CascadeRuntime::Finish() {
+  // Close stages front to back so that each stage's tail output still flows
+  // through the rest of the pipeline.
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    STREAMOP_RETURN_NOT_OK(stages_[i]->Finish());
+    if (i + 1 < stages_.size()) {
+      STREAMOP_RETURN_NOT_OK(Propagate(i + 1, stages_[i]->DrainOutput()));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<Tuple> CascadeRuntime::DrainOutput() {
+  return stages_.back()->DrainOutput();
+}
+
+}  // namespace streamop

@@ -1,0 +1,59 @@
+// CascadeRuntime — "cascading one type of stream sampling inside a
+// different type of stream sampling", the ongoing work §8 announces.
+//
+// A cascade is a chain of queries: stage 0 consumes a base stream; the
+// output of stage i (registered in the catalog as "S<i>", with window-
+// defining ordering propagated into its schema) is the input of stage i+1.
+// Example: a heavy-hitter query feeding a reservoir query samples uniformly
+// from the heavy hitters; a flow-building stage feeding subset-sum sampling
+// is the paper's "sampled flows" pipeline in its two-phase form.
+
+#ifndef STREAMOP_ENGINE_CASCADE_H_
+#define STREAMOP_ENGINE_CASCADE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/query_node.h"
+#include "query/query.h"
+
+namespace streamop {
+
+class CascadeRuntime {
+ public:
+  /// Compiles the stage queries. `sqls[0]` must reference a stream of
+  /// `base_catalog`; `sqls[i]` (i > 0) may additionally reference "S<i-1>",
+  /// the previous stage's output.
+  static Result<std::unique_ptr<CascadeRuntime>> Create(
+      const std::vector<std::string>& sqls, const Catalog& base_catalog,
+      const AnalyzerOptions& options = {});
+
+  /// Feeds one base-stream tuple through every stage.
+  Status Push(const Tuple& t);
+
+  /// End of stream: closes every stage's final window in order, flushing
+  /// each stage's tail output into the next.
+  Status Finish();
+
+  /// Output rows of the final stage.
+  std::vector<Tuple> DrainOutput();
+
+  size_t num_stages() const { return stages_.size(); }
+  QueryNode& stage(size_t i) { return *stages_[i]; }
+  SchemaPtr output_schema() const { return output_schema_; }
+
+ private:
+  CascadeRuntime() = default;
+
+  // Pushes `rows` into stages [from..end), cascading intermediate output.
+  Status Propagate(size_t from, std::vector<Tuple> rows);
+
+  std::vector<std::unique_ptr<QueryNode>> stages_;
+  SchemaPtr output_schema_;
+};
+
+}  // namespace streamop
+
+#endif  // STREAMOP_ENGINE_CASCADE_H_

@@ -1,0 +1,53 @@
+#include "engine/query_node.h"
+
+namespace streamop {
+
+QueryNode::QueryNode(std::string name, const CompiledQuery& query)
+    : name_(std::move(name)) {
+  if (query.kind == CompiledQueryKind::kSampling) {
+    sampling_ = std::make_unique<SamplingOperator>(query.sampling);
+  } else {
+    selection_ = std::make_unique<SelectionOperator>(query.selection);
+  }
+}
+
+Status QueryNode::Push(const Tuple& t) {
+  ++tuples_in_;
+  if (sampling_ != nullptr) {
+    STREAMOP_RETURN_NOT_OK(sampling_->Process(t));
+    std::vector<Tuple> rows = sampling_->DrainOutput();
+    tuples_out_ += rows.size();
+    for (Tuple& r : rows) output_.push_back(std::move(r));
+    return Status::OK();
+  }
+  Tuple out;
+  STREAMOP_ASSIGN_OR_RETURN(bool pass, selection_->Process(t, &out));
+  if (pass) {
+    ++tuples_out_;
+    output_.push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+Status QueryNode::Finish() {
+  if (sampling_ != nullptr) {
+    STREAMOP_RETURN_NOT_OK(sampling_->FinishStream());
+    std::vector<Tuple> rows = sampling_->DrainOutput();
+    tuples_out_ += rows.size();
+    for (Tuple& r : rows) output_.push_back(std::move(r));
+  }
+  return Status::OK();
+}
+
+std::vector<Tuple> QueryNode::DrainOutput() {
+  std::vector<Tuple> out = std::move(output_);
+  output_.clear();
+  return out;
+}
+
+const std::vector<WindowStats>& QueryNode::window_stats() const {
+  static const std::vector<WindowStats> kEmpty;
+  return sampling_ != nullptr ? sampling_->window_stats() : kEmpty;
+}
+
+}  // namespace streamop

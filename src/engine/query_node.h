@@ -1,0 +1,59 @@
+// QueryNode: one query in the Gigascope-style runtime — either a low-level
+// selection node (cheap filter / pre-sampler reading the packet ring
+// buffer) or a high-level node running the sampling operator.
+
+#ifndef STREAMOP_ENGINE_QUERY_NODE_H_
+#define STREAMOP_ENGINE_QUERY_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/sampling_operator.h"
+#include "query/analyzer.h"
+#include "query/selection_operator.h"
+
+namespace streamop {
+
+class QueryNode {
+ public:
+  QueryNode(std::string name, const CompiledQuery& query);
+
+  const std::string& name() const { return name_; }
+
+  /// Feeds one tuple; any resulting output rows accumulate internally.
+  Status Push(const Tuple& t);
+
+  /// End-of-stream: close the final window (sampling nodes).
+  Status Finish();
+
+  /// Removes and returns output rows produced so far.
+  std::vector<Tuple> DrainOutput();
+
+  uint64_t tuples_in() const { return tuples_in_; }
+  uint64_t tuples_out() const { return tuples_out_; }
+
+  /// Accumulated processing time, maintained by the runtime's stopwatch
+  /// (the node itself never reads the clock).
+  void AddCpuNanos(uint64_t ns) { cpu_ns_ += ns; }
+  uint64_t cpu_nanos() const { return cpu_ns_; }
+
+  bool is_sampling() const { return sampling_ != nullptr; }
+
+  /// Window statistics (sampling nodes only; empty otherwise).
+  const std::vector<WindowStats>& window_stats() const;
+
+ private:
+  std::string name_;
+  std::unique_ptr<SamplingOperator> sampling_;
+  std::unique_ptr<SelectionOperator> selection_;
+  std::vector<Tuple> output_;
+  uint64_t tuples_in_ = 0;
+  uint64_t tuples_out_ = 0;
+  uint64_t cpu_ns_ = 0;
+};
+
+}  // namespace streamop
+
+#endif  // STREAMOP_ENGINE_QUERY_NODE_H_

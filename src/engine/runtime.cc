@@ -1,0 +1,210 @@
+#include "engine/runtime.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "stream/stream_source.h"
+
+namespace streamop {
+
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+NodeReport MakeReport(const QueryNode& node, double stream_seconds) {
+  NodeReport r;
+  r.name = node.name();
+  r.tuples_in = node.tuples_in();
+  r.tuples_out = node.tuples_out();
+  r.cpu_seconds = static_cast<double>(node.cpu_nanos()) * 1e-9;
+  r.cpu_percent =
+      stream_seconds > 0.0 ? 100.0 * r.cpu_seconds / stream_seconds : 0.0;
+  return r;
+}
+
+}  // namespace
+
+TwoLevelRuntime::TwoLevelRuntime(const CompiledQuery& low,
+                                 const std::vector<CompiledQuery>& high,
+                                 Options options)
+    : options_(options) {
+  low_ = std::make_unique<QueryNode>("low", low);
+  for (size_t i = 0; i < high.size(); ++i) {
+    high_.push_back(
+        std::make_unique<QueryNode>("high" + std::to_string(i), high[i]));
+  }
+}
+
+Result<RunReport> TwoLevelRuntime::Run(const Trace& trace) {
+  RingBuffer<const PacketRecord*> ring(options_.ring_capacity);
+  const std::vector<PacketRecord>& packets = trace.packets();
+  size_t produced = 0;
+
+  std::vector<Tuple> low_out;
+  low_out.reserve(options_.batch_size);
+
+  while (produced < packets.size()) {
+    // Producer: fill the ring (pointers into the trace arena — no copy,
+    // matching Gigascope's zero-copy feed of low-level queries).
+    while (produced < packets.size() && ring.TryPush(&packets[produced])) {
+      ++produced;
+    }
+
+    // Low-level node: drain the ring in batches; packet->tuple conversion
+    // and selection both bill to the low node (these are the "memory copy"
+    // costs §7.2 attributes to low-level evaluation).
+    while (!ring.empty()) {
+      low_out.clear();
+      uint64_t t0 = NowNanos();
+      const PacketRecord* p = nullptr;
+      for (size_t i = 0; i < options_.batch_size && ring.TryPop(&p); ++i) {
+        STREAMOP_RETURN_NOT_OK(low_->Push(PacketToTuple(*p)));
+      }
+      std::vector<Tuple> rows = low_->DrainOutput();
+      low_->AddCpuNanos(NowNanos() - t0);
+      low_out = std::move(rows);
+
+      // High-level nodes consume the low node's output.
+      for (auto& node : high_) {
+        uint64_t h0 = NowNanos();
+        for (const Tuple& t : low_out) {
+          STREAMOP_RETURN_NOT_OK(node->Push(t));
+        }
+        node->AddCpuNanos(NowNanos() - h0);
+      }
+    }
+  }
+
+  // End of stream.
+  {
+    uint64_t t0 = NowNanos();
+    STREAMOP_RETURN_NOT_OK(low_->Finish());
+    std::vector<Tuple> rows = low_->DrainOutput();
+    low_->AddCpuNanos(NowNanos() - t0);
+    for (auto& node : high_) {
+      uint64_t h0 = NowNanos();
+      for (const Tuple& t : rows) {
+        STREAMOP_RETURN_NOT_OK(node->Push(t));
+      }
+      STREAMOP_RETURN_NOT_OK(node->Finish());
+      node->AddCpuNanos(NowNanos() - h0);
+    }
+  }
+
+  RunReport report;
+  report.stream_seconds = trace.DurationSec();
+  report.packets = packets.size();
+  report.low = MakeReport(*low_, report.stream_seconds);
+  for (auto& node : high_) {
+    report.high.push_back(MakeReport(*node, report.stream_seconds));
+  }
+  return report;
+}
+
+Result<RunReport> TwoLevelRuntime::RunThreaded(const Trace& trace) {
+  RingBuffer<const PacketRecord*> ring(options_.ring_capacity);
+  const std::vector<PacketRecord>& packets = trace.packets();
+  std::atomic<bool> done{false};
+  std::atomic<bool> abort{false};  // consumer error: stop producing
+
+  uint64_t wall0 = NowNanos();
+  std::thread producer([&] {
+    for (const PacketRecord& p : packets) {
+      while (!ring.TryPush(&p)) {
+        if (abort.load(std::memory_order_acquire)) return;
+        // The consumer is behind; yield instead of dropping (the paper's
+        // Gigascope drops under overload, but reproducible results matter
+        // more here than overload semantics).
+        std::this_thread::yield();
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  Status status;
+  {
+    const PacketRecord* p = nullptr;
+    for (;;) {
+      size_t popped = 0;
+      uint64_t t0 = NowNanos();
+      std::vector<Tuple> rows;
+      for (size_t i = 0; i < options_.batch_size && ring.TryPop(&p); ++i) {
+        ++popped;
+        status = low_->Push(PacketToTuple(*p));
+        if (!status.ok()) break;
+      }
+      if (!status.ok()) break;
+      rows = low_->DrainOutput();
+      low_->AddCpuNanos(NowNanos() - t0);
+      for (auto& node : high_) {
+        uint64_t h0 = NowNanos();
+        for (const Tuple& t : rows) {
+          status = node->Push(t);
+          if (!status.ok()) break;
+        }
+        node->AddCpuNanos(NowNanos() - h0);
+        if (!status.ok()) break;
+      }
+      if (!status.ok()) break;
+      if (popped == 0) {
+        if (done.load(std::memory_order_acquire) && ring.empty()) break;
+        std::this_thread::yield();
+      }
+    }
+    if (!status.ok()) abort.store(true, std::memory_order_release);
+  }
+  producer.join();
+  if (!status.ok()) return status;
+
+  // End of stream.
+  {
+    uint64_t t0 = NowNanos();
+    STREAMOP_RETURN_NOT_OK(low_->Finish());
+    std::vector<Tuple> rows = low_->DrainOutput();
+    low_->AddCpuNanos(NowNanos() - t0);
+    for (auto& node : high_) {
+      uint64_t h0 = NowNanos();
+      for (const Tuple& t : rows) {
+        STREAMOP_RETURN_NOT_OK(node->Push(t));
+      }
+      STREAMOP_RETURN_NOT_OK(node->Finish());
+      node->AddCpuNanos(NowNanos() - h0);
+    }
+  }
+
+  RunReport report;
+  report.stream_seconds = trace.DurationSec();
+  report.pipeline_seconds = static_cast<double>(NowNanos() - wall0) * 1e-9;
+  report.packets = packets.size();
+  report.low = MakeReport(*low_, report.stream_seconds);
+  for (auto& node : high_) {
+    report.high.push_back(MakeReport(*node, report.stream_seconds));
+  }
+  return report;
+}
+
+Result<SingleRunResult> RunQueryOverTrace(const CompiledQuery& query,
+                                          const Trace& trace,
+                                          const std::string& name) {
+  QueryNode node(name, query);
+  uint64_t t0 = NowNanos();
+  for (const PacketRecord& p : trace.packets()) {
+    STREAMOP_RETURN_NOT_OK(node.Push(PacketToTuple(p)));
+  }
+  STREAMOP_RETURN_NOT_OK(node.Finish());
+  node.AddCpuNanos(NowNanos() - t0);
+
+  SingleRunResult out;
+  out.report = MakeReport(node, trace.DurationSec());
+  out.output = node.DrainOutput();
+  out.windows = node.window_stats();
+  return out;
+}
+
+}  // namespace streamop

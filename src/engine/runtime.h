@@ -1,0 +1,95 @@
+// TwoLevelRuntime: the Gigascope execution architecture (§3, Fig. 1).
+//
+// Packets flow   trace arena -> ring buffer -> low-level node -> high-level
+// nodes. The low-level node is a selection (or pre-sampling selection)
+// query applied without copying off the ring buffer; its output tuples are
+// the only per-packet copies, which is why a selective low-level query
+// slashes total cost (Fig. 6). The runtime stopwatches each node and
+// reports %CPU relative to the stream's real-time duration — the paper's
+// metric of "fraction of one CPU consumed at line rate".
+
+#ifndef STREAMOP_ENGINE_RUNTIME_H_
+#define STREAMOP_ENGINE_RUNTIME_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/query_node.h"
+#include "net/trace_generator.h"
+#include "query/analyzer.h"
+#include "stream/ring_buffer.h"
+
+namespace streamop {
+
+/// Per-node outcome of a run.
+struct NodeReport {
+  std::string name;
+  uint64_t tuples_in = 0;
+  uint64_t tuples_out = 0;
+  double cpu_seconds = 0.0;
+  double cpu_percent = 0.0;  // 100 * cpu_seconds / stream_seconds
+};
+
+struct RunReport {
+  double stream_seconds = 0.0;    // the trace's wall-clock span
+  double pipeline_seconds = 0.0;  // RunThreaded: end-to-end wall time
+  uint64_t packets = 0;
+  NodeReport low;
+  std::vector<NodeReport> high;
+};
+
+/// Runtime tuning knobs.
+struct RuntimeOptions {
+  size_t ring_capacity = 1 << 16;
+  size_t batch_size = 512;
+};
+
+/// One low-level query feeding any number of high-level queries.
+class TwoLevelRuntime {
+ public:
+  using Options = RuntimeOptions;
+
+  /// `low` must be a selection query over the packet schema; each entry of
+  /// `high` consumes the low node's output schema (which, for the bundled
+  /// benchmarks, re-exposes the packet columns).
+  TwoLevelRuntime(const CompiledQuery& low,
+                  const std::vector<CompiledQuery>& high,
+                  RuntimeOptions options = RuntimeOptions());
+
+  /// Replays the trace through the pipeline. High-level node outputs are
+  /// retained and can be drained from the nodes afterwards.
+  Result<RunReport> Run(const Trace& trace);
+
+  /// Like Run(), but with true pipeline parallelism, the way Gigascope
+  /// deploys its query nodes: a producer thread feeds the ring buffer and
+  /// a consumer thread runs the low-level node + high-level operators.
+  /// Results are identical to Run() (the pipeline is deterministic); only
+  /// the wall-clock overlap differs. The report additionally carries the
+  /// end-to-end wall time in `pipeline_seconds`.
+  Result<RunReport> RunThreaded(const Trace& trace);
+
+  QueryNode& low_node() { return *low_; }
+  QueryNode& high_node(size_t i) { return *high_[i]; }
+  size_t num_high_nodes() const { return high_.size(); }
+
+ private:
+  Options options_;
+  std::unique_ptr<QueryNode> low_;
+  std::vector<std::unique_ptr<QueryNode>> high_;
+};
+
+/// Single-node convenience: run one query over a trace and report stats.
+struct SingleRunResult {
+  NodeReport report;
+  std::vector<Tuple> output;
+  std::vector<WindowStats> windows;
+};
+Result<SingleRunResult> RunQueryOverTrace(const CompiledQuery& query,
+                                          const Trace& trace,
+                                          const std::string& name = "query");
+
+}  // namespace streamop
+
+#endif  // STREAMOP_ENGINE_RUNTIME_H_

@@ -1,0 +1,172 @@
+#include "expr/aggregate.h"
+
+#include "common/string_util.h"
+
+namespace streamop {
+
+bool LookupAggregateKind(const std::string& name, AggregateKind* kind) {
+  struct Entry {
+    const char* name;
+    AggregateKind kind;
+  };
+  static constexpr Entry kEntries[] = {
+      {"sum", AggregateKind::kSum},   {"count", AggregateKind::kCount},
+      {"min", AggregateKind::kMin},   {"max", AggregateKind::kMax},
+      {"avg", AggregateKind::kAvg},   {"first", AggregateKind::kFirst},
+      {"last", AggregateKind::kLast}, {"quantile", AggregateKind::kQuantile},
+      {"median", AggregateKind::kQuantile},
+  };
+  for (const Entry& e : kEntries) {
+    if (EqualsIgnoreCase(e.name, name)) {
+      *kind = e.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ValueLess(const Value& v1, const Value& v2) {
+  if (v1.type() == FieldType::kString && v2.type() == FieldType::kString) {
+    return v1.string_value() < v2.string_value();
+  }
+  if (v1.type() == FieldType::kUInt && v2.type() == FieldType::kUInt) {
+    return v1.uint_value() < v2.uint_value();
+  }
+  if (v1.type() == FieldType::kInt && v2.type() == FieldType::kInt) {
+    return v1.int_value() < v2.int_value();
+  }
+  return v1.AsDouble() < v2.AsDouble();
+}
+
+void AggregateAccumulator::Update(const Value& v) {
+  ++count_;
+  switch (kind_) {
+    case AggregateKind::kCount:
+      break;
+    case AggregateKind::kSum:
+    case AggregateKind::kAvg:
+      if (v.type() == FieldType::kUInt) {
+        sum_u_ += v.uint_value();
+      } else {
+        all_uint_ = false;
+      }
+      sum_d_ += v.AsDouble();
+      break;
+    case AggregateKind::kMin:
+      if (!has_value_ || ValueLess(v, extremum_)) extremum_ = v;
+      has_value_ = true;
+      break;
+    case AggregateKind::kMax:
+      if (!has_value_ || ValueLess(extremum_, v)) extremum_ = v;
+      has_value_ = true;
+      break;
+    case AggregateKind::kFirst:
+      if (!has_value_) extremum_ = v;
+      has_value_ = true;
+      break;
+    case AggregateKind::kLast:
+      extremum_ = v;
+      has_value_ = true;
+      break;
+    case AggregateKind::kQuantile:
+      if (sketch_ == nullptr) {
+        sketch_ = std::make_unique<GkQuantileSketch>(0.005);
+      }
+      sketch_->Insert(v.AsDouble());
+      break;
+  }
+}
+
+Status AggregateAccumulator::Subtract(const Value& v) {
+  switch (kind_) {
+    case AggregateKind::kCount:
+      if (count_ > 0) --count_;
+      return Status::OK();
+    case AggregateKind::kSum:
+    case AggregateKind::kAvg:
+      if (count_ > 0) --count_;
+      if (v.type() == FieldType::kUInt) {
+        sum_u_ -= v.uint_value();
+      } else {
+        all_uint_ = false;
+      }
+      sum_d_ -= v.AsDouble();
+      return Status::OK();
+    default:
+      return Status::Unimplemented(
+          "aggregate is not subtractable (min/max/first/last/quantile)");
+  }
+}
+
+void AggregateAccumulator::Merge(const AggregateAccumulator& other) {
+  switch (kind_) {
+    case AggregateKind::kCount:
+      count_ += other.count_;
+      break;
+    case AggregateKind::kSum:
+    case AggregateKind::kAvg:
+      count_ += other.count_;
+      sum_u_ += other.sum_u_;
+      sum_d_ += other.sum_d_;
+      all_uint_ = all_uint_ && other.all_uint_;
+      break;
+    case AggregateKind::kMin:
+      if (other.has_value_ &&
+          (!has_value_ || ValueLess(other.extremum_, extremum_))) {
+        extremum_ = other.extremum_;
+        has_value_ = true;
+      }
+      count_ += other.count_;
+      break;
+    case AggregateKind::kMax:
+      if (other.has_value_ &&
+          (!has_value_ || ValueLess(extremum_, other.extremum_))) {
+        extremum_ = other.extremum_;
+        has_value_ = true;
+      }
+      count_ += other.count_;
+      break;
+    case AggregateKind::kFirst:
+      if (!has_value_ && other.has_value_) {
+        extremum_ = other.extremum_;
+        has_value_ = true;
+      }
+      count_ += other.count_;
+      break;
+    case AggregateKind::kLast:
+      if (other.has_value_) {
+        extremum_ = other.extremum_;
+        has_value_ = true;
+      }
+      count_ += other.count_;
+      break;
+    case AggregateKind::kQuantile:
+      // GK summaries are not merged here; re-accumulate instead.
+      count_ += other.count_;
+      break;
+  }
+}
+
+Value AggregateAccumulator::Final() const {
+  switch (kind_) {
+    case AggregateKind::kCount:
+      return Value::UInt(count_);
+    case AggregateKind::kSum:
+      if (count_ == 0) return Value::UInt(0);
+      return all_uint_ ? Value::UInt(sum_u_) : Value::Double(sum_d_);
+    case AggregateKind::kAvg:
+      if (count_ == 0) return Value::Double(0.0);
+      return Value::Double(sum_d_ / static_cast<double>(count_));
+    case AggregateKind::kMin:
+    case AggregateKind::kMax:
+    case AggregateKind::kFirst:
+    case AggregateKind::kLast:
+      return has_value_ ? extremum_ : Value::Null();
+    case AggregateKind::kQuantile:
+      if (sketch_ == nullptr) return Value::Null();
+      return Value::Double(sketch_->Query(param_));
+  }
+  return Value::Null();
+}
+
+}  // namespace streamop

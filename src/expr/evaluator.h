@@ -1,0 +1,43 @@
+// Interpreted expression evaluation against an EvalContext.
+//
+// The same analyzed expression may be evaluated in several contexts during
+// operator execution (per input tuple for WHERE, per supergroup for
+// CLEANING WHEN, per group for CLEANING BY / HAVING / SELECT); the context
+// simply exposes whichever sources are live at that point.
+
+#ifndef STREAMOP_EXPR_EVALUATOR_H_
+#define STREAMOP_EXPR_EVALUATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "expr/expr.h"
+#include "tuple/tuple.h"
+
+namespace streamop {
+
+/// The data sources an expression may read during one evaluation. Any
+/// member may be null if that source is not live in the current clause.
+struct EvalContext {
+  const Tuple* input = nullptr;              // raw stream tuple
+  const GroupKey* group_key = nullptr;       // computed group-by values
+  const std::vector<Value>* aggregates = nullptr;   // group aggregate finals
+  const std::vector<Value>* superaggs = nullptr;    // superaggregate finals
+  void* const* sfun_states = nullptr;        // state blobs by sfun_state_slot
+  size_t num_sfun_states = 0;
+};
+
+/// Evaluates an analyzed expression. Errors indicate bugs in analysis
+/// (unresolved reference) or runtime issues (division by zero).
+Result<Value> Evaluate(const Expr& expr, const EvalContext& ctx);
+
+/// Evaluates a predicate: null/absent -> true (an omitted clause always
+/// passes), otherwise truthiness of the result.
+Result<bool> EvaluatePredicate(const Expr* expr, const EvalContext& ctx);
+
+/// Compares two values with numeric cross-type promotion; returns -1/0/+1.
+int CompareValues(const Value& a, const Value& b);
+
+}  // namespace streamop
+
+#endif  // STREAMOP_EXPR_EVALUATOR_H_

@@ -1,0 +1,151 @@
+#include "expr/expr.h"
+
+namespace streamop {
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Literal(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Column(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->column_name = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Unary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->uop = op;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr Expr::Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bop = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Expr::Call(std::string name, std::vector<ExprPtr> args, bool is_super) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kCall;
+  e->func_name = std::move(name);
+  e->is_super = is_super;
+  e->children = std::move(args);
+  return e;
+}
+
+ExprPtr Expr::AggregateRef(int slot) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kAggregateRef;
+  e->agg_slot = slot;
+  return e;
+}
+
+ExprPtr Expr::SuperAggRef(int slot) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kSuperAggRef;
+  e->agg_slot = slot;
+  return e;
+}
+
+ExprPtr Expr::GroupByRef(std::string name, int slot) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->column_name = std::move(name);
+  e->source = RefSource::kGroupBy;
+  e->slot = slot;
+  return e;
+}
+
+ExprPtr Expr::InputRef(std::string name, int slot) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->column_name = std::move(name);
+  e->source = RefSource::kInput;
+  e->slot = slot;
+  return e;
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_shared<Expr>(*this);
+  for (ExprPtr& c : e->children) c = c->Clone();
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToString();
+    case ExprKind::kColumnRef:
+      return column_name;
+    case ExprKind::kUnary:
+      return (uop == UnaryOp::kNot ? "NOT " : "-") + children[0]->ToString();
+    case ExprKind::kBinary:
+      return "(" + children[0]->ToString() + " " + BinaryOpToString(bop) +
+             " " + children[1]->ToString() + ")";
+    case ExprKind::kCall:
+    case ExprKind::kScalarCall:
+    case ExprKind::kStatefulCall: {
+      std::string out = func_name;
+      if (is_super) out += "$";
+      out += "(";
+      if (star_arg) {
+        out += "*";
+      } else {
+        for (size_t i = 0; i < children.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += children[i]->ToString();
+        }
+      }
+      out += ")";
+      return out;
+    }
+    case ExprKind::kAggregateRef:
+      return "agg#" + std::to_string(agg_slot);
+    case ExprKind::kSuperAggRef:
+      return "superagg#" + std::to_string(agg_slot);
+  }
+  return "?";
+}
+
+}  // namespace streamop

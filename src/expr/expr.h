@@ -1,0 +1,117 @@
+// Expression AST shared by the parser, analyzer and interpreter.
+//
+// One concrete node type (Expr) carries a kind tag plus the union of
+// per-kind fields; the tree is immutable after analysis. The analyzer
+// resolves names: column references get a source + slot, function calls are
+// classified as scalar, aggregate, superaggregate or stateful, and
+// aggregate occurrences are rewritten into slot references.
+
+#ifndef STREAMOP_EXPR_EXPR_H_
+#define STREAMOP_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tuple/value.h"
+
+namespace streamop {
+
+struct ScalarFunctionDef;  // expr/scalar_function.h
+struct SfunDef;            // expr/stateful.h
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,     // unresolved name or resolved (source, slot)
+  kUnary,
+  kBinary,
+  kCall,          // unclassified function call (parser output)
+  kScalarCall,    // resolved scalar function
+  kStatefulCall,  // resolved stateful function (SFUN)
+  kAggregateRef,  // slot into the group's aggregate vector
+  kSuperAggRef,   // slot into the supergroup's superaggregate vector
+};
+
+enum class UnaryOp { kNot, kNeg };
+
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+const char* BinaryOpToString(BinaryOp op);
+
+/// Where a resolved column reference reads from at evaluation time.
+enum class RefSource {
+  kUnresolved,
+  kInput,    // the raw input tuple (schema field slot)
+  kGroupBy,  // the computed group-by key (group-by variable slot)
+};
+
+class Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+class Expr {
+ public:
+  ExprKind kind = ExprKind::kLiteral;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef
+  std::string column_name;
+  RefSource source = RefSource::kUnresolved;
+  int slot = -1;
+
+  // kUnary / kBinary
+  UnaryOp uop = UnaryOp::kNot;
+  BinaryOp bop = BinaryOp::kAdd;
+
+  // kCall / kScalarCall / kStatefulCall: callee name as written; `is_super`
+  // records a '$' suffix (superaggregate syntax). `star_arg` records f(*).
+  std::string func_name;
+  bool is_super = false;
+  bool star_arg = false;
+  const ScalarFunctionDef* scalar = nullptr;
+  const SfunDef* sfun = nullptr;
+  int sfun_state_slot = -1;
+
+  // kAggregateRef / kSuperAggRef
+  int agg_slot = -1;
+
+  // Operands / call arguments.
+  std::vector<ExprPtr> children;
+
+  // ----- constructors -----
+  static ExprPtr Literal(Value v);
+  static ExprPtr Column(std::string name);
+  static ExprPtr Unary(UnaryOp op, ExprPtr operand);
+  static ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Call(std::string name, std::vector<ExprPtr> args,
+                      bool is_super = false);
+  static ExprPtr AggregateRef(int slot);
+  static ExprPtr SuperAggRef(int slot);
+  static ExprPtr GroupByRef(std::string name, int slot);
+  static ExprPtr InputRef(std::string name, int slot);
+
+  /// Deep copy (analysis rewrites clones, leaving parser output intact).
+  ExprPtr Clone() const;
+
+  /// Unparses for error messages ("sum(len) + 1").
+  std::string ToString() const;
+};
+
+}  // namespace streamop
+
+#endif  // STREAMOP_EXPR_EXPR_H_

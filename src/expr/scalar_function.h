@@ -1,0 +1,44 @@
+// Scalar (stateless, per-call) function registry. These are the ordinary
+// runtime-library functions of the query language: UMAX, UMIN, H (the
+// min-hash hash), abs, ...
+
+#ifndef STREAMOP_EXPR_SCALAR_FUNCTION_H_
+#define STREAMOP_EXPR_SCALAR_FUNCTION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tuple/value.h"
+
+namespace streamop {
+
+struct ScalarFunctionDef {
+  std::string name;
+  int min_args = 0;
+  int max_args = 0;  // inclusive; -1 = variadic
+  std::function<Result<Value>(const std::vector<Value>&)> fn;
+};
+
+/// Global registry of scalar functions, populated with the builtins on
+/// first use. Lookup is case-insensitive.
+class ScalarFunctionRegistry {
+ public:
+  /// The process-wide registry instance.
+  static ScalarFunctionRegistry& Global();
+
+  /// Registers a function; fails if the name is taken.
+  Status Register(ScalarFunctionDef def);
+
+  /// Finds by name; nullptr if absent.
+  const ScalarFunctionDef* Find(const std::string& name) const;
+
+ private:
+  ScalarFunctionRegistry();
+  std::vector<ScalarFunctionDef> defs_;
+};
+
+}  // namespace streamop
+
+#endif  // STREAMOP_EXPR_SCALAR_FUNCTION_H_

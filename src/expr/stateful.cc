@@ -1,0 +1,48 @@
+#include "expr/stateful.h"
+
+#include "common/string_util.h"
+
+namespace streamop {
+
+SfunRegistry& SfunRegistry::Global() {
+  static SfunRegistry* instance = new SfunRegistry();
+  return *instance;
+}
+
+Status SfunRegistry::RegisterState(SfunStateDef def) {
+  if (FindState(def.name) != nullptr) {
+    return Status::AlreadyExists("SFUN state '" + def.name +
+                                 "' already registered");
+  }
+  states_.push_back(std::make_unique<SfunStateDef>(std::move(def)));
+  return Status::OK();
+}
+
+Status SfunRegistry::RegisterFunction(SfunDef def) {
+  if (FindFunction(def.name) != nullptr) {
+    return Status::AlreadyExists("stateful function '" + def.name +
+                                 "' already registered");
+  }
+  if (def.state == nullptr) {
+    return Status::InvalidArgument("stateful function '" + def.name +
+                                   "' has no state binding");
+  }
+  funcs_.push_back(std::make_unique<SfunDef>(std::move(def)));
+  return Status::OK();
+}
+
+const SfunStateDef* SfunRegistry::FindState(const std::string& name) const {
+  for (const auto& s : states_) {
+    if (EqualsIgnoreCase(s->name, name)) return s.get();
+  }
+  return nullptr;
+}
+
+const SfunDef* SfunRegistry::FindFunction(const std::string& name) const {
+  for (const auto& f : funcs_) {
+    if (EqualsIgnoreCase(f->name, name)) return f.get();
+  }
+  return nullptr;
+}
+
+}  // namespace streamop

@@ -1,0 +1,88 @@
+// STATEFUL functions (§6.2): collections of functions sharing a per-
+// supergroup state blob. This mirrors the paper's runtime API:
+//
+//   STATE char[50] subsetsum_sampling_state;
+//   SFUN int subsetsum_sampling_state ssample(int, CONST int);
+//   void _sfun_state_init_<state>(void* new_state, void* old_state);
+//   <ret> <name>(void* s, <params>);
+//
+// Differences from UDAFs, per the paper: stateful functions can produce
+// output many times during execution, and the state is modified only when
+// the functions sharing it are referenced. The `init` hook receives the
+// equivalent state from the previous time window (or nullptr for a brand
+// new supergroup) — this is how dynamic subset-sum sampling carries its
+// threshold across windows.
+
+#ifndef STREAMOP_EXPR_STATEFUL_H_
+#define STREAMOP_EXPR_STATEFUL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tuple/value.h"
+
+namespace streamop {
+
+/// Declaration of a shared state type (the STATE statement).
+struct SfunStateDef {
+  std::string name;
+  size_t size = 0;
+
+  /// Constructs the state in `state` (size bytes, suitably aligned).
+  /// `old_state` is the equivalent state from the previous time window, or
+  /// nullptr for a brand-new supergroup. `seed` derives per-supergroup RNG
+  /// streams.
+  void (*init)(void* state, const void* old_state, uint64_t seed) = nullptr;
+
+  /// Destroys the state (placement-delete of any embedded objects).
+  void (*destroy)(void* state) = nullptr;
+
+  /// Signals that the time window has finished (the paper's final_init);
+  /// may be nullptr when the state does not care.
+  void (*window_final)(void* state) = nullptr;
+};
+
+/// Declaration of one stateful function (the SFUN statement).
+struct SfunDef {
+  std::string name;
+  const SfunStateDef* state = nullptr;
+  int min_args = 0;
+  int max_args = 0;
+
+  /// The function body. `state` is the shared per-supergroup state.
+  Value (*call)(void* state, const Value* args, size_t nargs) = nullptr;
+};
+
+/// Registry of state types and stateful functions. The bundled sampling
+/// packages (subset-sum, reservoir, heavy-hitter helpers) register
+/// themselves here; users add their own with the same two calls.
+class SfunRegistry {
+ public:
+  static SfunRegistry& Global();
+
+  Status RegisterState(SfunStateDef def);
+  Status RegisterFunction(SfunDef def);
+
+  const SfunStateDef* FindState(const std::string& name) const;
+  const SfunDef* FindFunction(const std::string& name) const;
+
+ private:
+  SfunRegistry() = default;
+  // unique_ptr storage: resolved expressions and SfunDefs hold raw pointers
+  // into the registry, which must stay stable across later registrations.
+  std::vector<std::unique_ptr<SfunStateDef>> states_;
+  std::vector<std::unique_ptr<SfunDef>> funcs_;
+};
+
+/// Ensures the built-in sampling packages are registered (idempotent).
+/// Implemented in src/core (which owns the packages); declared here so the
+/// analyzer can trigger it without a dependency inversion.
+void EnsureBuiltinSfunPackagesRegistered();
+
+}  // namespace streamop
+
+#endif  // STREAMOP_EXPR_STATEFUL_H_

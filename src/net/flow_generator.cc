@@ -1,0 +1,97 @@
+#include "net/flow_generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/random.h"
+
+namespace streamop {
+
+Trace GenerateFlowTrace(const FlowTraceConfig& cfg) {
+  Pcg64 rng(cfg.seed);
+  ZipfDistribution src_zipf(cfg.num_src_addrs, cfg.zipf_s);
+  ZipfDistribution dst_zipf(cfg.num_dst_addrs, cfg.zipf_s);
+
+  std::vector<PacketRecord> packets;
+  const double duration = cfg.duration_sec;
+
+  auto sample_len = [&rng]() -> uint16_t {
+    double u = rng.NextDouble();
+    if (u < 0.5) return static_cast<uint16_t>(40 + rng.NextBounded(13));
+    if (u < 0.75) return static_cast<uint16_t>(400 + rng.NextBounded(301));
+    return static_cast<uint16_t>(1400 + rng.NextBounded(101));
+  };
+
+  // Legitimate flows.
+  double t = 0.0;
+  while (t < duration) {
+    t += rng.NextExponential(cfg.flow_arrival_per_sec);
+    if (t >= duration) break;
+    double pkts_d = rng.NextPareto(cfg.pareto_alpha, cfg.min_packets_per_flow);
+    if (pkts_d > cfg.max_packets_per_flow) pkts_d = cfg.max_packets_per_flow;
+    uint64_t pkts = static_cast<uint64_t>(pkts_d);
+    if (pkts == 0) pkts = 1;
+
+    PacketRecord proto{};
+    proto.src_ip = cfg.src_base + static_cast<uint32_t>(src_zipf.Sample(rng));
+    proto.dst_ip = cfg.dst_base + static_cast<uint32_t>(dst_zipf.Sample(rng));
+    proto.src_port = static_cast<uint16_t>(1024 + rng.NextBounded(64000));
+    proto.dst_port = static_cast<uint16_t>(80 + rng.NextBounded(16));
+    proto.proto = kProtoTcp;
+
+    double pt = t;
+    for (uint64_t i = 0; i < pkts && pt < duration; ++i) {
+      PacketRecord p = proto;
+      p.ts_ns = static_cast<uint64_t>(pt * 1e9);
+      p.len = sample_len();
+      packets.push_back(p);
+      pt += rng.NextExponential(1.0 / cfg.mean_packet_gap_sec);
+    }
+  }
+
+  // Attack: single-packet flows with spoofed sources and random ports.
+  if (cfg.attack_enabled) {
+    double at = cfg.attack_start_sec;
+    const double attack_end =
+        std::min(duration, cfg.attack_start_sec + cfg.attack_duration_sec);
+    while (at < attack_end) {
+      at += rng.NextExponential(cfg.attack_flows_per_sec);
+      if (at >= attack_end) break;
+      PacketRecord p{};
+      p.ts_ns = static_cast<uint64_t>(at * 1e9);
+      p.src_ip =
+          cfg.attack_src_base + static_cast<uint32_t>(rng.NextBounded(1 << 24));
+      p.dst_ip = cfg.attack_dst;
+      p.src_port = static_cast<uint16_t>(rng.NextBounded(65536));
+      p.dst_port = 80;
+      p.proto = kProtoTcp;
+      p.len = static_cast<uint16_t>(40 + rng.NextBounded(21));  // SYN-sized
+      packets.push_back(p);
+    }
+  }
+
+  std::sort(packets.begin(), packets.end(),
+            [](const PacketRecord& a, const PacketRecord& b) {
+              return a.ts_ns < b.ts_ns;
+            });
+  return Trace(std::move(packets));
+}
+
+FlowWindowTruth ComputeFlowTruth(const Trace& trace, uint64_t window_sec) {
+  FlowWindowTruth out;
+  std::vector<std::unordered_set<uint64_t>> flows;
+  for (const PacketRecord& p : trace.packets()) {
+    uint64_t w = p.ts_sec() / window_sec;
+    if (w >= flows.size()) {
+      flows.resize(w + 1);
+      out.bytes_per_window.resize(w + 1, 0);
+    }
+    flows[w].insert(FlowKeyOf(p).Hash());
+    out.bytes_per_window[w] += p.len;
+  }
+  out.flows_per_window.reserve(flows.size());
+  for (const auto& s : flows) out.flows_per_window.push_back(s.size());
+  return out;
+}
+
+}  // namespace streamop

@@ -1,0 +1,61 @@
+// Flow-structured trace generation: packets grouped into flows with
+// heavy-tailed sizes, plus an optional DDoS phase that floods the link with
+// single-packet flows — the condition §8 of the paper describes, where a
+// naive flow-aggregation query "requires an enormous number of groups,
+// exhausts the available memory, and fails" while the flow-integrated
+// sampling query keeps its group table bounded.
+
+#ifndef STREAMOP_NET_FLOW_GENERATOR_H_
+#define STREAMOP_NET_FLOW_GENERATOR_H_
+
+#include <cstdint>
+
+#include "net/trace_generator.h"
+
+namespace streamop {
+
+struct FlowTraceConfig {
+  double duration_sec = 60.0;
+  uint64_t seed = 42;
+
+  // Legitimate traffic: flows arrive as a Poisson process; each flow's
+  // packet count is Pareto (heavy-tailed: most flows are mice, a few are
+  // elephants) and its packets are spaced exponentially.
+  double flow_arrival_per_sec = 150.0;
+  double pareto_alpha = 1.3;        // packet-count tail exponent
+  double min_packets_per_flow = 2;  // Pareto location
+  double max_packets_per_flow = 20000;
+  double mean_packet_gap_sec = 0.02;
+
+  // Address / port model for legitimate flows.
+  uint64_t num_src_addrs = 500;
+  uint64_t num_dst_addrs = 500;
+  double zipf_s = 1.1;
+  uint32_t src_base = 0x0a000000;  // 10.0.0.0
+  uint32_t dst_base = 0xc0a80000;  // 192.168.0.0
+
+  // Attack phase: single-packet flows with random spoofed sources and
+  // random ports, at `attack_flows_per_sec`, active during
+  // [attack_start_sec, attack_start_sec + attack_duration_sec).
+  bool attack_enabled = false;
+  double attack_start_sec = 20.0;
+  double attack_duration_sec = 20.0;
+  double attack_flows_per_sec = 20000.0;
+  uint32_t attack_src_base = 0x2d000000;  // 45.0.0.0/8 spoof range
+  uint32_t attack_dst = 0xc0a80001;       // the victim
+};
+
+/// Generates a time-sorted flow-structured trace.
+Trace GenerateFlowTrace(const FlowTraceConfig& config);
+
+/// Ground truth for flow experiments: number of distinct 5-tuple flows and
+/// total bytes per fixed window.
+struct FlowWindowTruth {
+  std::vector<uint64_t> flows_per_window;
+  std::vector<uint64_t> bytes_per_window;
+};
+FlowWindowTruth ComputeFlowTruth(const Trace& trace, uint64_t window_sec);
+
+}  // namespace streamop
+
+#endif  // STREAMOP_NET_FLOW_GENERATOR_H_

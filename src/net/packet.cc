@@ -1,0 +1,27 @@
+#include "net/packet.h"
+
+#include <cstdio>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace streamop {
+
+std::string PacketRecord::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%llu.%09llu %s:%u > %s:%u proto=%u len=%u",
+                static_cast<unsigned long long>(ts_ns / 1000000000ULL),
+                static_cast<unsigned long long>(ts_ns % 1000000000ULL),
+                FormatIpv4(src_ip).c_str(), src_port, FormatIpv4(dst_ip).c_str(),
+                dst_port, proto, len);
+  return buf;
+}
+
+uint64_t FlowKey::Hash() const {
+  uint64_t h = Mix64((static_cast<uint64_t>(src_ip) << 32) | dst_ip);
+  h = HashCombine(h, (static_cast<uint64_t>(src_port) << 32) |
+                         (static_cast<uint64_t>(dst_port) << 16) | proto);
+  return h;
+}
+
+}  // namespace streamop

@@ -1,0 +1,68 @@
+// PacketRecord: the fixed-width wire record produced by the synthetic
+// traffic generators and replayed through the ring buffer. It stands in for
+// the packet headers Gigascope sniffs off a NIC.
+
+#ifndef STREAMOP_NET_PACKET_H_
+#define STREAMOP_NET_PACKET_H_
+
+#include <cstdint>
+#include <string>
+
+namespace streamop {
+
+/// IP protocol numbers used by the generators.
+enum IpProto : uint8_t {
+  kProtoTcp = 6,
+  kProtoUdp = 17,
+  kProtoIcmp = 1,
+};
+
+/// One captured packet header. 24 bytes, trivially copyable; traces are
+/// flat arrays of these, replayed without per-packet allocation.
+struct PacketRecord {
+  uint64_t ts_ns;     // nanoseconds since trace start
+  uint32_t src_ip;
+  uint32_t dst_ip;
+  uint16_t src_port;
+  uint16_t dst_port;
+  uint16_t len;       // IP length in bytes (header + payload)
+  uint8_t proto;
+  uint8_t pad = 0;
+
+  /// Timestamp in whole seconds (the `time` attribute of the PKT schema).
+  uint64_t ts_sec() const { return ts_ns / 1000000000ULL; }
+
+  std::string ToString() const;
+};
+
+static_assert(sizeof(PacketRecord) == 24, "PacketRecord layout drift");
+
+/// 5-tuple flow key for flow-level aggregation.
+struct FlowKey {
+  uint32_t src_ip;
+  uint32_t dst_ip;
+  uint16_t src_port;
+  uint16_t dst_port;
+  uint8_t proto;
+
+  bool operator==(const FlowKey& o) const {
+    return src_ip == o.src_ip && dst_ip == o.dst_ip && src_port == o.src_port &&
+           dst_port == o.dst_port && proto == o.proto;
+  }
+
+  uint64_t Hash() const;
+};
+
+struct FlowKeyHash {
+  size_t operator()(const FlowKey& k) const {
+    return static_cast<size_t>(k.Hash());
+  }
+};
+
+inline FlowKey FlowKeyOf(const PacketRecord& p) {
+  return FlowKey{p.src_ip, p.dst_ip, p.src_port, p.dst_port, p.proto};
+}
+
+}  // namespace streamop
+
+#endif  // STREAMOP_NET_PACKET_H_

@@ -1,0 +1,566 @@
+#include "query/analyzer.h"
+
+#include "common/string_util.h"
+#include "expr/scalar_function.h"
+#include "expr/stateful.h"
+
+namespace streamop {
+
+namespace {
+
+// Which clause an expression is being analyzed for; governs the legal
+// reference sources (see §5's operator semantics).
+enum class Clause {
+  kGroupBy,       // input columns + scalar functions only
+  kWhere,         // input, group-by vars, sfuns, superaggs
+  kCleaningWhen,  // like WHERE (evaluated per tuple against the supergroup)
+  kCleaningBy,    // group-by vars, aggregates, sfuns, superaggs
+  kHaving,        // like CLEANING BY
+  kSelect,        // like CLEANING BY
+  kAggArg,        // aggregate argument: evaluated per tuple at update time
+  kSelectionWhere,   // ungrouped query: input + sfuns
+  kSelectionSelect,  // ungrouped query: input + sfuns
+};
+
+const char* ClauseName(Clause c) {
+  switch (c) {
+    case Clause::kGroupBy:
+      return "GROUP BY";
+    case Clause::kWhere:
+      return "WHERE";
+    case Clause::kCleaningWhen:
+      return "CLEANING WHEN";
+    case Clause::kCleaningBy:
+      return "CLEANING BY";
+    case Clause::kHaving:
+      return "HAVING";
+    case Clause::kSelect:
+      return "SELECT";
+    case Clause::kAggArg:
+      return "aggregate argument";
+    case Clause::kSelectionWhere:
+      return "WHERE";
+    case Clause::kSelectionSelect:
+      return "SELECT";
+  }
+  return "?";
+}
+
+bool ClauseAllowsInput(Clause c) {
+  return c == Clause::kGroupBy || c == Clause::kWhere ||
+         c == Clause::kCleaningWhen || c == Clause::kAggArg ||
+         c == Clause::kSelectionWhere || c == Clause::kSelectionSelect;
+}
+
+bool ClauseAllowsGroupBy(Clause c) {
+  return c == Clause::kWhere || c == Clause::kCleaningWhen ||
+         c == Clause::kCleaningBy || c == Clause::kHaving ||
+         c == Clause::kSelect || c == Clause::kAggArg;
+}
+
+bool ClauseAllowsAggregates(Clause c) {
+  return c == Clause::kCleaningBy || c == Clause::kHaving ||
+         c == Clause::kSelect;
+}
+
+bool ClauseAllowsSuperAggs(Clause c) {
+  return c == Clause::kWhere || c == Clause::kCleaningWhen ||
+         c == Clause::kCleaningBy || c == Clause::kHaving ||
+         c == Clause::kSelect;
+}
+
+bool ClauseAllowsSfuns(Clause c) { return c != Clause::kGroupBy; }
+
+class Analyzer {
+ public:
+  Analyzer(const ParsedQuery& query, const Catalog& catalog,
+           const AnalyzerOptions& options)
+      : q_(query), catalog_(catalog), options_(options) {}
+
+  Result<CompiledQuery> Run() {
+    EnsureBuiltinSfunPackagesRegistered();
+    STREAMOP_ASSIGN_OR_RETURN(schema_, catalog_.Find(q_.from));
+    if (q_.group_by.empty()) return RunSelection();
+    return RunSampling();
+  }
+
+ private:
+  // ---------- ungrouped (selection) queries ----------
+
+  Result<CompiledQuery> RunSelection() {
+    if (q_.having != nullptr || q_.cleaning_when != nullptr ||
+        q_.cleaning_by != nullptr || !q_.supergroup.empty()) {
+      return Status::AnalysisError(
+          "HAVING/SUPERGROUP/CLEANING clauses require a GROUP BY clause");
+    }
+    auto plan = std::make_shared<SelectionPlan>();
+    plan->input_schema = schema_;
+    plan->seed = options_.seed;
+    if (q_.where != nullptr) {
+      STREAMOP_ASSIGN_OR_RETURN(
+          plan->where, Rewrite(q_.where->Clone(), Clause::kSelectionWhere));
+    }
+    std::vector<Field> out_fields;
+    for (const SelectItem& item : q_.select) {
+      STREAMOP_ASSIGN_OR_RETURN(
+          ExprPtr e, Rewrite(item.expr->Clone(), Clause::kSelectionSelect));
+      std::string name = OutputName(item);
+      // Ordering propagates through monotone projections so that a
+      // downstream (cascaded) query can still infer windows.
+      Ordering ord = IsOrderedExpr(*e) ? Ordering::kIncreasing : Ordering::kNone;
+      plan->select_exprs.push_back(std::move(e));
+      plan->output_names.push_back(name);
+      out_fields.push_back({name, FieldType::kNull, ord});
+    }
+    plan->sfun_states = sfun_states_;
+    plan->output_schema =
+        std::make_shared<Schema>("result", std::move(out_fields));
+    CompiledQuery out;
+    out.kind = CompiledQueryKind::kSelection;
+    out.selection = std::move(plan);
+    return out;
+  }
+
+  // ---------- grouped (sampling) queries ----------
+
+  Result<CompiledQuery> RunSampling() {
+    if ((q_.cleaning_when == nullptr) != (q_.cleaning_by == nullptr)) {
+      return Status::AnalysisError(
+          "CLEANING WHEN and CLEANING BY must be used together");
+    }
+    auto plan = std::make_shared<SamplingQueryPlan>();
+    plan->input_schema = schema_;
+    plan->seed = options_.seed;
+
+    // GROUP BY items: resolve over the input schema, name the variables,
+    // and infer which are ordered (window-defining).
+    for (const SelectItem& item : q_.group_by) {
+      STREAMOP_ASSIGN_OR_RETURN(ExprPtr e,
+                                Rewrite(item.expr->Clone(), Clause::kGroupBy));
+      std::string name = OutputName(item);
+      for (const std::string& existing : plan->group_by_names) {
+        if (EqualsIgnoreCase(existing, name)) {
+          return Status::AnalysisError("duplicate group-by variable '" + name +
+                                       "'");
+        }
+      }
+      plan->group_by_ordered.push_back(IsOrderedExpr(*e));
+      plan->group_by_exprs.push_back(std::move(e));
+      plan->group_by_names.push_back(std::move(name));
+    }
+    plan_ = plan.get();
+
+    // SUPERGROUP: each name must be a group-by variable; ordered variables
+    // are implicitly part of every supergroup and are dropped from the key.
+    for (const std::string& name : q_.supergroup) {
+      int slot = -1;
+      for (size_t i = 0; i < plan->group_by_names.size(); ++i) {
+        if (EqualsIgnoreCase(plan->group_by_names[i], name)) {
+          slot = static_cast<int>(i);
+          break;
+        }
+      }
+      if (slot < 0) {
+        return Status::AnalysisError(
+            "SUPERGROUP variable '" + name +
+            "' is not a group-by variable (supergroups are a subset of the "
+            "GROUP BY list)");
+      }
+      if (!plan->group_by_ordered[static_cast<size_t>(slot)]) {
+        plan->supergroup_slots.push_back(slot);
+      }
+    }
+
+    if (q_.where != nullptr) {
+      STREAMOP_ASSIGN_OR_RETURN(plan->where,
+                                Rewrite(q_.where->Clone(), Clause::kWhere));
+    }
+    if (q_.cleaning_when != nullptr) {
+      STREAMOP_ASSIGN_OR_RETURN(
+          plan->cleaning_when,
+          Rewrite(q_.cleaning_when->Clone(), Clause::kCleaningWhen));
+    }
+    if (q_.cleaning_by != nullptr) {
+      STREAMOP_ASSIGN_OR_RETURN(
+          plan->cleaning_by,
+          Rewrite(q_.cleaning_by->Clone(), Clause::kCleaningBy));
+    }
+    if (q_.having != nullptr) {
+      STREAMOP_ASSIGN_OR_RETURN(plan->having,
+                                Rewrite(q_.having->Clone(), Clause::kHaving));
+    }
+
+    std::vector<Field> out_fields;
+    for (const SelectItem& item : q_.select) {
+      STREAMOP_ASSIGN_OR_RETURN(ExprPtr e,
+                                Rewrite(item.expr->Clone(), Clause::kSelect));
+      std::string name = OutputName(item);
+      // A projected ordered group-by variable (e.g. tb) keeps its ordering
+      // in the output schema, so cascaded queries can window on it.
+      Ordering ord = Ordering::kNone;
+      if (e->kind == ExprKind::kColumnRef && e->source == RefSource::kGroupBy &&
+          e->slot >= 0 &&
+          plan->group_by_ordered[static_cast<size_t>(e->slot)]) {
+        ord = Ordering::kIncreasing;
+      }
+      plan->select_exprs.push_back(std::move(e));
+      plan->output_names.push_back(name);
+      out_fields.push_back({name, FieldType::kNull, ord});
+    }
+
+    plan->aggregates = std::move(aggregates_);
+    plan->superaggs = std::move(superaggs_);
+    plan->sfun_states = std::move(sfun_states_);
+    plan->output_schema =
+        std::make_shared<Schema>("result", std::move(out_fields));
+
+    CompiledQuery out;
+    out.kind = CompiledQueryKind::kSampling;
+    out.sampling = std::move(plan);
+    return out;
+  }
+
+  // ---------- shared machinery ----------
+
+  std::string OutputName(const SelectItem& item) const {
+    if (!item.alias.empty()) return item.alias;
+    if (item.expr->kind == ExprKind::kColumnRef) return item.expr->column_name;
+    return item.expr->ToString();
+  }
+
+  // A group-by expression is ordered (window-defining) when it is a
+  // monotone arithmetic image of an ordered input attribute: the attribute
+  // itself, or +,-,*,/ with a literal (time/20). Modulo and function calls
+  // destroy monotonicity.
+  bool IsOrderedExpr(const Expr& e) const {
+    switch (e.kind) {
+      case ExprKind::kColumnRef:
+        if (e.source == RefSource::kInput && e.slot >= 0) {
+          return schema_->field(static_cast<size_t>(e.slot)).ordering !=
+                 Ordering::kNone;
+        }
+        return false;
+      case ExprKind::kBinary:
+        if (e.bop == BinaryOp::kAdd || e.bop == BinaryOp::kSub ||
+            e.bop == BinaryOp::kMul || e.bop == BinaryOp::kDiv) {
+          bool l_lit = e.children[0]->kind == ExprKind::kLiteral;
+          bool r_lit = e.children[1]->kind == ExprKind::kLiteral;
+          if (r_lit) return IsOrderedExpr(*e.children[0]);
+          if (l_lit && e.bop != BinaryOp::kSub && e.bop != BinaryOp::kDiv) {
+            return IsOrderedExpr(*e.children[1]);
+          }
+        }
+        return false;
+      default:
+        return false;
+    }
+  }
+
+  // Finds a group-by variable by name; -1 if absent.
+  int FindGroupByVar(const std::string& name) const {
+    if (plan_ == nullptr) return -1;
+    for (size_t i = 0; i < plan_->group_by_names.size(); ++i) {
+      if (EqualsIgnoreCase(plan_->group_by_names[i], name)) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  Result<ExprPtr> ResolveColumn(ExprPtr e, Clause clause) {
+    if (ClauseAllowsGroupBy(clause)) {
+      int slot = FindGroupByVar(e->column_name);
+      if (slot >= 0) {
+        e->source = RefSource::kGroupBy;
+        e->slot = slot;
+        return e;
+      }
+    }
+    if (ClauseAllowsInput(clause)) {
+      int slot = schema_->FieldIndex(e->column_name);
+      if (slot >= 0) {
+        e->source = RefSource::kInput;
+        e->slot = slot;
+        return e;
+      }
+    }
+    return Status::AnalysisError("unknown column or variable '" +
+                                 e->column_name + "' in " + ClauseName(clause) +
+                                 " clause");
+  }
+
+  // Registers (or reuses) an aggregate spec; returns its slot.
+  Result<int> AddAggregate(AggregateKind kind, ExprPtr arg, bool star,
+                           const std::string& display, double param = 0.0) {
+    for (size_t i = 0; i < aggregates_.size(); ++i) {
+      if (aggregates_[i].kind == kind && aggregates_[i].display == display) {
+        return static_cast<int>(i);
+      }
+    }
+    AggregateSpec spec;
+    spec.kind = kind;
+    spec.arg = std::move(arg);
+    spec.star = star;
+    spec.param = param;
+    spec.display = display;
+    aggregates_.push_back(std::move(spec));
+    return static_cast<int>(aggregates_.size() - 1);
+  }
+
+  Result<ExprPtr> RewriteAggregateCall(ExprPtr e, Clause clause) {
+    if (!ClauseAllowsAggregates(clause)) {
+      return Status::AnalysisError("aggregate '" + e->func_name +
+                                   "' is not allowed in the " +
+                                   std::string(ClauseName(clause)) + " clause");
+    }
+    AggregateKind kind;
+    LookupAggregateKind(e->func_name, &kind);  // caller checked
+    std::string display = e->ToString();
+    ExprPtr arg;
+    bool star = e->star_arg;
+    double param = 0.0;
+    if (kind == AggregateKind::kQuantile) {
+      // quantile(x, phi) with literal phi in [0, 1]; median(x) = 0.5.
+      bool is_median = EqualsIgnoreCase(e->func_name, "median");
+      size_t want = is_median ? 1 : 2;
+      if (star || e->children.size() != want) {
+        return Status::AnalysisError(
+            is_median ? "median(x) takes exactly one argument"
+                      : "quantile(x, phi) takes exactly two arguments");
+      }
+      if (is_median) {
+        param = 0.5;
+      } else {
+        if (e->children[1]->kind != ExprKind::kLiteral) {
+          return Status::AnalysisError(
+              "the phi of quantile(x, phi) must be a literal");
+        }
+        param = e->children[1]->literal.AsDouble();
+        if (param < 0.0 || param > 1.0) {
+          return Status::AnalysisError("quantile phi must be in [0, 1]");
+        }
+      }
+      STREAMOP_ASSIGN_OR_RETURN(arg, Rewrite(e->children[0], Clause::kAggArg));
+      STREAMOP_ASSIGN_OR_RETURN(
+          int qslot,
+          AddAggregate(kind, std::move(arg), false, display, param));
+      return Expr::AggregateRef(qslot);
+    }
+    if (!star) {
+      if (e->children.size() != 1) {
+        return Status::AnalysisError("aggregate '" + e->func_name +
+                                     "' takes exactly one argument");
+      }
+      STREAMOP_ASSIGN_OR_RETURN(arg,
+                                Rewrite(e->children[0], Clause::kAggArg));
+    } else if (kind != AggregateKind::kCount) {
+      return Status::AnalysisError("only count(*) may use '*'");
+    }
+    STREAMOP_ASSIGN_OR_RETURN(int slot,
+                              AddAggregate(kind, std::move(arg), star, display));
+    return Expr::AggregateRef(slot);
+  }
+
+  Result<ExprPtr> RewriteSuperAggCall(ExprPtr e, Clause clause) {
+    if (!ClauseAllowsSuperAggs(clause)) {
+      return Status::AnalysisError("superaggregate '" + e->func_name +
+                                   "$' is not allowed in the " +
+                                   std::string(ClauseName(clause)) + " clause");
+    }
+    SuperAggKind kind;
+    if (!LookupSuperAggKind(e->func_name, &kind)) {
+      return Status::AnalysisError("unknown superaggregate '" + e->func_name +
+                                   "$'");
+    }
+    std::string display = e->ToString();
+    for (size_t i = 0; i < superaggs_.size(); ++i) {
+      if (superaggs_[i].display == display) {
+        return Expr::SuperAggRef(static_cast<int>(i));
+      }
+    }
+
+    SuperAggSpec spec;
+    spec.kind = kind;
+    spec.display = display;
+    switch (kind) {
+      case SuperAggKind::kCountDistinct:
+        if (!e->children.empty()) {
+          return Status::AnalysisError(
+              "count_distinct$ takes no arguments (use count_distinct$(*))");
+        }
+        break;
+      case SuperAggKind::kKthSmallest:
+      case SuperAggKind::kKthLargest: {
+        if (e->children.size() != 2) {
+          return Status::AnalysisError(
+              "kth_smallest/kth_largest$(var, k) take exactly two arguments");
+        }
+        if (e->children[0]->kind != ExprKind::kColumnRef) {
+          return Status::AnalysisError(
+              "the first argument of kth_smallest_value$ must be a group-by "
+              "variable");
+        }
+        int slot = FindGroupByVar(e->children[0]->column_name);
+        if (slot < 0) {
+          return Status::AnalysisError(
+              "kth_smallest_value$ argument '" + e->children[0]->column_name +
+              "' is not a group-by variable");
+        }
+        spec.group_by_slot = slot;
+        if (e->children[1]->kind != ExprKind::kLiteral) {
+          return Status::AnalysisError(
+              "the k of kth_smallest_value$ must be a literal");
+        }
+        spec.k = e->children[1]->literal.AsUInt();
+        if (spec.k == 0) {
+          return Status::AnalysisError("kth_smallest_value$ requires k >= 1");
+        }
+        break;
+      }
+      case SuperAggKind::kSum:
+      case SuperAggKind::kFirst: {
+        if (e->children.size() != 1) {
+          return Status::AnalysisError("superaggregate '" + e->func_name +
+                                       "$' takes exactly one argument");
+        }
+        STREAMOP_ASSIGN_OR_RETURN(spec.arg,
+                                  Rewrite(e->children[0], Clause::kAggArg));
+        if (kind == SuperAggKind::kSum) {
+          // Shadow group aggregate: subtracted when a cleaning phase
+          // removes a group.
+          STREAMOP_ASSIGN_OR_RETURN(
+              spec.shadow_agg_slot,
+              AddAggregate(AggregateKind::kSum, spec.arg->Clone(), false,
+                           "__shadow_" + display));
+        }
+        break;
+      }
+      case SuperAggKind::kCount: {
+        if (!e->children.empty() && !e->star_arg) {
+          return Status::AnalysisError("count$ takes no arguments");
+        }
+        STREAMOP_ASSIGN_OR_RETURN(
+            spec.shadow_agg_slot,
+            AddAggregate(AggregateKind::kCount, nullptr, true,
+                         "__shadow_" + display));
+        break;
+      }
+    }
+    superaggs_.push_back(std::move(spec));
+    return Expr::SuperAggRef(static_cast<int>(superaggs_.size() - 1));
+  }
+
+  Result<ExprPtr> RewriteStatefulCall(ExprPtr e, const SfunDef* def,
+                                      Clause clause) {
+    if (!ClauseAllowsSfuns(clause)) {
+      return Status::AnalysisError("stateful function '" + e->func_name +
+                                   "' is not allowed in the " +
+                                   std::string(ClauseName(clause)) + " clause");
+    }
+    int nargs = static_cast<int>(e->children.size());
+    if (nargs < def->min_args || nargs > def->max_args) {
+      return Status::AnalysisError(
+          "stateful function '" + e->func_name + "' expects between " +
+          std::to_string(def->min_args) + " and " +
+          std::to_string(def->max_args) + " arguments, got " +
+          std::to_string(nargs));
+    }
+    for (ExprPtr& c : e->children) {
+      STREAMOP_ASSIGN_OR_RETURN(c, Rewrite(c, clause));
+    }
+    // Allocate (or reuse) the state slot for this function's state type.
+    int slot = -1;
+    for (size_t i = 0; i < sfun_states_.size(); ++i) {
+      if (sfun_states_[i] == def->state) {
+        slot = static_cast<int>(i);
+        break;
+      }
+    }
+    if (slot < 0) {
+      sfun_states_.push_back(def->state);
+      slot = static_cast<int>(sfun_states_.size() - 1);
+    }
+    e->kind = ExprKind::kStatefulCall;
+    e->sfun = def;
+    e->sfun_state_slot = slot;
+    return e;
+  }
+
+  Result<ExprPtr> RewriteCall(ExprPtr e, Clause clause) {
+    if (e->is_super) return RewriteSuperAggCall(std::move(e), clause);
+
+    AggregateKind agg_kind;
+    if (LookupAggregateKind(e->func_name, &agg_kind) &&
+        ClauseAllowsAggregates(clause)) {
+      return RewriteAggregateCall(std::move(e), clause);
+    }
+
+    const SfunDef* sfun = SfunRegistry::Global().FindFunction(e->func_name);
+    if (sfun != nullptr) return RewriteStatefulCall(std::move(e), sfun, clause);
+
+    const ScalarFunctionDef* scalar =
+        ScalarFunctionRegistry::Global().Find(e->func_name);
+    if (scalar != nullptr) {
+      int nargs = static_cast<int>(e->children.size());
+      if (nargs < scalar->min_args ||
+          (scalar->max_args >= 0 && nargs > scalar->max_args)) {
+        return Status::AnalysisError("function '" + e->func_name +
+                                     "' called with " + std::to_string(nargs) +
+                                     " arguments");
+      }
+      for (ExprPtr& c : e->children) {
+        STREAMOP_ASSIGN_OR_RETURN(c, Rewrite(c, clause));
+      }
+      e->kind = ExprKind::kScalarCall;
+      e->scalar = scalar;
+      return e;
+    }
+
+    if (LookupAggregateKind(e->func_name, &agg_kind)) {
+      return Status::AnalysisError("aggregate '" + e->func_name +
+                                   "' is not allowed in the " +
+                                   std::string(ClauseName(clause)) + " clause");
+    }
+    return Status::AnalysisError("unknown function '" + e->func_name + "'");
+  }
+
+  Result<ExprPtr> Rewrite(ExprPtr e, Clause clause) {
+    switch (e->kind) {
+      case ExprKind::kLiteral:
+        return e;
+      case ExprKind::kColumnRef:
+        return ResolveColumn(std::move(e), clause);
+      case ExprKind::kUnary:
+      case ExprKind::kBinary: {
+        for (ExprPtr& c : e->children) {
+          STREAMOP_ASSIGN_OR_RETURN(c, Rewrite(c, clause));
+        }
+        return e;
+      }
+      case ExprKind::kCall:
+        return RewriteCall(std::move(e), clause);
+      default:
+        return Status::Internal("unexpected analyzed node during analysis");
+    }
+  }
+
+  const ParsedQuery& q_;
+  const Catalog& catalog_;
+  const AnalyzerOptions& options_;
+  SchemaPtr schema_;
+  SamplingQueryPlan* plan_ = nullptr;  // filled progressively (group-by names)
+  std::vector<AggregateSpec> aggregates_;
+  std::vector<SuperAggSpec> superaggs_;
+  std::vector<const SfunStateDef*> sfun_states_;
+};
+
+}  // namespace
+
+Result<CompiledQuery> AnalyzeQuery(const ParsedQuery& query,
+                                   const Catalog& catalog,
+                                   const AnalyzerOptions& options) {
+  Analyzer a(query, catalog, options);
+  return a.Run();
+}
+
+}  // namespace streamop

@@ -1,0 +1,62 @@
+// Catalog: the set of named input streams a query may reference.
+
+#ifndef STREAMOP_QUERY_CATALOG_H_
+#define STREAMOP_QUERY_CATALOG_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/string_util.h"
+#include "tuple/schema.h"
+
+namespace streamop {
+
+class Catalog {
+ public:
+  Status RegisterStream(SchemaPtr schema) {
+    std::string key = AsciiToLower(schema->name());
+    if (streams_.count(key) > 0) {
+      return Status::AlreadyExists("stream '" + schema->name() +
+                                   "' already registered");
+    }
+    streams_.emplace(std::move(key), std::move(schema));
+    return Status::OK();
+  }
+
+  /// Registers an alias (e.g. both PKT and TCP map to the packet schema).
+  Status RegisterAlias(const std::string& alias, SchemaPtr schema) {
+    std::string key = AsciiToLower(alias);
+    if (streams_.count(key) > 0) {
+      return Status::AlreadyExists("stream '" + alias + "' already registered");
+    }
+    streams_.emplace(std::move(key), std::move(schema));
+    return Status::OK();
+  }
+
+  Result<SchemaPtr> Find(const std::string& name) const {
+    auto it = streams_.find(AsciiToLower(name));
+    if (it == streams_.end()) {
+      return Status::AnalysisError("unknown stream '" + name + "'");
+    }
+    return it->second;
+  }
+
+  /// A catalog pre-loaded with the packet schema under the names the paper
+  /// uses (PKT, PKTS, TCP).
+  static Catalog Default() {
+    Catalog c;
+    SchemaPtr pkt = MakePacketSchema();
+    (void)c.RegisterStream(pkt);
+    (void)c.RegisterAlias("PKTS", pkt);
+    (void)c.RegisterAlias("TCP", pkt);
+    return c;
+  }
+
+ private:
+  std::unordered_map<std::string, SchemaPtr> streams_;
+};
+
+}  // namespace streamop
+
+#endif  // STREAMOP_QUERY_CATALOG_H_

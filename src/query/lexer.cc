@@ -1,0 +1,302 @@
+#include "query/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace streamop {
+
+const char* TokenKindToString(TokenKind k) {
+  switch (k) {
+    case TokenKind::kEof:
+      return "end of input";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kIntLiteral:
+      return "integer literal";
+    case TokenKind::kFloatLiteral:
+      return "float literal";
+    case TokenKind::kStringLiteral:
+      return "string literal";
+    case TokenKind::kSelect:
+      return "SELECT";
+    case TokenKind::kFrom:
+      return "FROM";
+    case TokenKind::kWhere:
+      return "WHERE";
+    case TokenKind::kGroup:
+      return "GROUP";
+    case TokenKind::kBy:
+      return "BY";
+    case TokenKind::kSupergroup:
+      return "SUPERGROUP";
+    case TokenKind::kHaving:
+      return "HAVING";
+    case TokenKind::kCleaning:
+      return "CLEANING";
+    case TokenKind::kWhen:
+      return "WHEN";
+    case TokenKind::kAs:
+      return "AS";
+    case TokenKind::kAnd:
+      return "AND";
+    case TokenKind::kOr:
+      return "OR";
+    case TokenKind::kNot:
+      return "NOT";
+    case TokenKind::kTrue:
+      return "TRUE";
+    case TokenKind::kFalse:
+      return "FALSE";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kPercent:
+      return "'%'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'<>'";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kSemicolon:
+      return "';'";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Keyword {
+  const char* text;
+  TokenKind kind;
+};
+
+constexpr Keyword kKeywords[] = {
+    {"select", TokenKind::kSelect},         {"from", TokenKind::kFrom},
+    {"where", TokenKind::kWhere},           {"group", TokenKind::kGroup},
+    {"by", TokenKind::kBy},                 {"supergroup", TokenKind::kSupergroup},
+    {"having", TokenKind::kHaving},         {"cleaning", TokenKind::kCleaning},
+    {"when", TokenKind::kWhen},             {"as", TokenKind::kAs},
+    {"and", TokenKind::kAnd},               {"or", TokenKind::kOr},
+    {"not", TokenKind::kNot},               {"true", TokenKind::kTrue},
+    {"false", TokenKind::kFalse},
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = text.size();
+
+  auto push = [&](TokenKind kind, size_t offset) {
+    Token t;
+    t.kind = kind;
+    t.offset = offset;
+    out.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: -- to end of line.
+    if (c == '-' && i + 1 < n && text[i + 1] == '-') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(text[i])) ++i;
+      std::string word = text.substr(start, i - start);
+      std::string lower = AsciiToLower(word);
+      bool matched = false;
+      for (const Keyword& kw : kKeywords) {
+        if (lower == kw.text) {
+          // GROUP_BY is also written with an underscore in the paper; the
+          // lexer treats the fused form as GROUP BY.
+          push(kw.kind, start);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        if (lower == "group_by") {
+          push(TokenKind::kGroup, start);
+          push(TokenKind::kBy, start);
+        } else {
+          Token t;
+          t.kind = TokenKind::kIdentifier;
+          t.text = word;
+          t.offset = start;
+          if (i < n && text[i] == '$') {
+            t.has_dollar = true;
+            ++i;
+          }
+          out.push_back(std::move(t));
+        }
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      bool is_float = false;
+      if (i < n && text[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      }
+      if (i < n && (text[i] == 'e' || text[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (text[j] == '+' || text[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) {
+          is_float = true;
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) {
+            ++i;
+          }
+        }
+      }
+      Token t;
+      t.offset = start;
+      t.text = text.substr(start, i - start);
+      if (is_float) {
+        t.kind = TokenKind::kFloatLiteral;
+        t.float_value = std::strtod(t.text.c_str(), nullptr);
+      } else {
+        t.kind = TokenKind::kIntLiteral;
+        t.int_value = std::strtoull(t.text.c_str(), nullptr, 10);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string s;
+      while (i < n && text[i] != '\'') {
+        s.push_back(text[i]);
+        ++i;
+      }
+      if (i >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      ++i;  // closing quote
+      Token t;
+      t.kind = TokenKind::kStringLiteral;
+      t.text = std::move(s);
+      t.offset = start;
+      out.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case ',':
+        push(TokenKind::kComma, start);
+        ++i;
+        break;
+      case '(':
+        push(TokenKind::kLParen, start);
+        ++i;
+        break;
+      case ')':
+        push(TokenKind::kRParen, start);
+        ++i;
+        break;
+      case '*':
+        push(TokenKind::kStar, start);
+        ++i;
+        break;
+      case '+':
+        push(TokenKind::kPlus, start);
+        ++i;
+        break;
+      case '-':
+        push(TokenKind::kMinus, start);
+        ++i;
+        break;
+      case '/':
+        push(TokenKind::kSlash, start);
+        ++i;
+        break;
+      case '%':
+        push(TokenKind::kPercent, start);
+        ++i;
+        break;
+      case ';':
+        push(TokenKind::kSemicolon, start);
+        ++i;
+        break;
+      case '=':
+        push(TokenKind::kEq, start);
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenKind::kNe, start);
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '!' at offset " +
+                                    std::to_string(start));
+        }
+        break;
+      case '<':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenKind::kLe, start);
+          i += 2;
+        } else if (i + 1 < n && text[i + 1] == '>') {
+          push(TokenKind::kNe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenKind::kGe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, start);
+          ++i;
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+    }
+  }
+  push(TokenKind::kEof, n);
+  return out;
+}
+
+}  // namespace streamop

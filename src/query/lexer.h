@@ -1,0 +1,21 @@
+// Hand-written lexer for the query language. Keywords are case-insensitive;
+// identifiers keep their spelling. An identifier immediately followed by
+// '$' (count_distinct$) is marked as a superaggregate reference.
+
+#ifndef STREAMOP_QUERY_LEXER_H_
+#define STREAMOP_QUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/token.h"
+
+namespace streamop {
+
+/// Tokenizes the whole query text; the trailing token is always kEof.
+Result<std::vector<Token>> Lex(const std::string& text);
+
+}  // namespace streamop
+
+#endif  // STREAMOP_QUERY_LEXER_H_

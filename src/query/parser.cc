@@ -1,0 +1,296 @@
+#include "query/parser.h"
+
+#include "query/lexer.h"
+
+namespace streamop {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> ParseQuery() {
+    ParsedQuery q;
+    STREAMOP_RETURN_NOT_OK(Expect(TokenKind::kSelect));
+    STREAMOP_ASSIGN_OR_RETURN(q.select, ParseItemList());
+    STREAMOP_RETURN_NOT_OK(Expect(TokenKind::kFrom));
+    STREAMOP_ASSIGN_OR_RETURN(q.from, ExpectIdentifier("stream name"));
+
+    if (Accept(TokenKind::kWhere)) {
+      STREAMOP_ASSIGN_OR_RETURN(q.where, ParseExpr());
+    }
+    if (Accept(TokenKind::kGroup)) {
+      STREAMOP_RETURN_NOT_OK(Expect(TokenKind::kBy));
+      STREAMOP_ASSIGN_OR_RETURN(q.group_by, ParseItemList());
+    }
+    if (Accept(TokenKind::kSupergroup)) {
+      Accept(TokenKind::kBy);  // SUPERGROUP BY and SUPERGROUP both accepted
+      for (;;) {
+        STREAMOP_ASSIGN_OR_RETURN(std::string name,
+                                  ExpectIdentifier("supergroup variable"));
+        q.supergroup.push_back(std::move(name));
+        if (!Accept(TokenKind::kComma)) break;
+      }
+    }
+    if (Accept(TokenKind::kHaving)) {
+      STREAMOP_ASSIGN_OR_RETURN(q.having, ParseExpr());
+    }
+    while (Accept(TokenKind::kCleaning)) {
+      if (Accept(TokenKind::kWhen)) {
+        if (q.cleaning_when != nullptr) {
+          return Status::ParseError("duplicate CLEANING WHEN clause");
+        }
+        STREAMOP_ASSIGN_OR_RETURN(q.cleaning_when, ParseExpr());
+      } else if (Accept(TokenKind::kBy)) {
+        if (q.cleaning_by != nullptr) {
+          return Status::ParseError("duplicate CLEANING BY clause");
+        }
+        STREAMOP_ASSIGN_OR_RETURN(q.cleaning_by, ParseExpr());
+      } else {
+        return ErrorHere("expected WHEN or BY after CLEANING");
+      }
+    }
+    Accept(TokenKind::kSemicolon);
+    STREAMOP_RETURN_NOT_OK(Expect(TokenKind::kEof));
+    return q;
+  }
+
+  Result<ExprPtr> ParseBareExpression() {
+    STREAMOP_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    STREAMOP_RETURN_NOT_OK(Expect(TokenKind::kEof));
+    return e;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Accept(TokenKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return Status::ParseError(std::string("expected ") +
+                                TokenKindToString(kind) + " but found " +
+                                TokenKindToString(Peek().kind) + " at offset " +
+                                std::to_string(Peek().offset));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Status::ParseError(std::string("expected ") + what +
+                                " at offset " + std::to_string(Peek().offset));
+    }
+    return Advance().text;
+  }
+
+  Status ErrorHere(const std::string& msg) {
+    return Status::ParseError(msg + " at offset " +
+                              std::to_string(Peek().offset));
+  }
+
+  Result<std::vector<SelectItem>> ParseItemList() {
+    std::vector<SelectItem> items;
+    for (;;) {
+      SelectItem item;
+      STREAMOP_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (Accept(TokenKind::kAs)) {
+        STREAMOP_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+      }
+      items.push_back(std::move(item));
+      if (!Accept(TokenKind::kComma)) break;
+    }
+    return items;
+  }
+
+  // Precedence climbing: OR < AND < NOT < comparison < add < mul < unary.
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    STREAMOP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (Accept(TokenKind::kOr)) {
+      STREAMOP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Binary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    STREAMOP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (Accept(TokenKind::kAnd)) {
+      STREAMOP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = Expr::Binary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (Accept(TokenKind::kNot)) {
+      STREAMOP_ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
+      return Expr::Unary(UnaryOp::kNot, std::move(e));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    STREAMOP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    BinaryOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        op = BinaryOp::kEq;
+        break;
+      case TokenKind::kNe:
+        op = BinaryOp::kNe;
+        break;
+      case TokenKind::kLt:
+        op = BinaryOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = BinaryOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = BinaryOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = BinaryOp::kGe;
+        break;
+      default:
+        return lhs;
+    }
+    Advance();
+    STREAMOP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+    return Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    STREAMOP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    for (;;) {
+      BinaryOp op;
+      if (Peek().kind == TokenKind::kPlus) {
+        op = BinaryOp::kAdd;
+      } else if (Peek().kind == TokenKind::kMinus) {
+        op = BinaryOp::kSub;
+      } else {
+        return lhs;
+      }
+      Advance();
+      STREAMOP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    STREAMOP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    for (;;) {
+      BinaryOp op;
+      if (Peek().kind == TokenKind::kStar) {
+        op = BinaryOp::kMul;
+      } else if (Peek().kind == TokenKind::kSlash) {
+        op = BinaryOp::kDiv;
+      } else if (Peek().kind == TokenKind::kPercent) {
+        op = BinaryOp::kMod;
+      } else {
+        return lhs;
+      }
+      Advance();
+      STREAMOP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Accept(TokenKind::kMinus)) {
+      STREAMOP_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+      return Expr::Unary(UnaryOp::kNeg, std::move(e));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kIntLiteral:
+        Advance();
+        return Expr::Literal(Value::UInt(t.int_value));
+      case TokenKind::kFloatLiteral:
+        Advance();
+        return Expr::Literal(Value::Double(t.float_value));
+      case TokenKind::kStringLiteral:
+        Advance();
+        return Expr::Literal(Value::String(t.text));
+      case TokenKind::kTrue:
+        Advance();
+        return Expr::Literal(Value::Bool(true));
+      case TokenKind::kFalse:
+        Advance();
+        return Expr::Literal(Value::Bool(false));
+      case TokenKind::kLParen: {
+        Advance();
+        STREAMOP_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        STREAMOP_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+        return e;
+      }
+      case TokenKind::kIdentifier: {
+        Token id = Advance();
+        if (Peek().kind == TokenKind::kLParen) {
+          Advance();
+          ExprPtr call = Expr::Call(id.text, {}, id.has_dollar);
+          if (Accept(TokenKind::kStar)) {
+            call->star_arg = true;
+            STREAMOP_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+            return call;
+          }
+          if (!Accept(TokenKind::kRParen)) {
+            for (;;) {
+              STREAMOP_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+              call->children.push_back(std::move(arg));
+              if (!Accept(TokenKind::kComma)) break;
+            }
+            STREAMOP_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+          }
+          return call;
+        }
+        if (id.has_dollar) {
+          return Status::ParseError(
+              "'$' is only valid on a superaggregate call, near offset " +
+              std::to_string(id.offset));
+        }
+        return Expr::Column(id.text);
+      }
+      default:
+        return Status::ParseError(std::string("unexpected ") +
+                                  TokenKindToString(t.kind) +
+                                  " in expression at offset " +
+                                  std::to_string(t.offset));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedQuery> ParseQuery(const std::string& text) {
+  STREAMOP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser p(std::move(tokens));
+  return p.ParseQuery();
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  STREAMOP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser p(std::move(tokens));
+  return p.ParseBareExpression();
+}
+
+}  // namespace streamop

@@ -1,0 +1,43 @@
+// Recursive-descent parser producing the unanalyzed query AST.
+
+#ifndef STREAMOP_QUERY_PARSER_H_
+#define STREAMOP_QUERY_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/expr.h"
+
+namespace streamop {
+
+/// One SELECT or GROUP BY item: an expression with an optional alias.
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // empty when none given
+};
+
+/// The parsed (not yet analyzed) query.
+struct ParsedQuery {
+  std::vector<SelectItem> select;
+  std::string from;
+  ExprPtr where;
+  std::vector<SelectItem> group_by;
+  std::vector<std::string> supergroup;  // names of group-by variables
+  ExprPtr having;
+  ExprPtr cleaning_when;
+  ExprPtr cleaning_by;
+};
+
+/// Parses query text. Grammar (clauses in this order, [] optional):
+///   SELECT items FROM ident [WHERE expr] [GROUP BY items]
+///   [SUPERGROUP [BY] names] [HAVING expr]
+///   [CLEANING WHEN expr] [CLEANING BY expr] [;]
+Result<ParsedQuery> ParseQuery(const std::string& text);
+
+/// Parses a standalone expression (used by tests and the expression REPL).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace streamop
+
+#endif  // STREAMOP_QUERY_PARSER_H_

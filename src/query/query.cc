@@ -1,0 +1,14 @@
+#include "query/query.h"
+
+#include "query/parser.h"
+
+namespace streamop {
+
+Result<CompiledQuery> CompileQuery(const std::string& text,
+                                   const Catalog& catalog,
+                                   const AnalyzerOptions& options) {
+  STREAMOP_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(text));
+  return AnalyzeQuery(parsed, catalog, options);
+}
+
+}  // namespace streamop

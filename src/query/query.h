@@ -1,0 +1,25 @@
+// Public entry point: compile query text into an executable operator.
+//
+//   Catalog catalog = Catalog::Default();
+//   STREAMOP_ASSIGN_OR_RETURN(CompiledQuery q,
+//                             CompileQuery(sql, catalog, {.seed = 7}));
+//   SamplingOperator op(q.sampling);
+//   ... op.Process(tuple) ... op.FinishStream() ... op.DrainOutput();
+
+#ifndef STREAMOP_QUERY_QUERY_H_
+#define STREAMOP_QUERY_QUERY_H_
+
+#include <string>
+
+#include "query/analyzer.h"
+
+namespace streamop {
+
+/// Parses and analyzes `text` against `catalog`.
+Result<CompiledQuery> CompileQuery(const std::string& text,
+                                   const Catalog& catalog,
+                                   const AnalyzerOptions& options = {});
+
+}  // namespace streamop
+
+#endif  // STREAMOP_QUERY_QUERY_H_

@@ -1,0 +1,51 @@
+#include "query/selection_operator.h"
+
+#include "common/hash.h"
+#include "expr/evaluator.h"
+
+namespace streamop {
+
+SelectionOperator::SelectionOperator(std::shared_ptr<const SelectionPlan> plan)
+    : plan_(std::move(plan)) {
+  const size_t n = plan_->sfun_states.size();
+  blobs_.reserve(n);
+  states_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const SfunStateDef* def = plan_->sfun_states[i];
+    size_t words =
+        (def->size + sizeof(std::max_align_t) - 1) / sizeof(std::max_align_t);
+    blobs_.push_back(std::make_unique<std::max_align_t[]>(words));
+    void* mem = blobs_.back().get();
+    def->init(mem, nullptr, HashCombine(plan_->seed, i));
+    states_.push_back(mem);
+  }
+}
+
+SelectionOperator::~SelectionOperator() {
+  for (size_t i = 0; i < states_.size(); ++i) {
+    const SfunStateDef* def = plan_->sfun_states[i];
+    if (def->destroy != nullptr) def->destroy(states_[i]);
+  }
+}
+
+Result<bool> SelectionOperator::Process(const Tuple& input, Tuple* out) {
+  ++tuples_in_;
+  EvalContext ctx;
+  ctx.input = &input;
+  ctx.sfun_states = states_.data();
+  ctx.num_sfun_states = states_.size();
+  STREAMOP_ASSIGN_OR_RETURN(bool pass,
+                            EvaluatePredicate(plan_->where.get(), ctx));
+  if (!pass) return false;
+  ++tuples_out_;
+  std::vector<Value> row;
+  row.reserve(plan_->select_exprs.size());
+  for (const ExprPtr& e : plan_->select_exprs) {
+    STREAMOP_ASSIGN_OR_RETURN(Value v, Evaluate(*e, ctx));
+    row.push_back(std::move(v));
+  }
+  *out = Tuple(std::move(row));
+  return true;
+}
+
+}  // namespace streamop

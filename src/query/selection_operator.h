@@ -1,0 +1,58 @@
+// SelectionOperator: the ungrouped query form `SELECT exprs FROM s WHERE
+// pred`. This is what Gigascope's low-level query nodes run — a cheap
+// filter + projection straight off the ring buffer — and, with a stateful
+// function in the predicate (ssample), the "basic subset-sum sampling via a
+// user-defined function in a selection operator" baseline of Fig. 5.
+
+#ifndef STREAMOP_QUERY_SELECTION_OPERATOR_H_
+#define STREAMOP_QUERY_SELECTION_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/expr.h"
+#include "expr/stateful.h"
+#include "tuple/schema.h"
+#include "tuple/tuple.h"
+
+namespace streamop {
+
+struct SelectionPlan {
+  SchemaPtr input_schema;
+  std::vector<ExprPtr> select_exprs;
+  std::vector<std::string> output_names;
+  SchemaPtr output_schema;
+  ExprPtr where;
+  std::vector<const SfunStateDef*> sfun_states;  // one instance each
+  uint64_t seed = 1;
+};
+
+class SelectionOperator {
+ public:
+  explicit SelectionOperator(std::shared_ptr<const SelectionPlan> plan);
+  ~SelectionOperator();
+
+  SelectionOperator(const SelectionOperator&) = delete;
+  SelectionOperator& operator=(const SelectionOperator&) = delete;
+
+  /// Processes one tuple; returns true and fills *out when it passes the
+  /// WHERE clause.
+  Result<bool> Process(const Tuple& input, Tuple* out);
+
+  const SelectionPlan& plan() const { return *plan_; }
+  uint64_t tuples_in() const { return tuples_in_; }
+  uint64_t tuples_out() const { return tuples_out_; }
+
+ private:
+  std::shared_ptr<const SelectionPlan> plan_;
+  std::vector<std::unique_ptr<std::max_align_t[]>> blobs_;
+  std::vector<void*> states_;
+  uint64_t tuples_in_ = 0;
+  uint64_t tuples_out_ = 0;
+};
+
+}  // namespace streamop
+
+#endif  // STREAMOP_QUERY_SELECTION_OPERATOR_H_

@@ -1,0 +1,66 @@
+// Tokens of the extended query language (§5):
+//   SELECT ... FROM ... WHERE ... GROUP BY ... SUPERGROUP ... HAVING ...
+//   CLEANING WHEN ... CLEANING BY ...
+
+#ifndef STREAMOP_QUERY_TOKEN_H_
+#define STREAMOP_QUERY_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace streamop {
+
+enum class TokenKind {
+  kEof,
+  kIdentifier,   // possibly followed by '$' (superaggregate marker)
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,
+  // keywords
+  kSelect,
+  kFrom,
+  kWhere,
+  kGroup,
+  kBy,
+  kSupergroup,
+  kHaving,
+  kCleaning,
+  kWhen,
+  kAs,
+  kAnd,
+  kOr,
+  kNot,
+  kTrue,
+  kFalse,
+  // punctuation / operators
+  kComma,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,
+  kNe,       // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kSemicolon,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;       // identifier / literal spelling
+  bool has_dollar = false;  // identifier followed by '$'
+  uint64_t int_value = 0;
+  double float_value = 0.0;
+  size_t offset = 0;  // byte offset in the query text (for error messages)
+};
+
+const char* TokenKindToString(TokenKind k);
+
+}  // namespace streamop
+
+#endif  // STREAMOP_QUERY_TOKEN_H_

@@ -1,0 +1,79 @@
+// Uniform random sampling baselines: Bernoulli (coin-flip per tuple, the
+// semantics of Aurora's DROP operator / STREAM's SAMPLE keyword) and
+// systematic 1-in-k sampling. These are the "conventional random sampling"
+// the paper's richer samplers are compared against.
+
+#ifndef STREAMOP_SAMPLING_BERNOULLI_H_
+#define STREAMOP_SAMPLING_BERNOULLI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace streamop {
+
+/// Keeps each offered item independently with probability p. The
+/// Horvitz-Thompson estimate of any subset sum scales kept weights by 1/p.
+template <typename T>
+class BernoulliSampler {
+ public:
+  BernoulliSampler(double p, uint64_t seed) : p_(p), rng_(seed) {}
+
+  bool Offer(const T& item) {
+    ++offered_;
+    if (rng_.NextBernoulli(p_)) {
+      sample_.push_back(item);
+      return true;
+    }
+    return false;
+  }
+
+  double p() const { return p_; }
+  uint64_t offered() const { return offered_; }
+  const std::vector<T>& sample() const { return sample_; }
+
+  /// Scale factor for unbiased sum/count estimates from the sample.
+  double InverseInclusionProbability() const { return 1.0 / p_; }
+
+  void Clear() {
+    sample_.clear();
+    offered_ = 0;
+  }
+
+ private:
+  double p_;
+  Pcg64 rng_;
+  uint64_t offered_ = 0;
+  std::vector<T> sample_;
+};
+
+/// Deterministic 1-in-k systematic sampling with a random phase.
+template <typename T>
+class SystematicSampler {
+ public:
+  SystematicSampler(uint64_t k, uint64_t seed) : k_(k == 0 ? 1 : k) {
+    Pcg64 rng(seed);
+    phase_ = rng.NextBounded(k_);
+  }
+
+  bool Offer(const T& item) {
+    bool keep = (offered_ % k_) == phase_;
+    ++offered_;
+    if (keep) sample_.push_back(item);
+    return keep;
+  }
+
+  const std::vector<T>& sample() const { return sample_; }
+  uint64_t offered() const { return offered_; }
+
+ private:
+  uint64_t k_;
+  uint64_t phase_;
+  uint64_t offered_ = 0;
+  std::vector<T> sample_;
+};
+
+}  // namespace streamop
+
+#endif  // STREAMOP_SAMPLING_BERNOULLI_H_

@@ -1,0 +1,100 @@
+// Distinct sampling [Gibbons, VLDB 2001], the "distinct counts" algorithm
+// the paper cites in §2: maintain a uniform sample of the *distinct*
+// elements of a stream (with per-element occurrence counts) in bounded
+// space, by admitting an element iff its hash has at least `level` trailing
+// zero bits. When the sample outgrows its capacity the level is raised and
+// ineligible elements are purged — exactly the admit/clean template of the
+// sampling operator (the sfun package lives in src/core/sfun_distinct.*).
+//
+// Estimators: distinct count ~ |sample| * 2^level; rarity (fraction of
+// distinct elements occurring exactly once) from the sampled counts.
+
+#ifndef STREAMOP_SAMPLING_DISTINCT_H_
+#define STREAMOP_SAMPLING_DISTINCT_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace streamop {
+
+/// Number of trailing zero bits of a hash (64 for h == 0); the element's
+/// "sampling level" in Gibbons' scheme.
+inline uint32_t HashLevel(uint64_t h) {
+  if (h == 0) return 64;
+  return static_cast<uint32_t>(__builtin_ctzll(h));
+}
+
+class DistinctSampler {
+ public:
+  /// `capacity`: maximum number of distinct elements retained.
+  explicit DistinctSampler(size_t capacity, uint64_t hash_seed = 0)
+      : capacity_(capacity == 0 ? 1 : capacity), hash_seed_(hash_seed) {}
+
+  /// Processes one stream element.
+  void Offer(uint64_t element) {
+    uint64_t h = SeededHash64(element, hash_seed_);
+    if (HashLevel(h) < level_) return;
+    auto [it, inserted] = sample_.try_emplace(element, 0);
+    ++it->second;
+    if (inserted && sample_.size() > capacity_) RaiseLevel();
+  }
+
+  /// Unbiased estimate of the number of distinct elements seen.
+  double EstimateDistinctCount() const {
+    return static_cast<double>(sample_.size()) *
+           static_cast<double>(uint64_t{1} << level_);
+  }
+
+  /// Estimated fraction of distinct elements occurring exactly once,
+  /// computed over the uniform distinct-element sample.
+  double EstimateRarity() const {
+    if (sample_.empty()) return 0.0;
+    size_t singletons = 0;
+    for (const auto& [e, c] : sample_) {
+      if (c == 1) ++singletons;
+    }
+    return static_cast<double>(singletons) /
+           static_cast<double>(sample_.size());
+  }
+
+  uint32_t level() const { return level_; }
+  size_t size() const { return sample_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// element -> occurrence count for the retained distinct elements.
+  const std::unordered_map<uint64_t, uint64_t>& sample() const {
+    return sample_;
+  }
+
+  void Clear() {
+    sample_.clear();
+    level_ = 0;
+  }
+
+ private:
+  // Raises the level until the sample fits; each +1 halves the expected
+  // sample (elements whose hash lacks the extra trailing zero are purged).
+  void RaiseLevel() {
+    while (sample_.size() > capacity_ && level_ < 63) {
+      ++level_;
+      for (auto it = sample_.begin(); it != sample_.end();) {
+        if (HashLevel(SeededHash64(it->first, hash_seed_)) < level_) {
+          it = sample_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  size_t capacity_;
+  uint64_t hash_seed_;
+  uint32_t level_ = 0;
+  std::unordered_map<uint64_t, uint64_t> sample_;
+};
+
+}  // namespace streamop
+
+#endif  // STREAMOP_SAMPLING_DISTINCT_H_

@@ -1,0 +1,84 @@
+#include "sampling/gk_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streamop {
+
+GkQuantileSketch::GkQuantileSketch(double eps) : eps_(eps) {
+  if (eps_ <= 0.0) eps_ = 1e-4;
+  if (eps_ > 0.5) eps_ = 0.5;
+}
+
+void GkQuantileSketch::Insert(double v) {
+  // Locate the first entry with value >= v.
+  auto it = std::lower_bound(
+      tuples_.begin(), tuples_.end(), v,
+      [](const Entry& e, double val) { return e.v < val; });
+
+  Entry entry;
+  entry.v = v;
+  entry.g = 1;
+  if (it == tuples_.begin() || it == tuples_.end()) {
+    // New minimum or maximum: exact rank (delta = 0).
+    entry.delta = 0;
+  } else {
+    entry.delta =
+        static_cast<uint64_t>(std::floor(2.0 * eps_ * static_cast<double>(n_)));
+  }
+  tuples_.insert(it, entry);
+  ++n_;
+
+  // Compress periodically (every 1/(2 eps) insertions, the GK schedule).
+  if (++since_compress_ >= static_cast<uint64_t>(1.0 / (2.0 * eps_))) {
+    since_compress_ = 0;
+    Compress();
+  }
+}
+
+void GkQuantileSketch::Compress() {
+  if (tuples_.size() < 3) return;
+  const uint64_t threshold =
+      static_cast<uint64_t>(std::floor(2.0 * eps_ * static_cast<double>(n_)));
+  std::vector<Entry> out;
+  out.reserve(tuples_.size());
+  out.push_back(tuples_.front());
+  // Greedily merge entry i into its successor when the combined g stays
+  // within the invariant. The last entry (maximum) is always kept.
+  for (size_t i = 1; i + 1 < tuples_.size(); ++i) {
+    const Entry& cur = tuples_[i];
+    const Entry& next = tuples_[i + 1];
+    if (cur.g + next.g + next.delta <= threshold) {
+      // Merge cur into next: its gap transfers to the successor.
+      tuples_[i + 1].g += cur.g;
+    } else {
+      out.push_back(cur);
+    }
+  }
+  out.push_back(tuples_.back());
+  tuples_ = std::move(out);
+}
+
+double GkQuantileSketch::Query(double phi) const {
+  if (tuples_.empty()) return 0.0;
+  if (phi < 0.0) phi = 0.0;
+  if (phi > 1.0) phi = 1.0;
+  const double target = phi * static_cast<double>(n_);
+  const double slack = eps_ * static_cast<double>(n_);
+  uint64_t rmin = 0;
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    rmin += tuples_[i].g;
+    const double rmax = static_cast<double>(rmin + tuples_[i].delta);
+    if (rmax >= target - slack &&
+        static_cast<double>(rmin) <= target + slack) {
+      return tuples_[i].v;
+    }
+    if (static_cast<double>(rmin) > target + slack) {
+      // Overshot: the previous entry was the best candidate.
+      return tuples_[i > 0 ? i - 1 : 0].v;
+    }
+  }
+  return tuples_.back().v;
+}
+
+}  // namespace streamop

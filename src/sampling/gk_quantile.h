@@ -1,0 +1,63 @@
+// Greenwald-Khanna quantile summary (SIGMOD 2001) — §8's contrast case:
+// an algorithm whose compress phase merges *adjacent* samples and hence
+// does not fit the sampling operator's per-sample template; the paper
+// recommends running it as a stream UDAF instead. We provide it both as a
+// standalone sketch and as the quantile() aggregate function of the query
+// language (see expr/aggregate.*), closing that loop.
+//
+// The summary stores tuples (v, g, delta): v a seen value, g the gap in
+// minimum rank to the previous tuple, delta the rank uncertainty.
+// Invariant: g + delta <= floor(2 * eps * n) for interior tuples, which
+// guarantees any phi-quantile query is answered within rank error eps * n.
+
+#ifndef STREAMOP_SAMPLING_GK_QUANTILE_H_
+#define STREAMOP_SAMPLING_GK_QUANTILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace streamop {
+
+class GkQuantileSketch {
+ public:
+  /// eps: the rank-error bound (e.g. 0.01 -> ranks within 1% of n).
+  explicit GkQuantileSketch(double eps = 0.01);
+
+  /// Inserts one value.
+  void Insert(double v);
+
+  /// Value whose rank is within eps*n of phi*n. Returns 0 for an empty
+  /// sketch. phi is clamped to [0, 1].
+  double Query(double phi) const;
+
+  uint64_t count() const { return n_; }
+  size_t summary_size() const { return tuples_.size(); }
+  double eps() const { return eps_; }
+
+  void Clear() {
+    tuples_.clear();
+    n_ = 0;
+    since_compress_ = 0;
+  }
+
+ private:
+  struct Entry {
+    double v;
+    uint64_t g;
+    uint64_t delta;
+  };
+
+  // Merges adjacent entries whose combined uncertainty stays within the
+  // invariant — the "inter-sample communication" §8 points out.
+  void Compress();
+
+  double eps_;
+  uint64_t n_ = 0;
+  uint64_t since_compress_ = 0;
+  std::vector<Entry> tuples_;  // sorted by v
+};
+
+}  // namespace streamop
+
+#endif  // STREAMOP_SAMPLING_GK_QUANTILE_H_

@@ -1,0 +1,80 @@
+#include "sampling/kmv.h"
+
+#include <algorithm>
+
+namespace streamop {
+
+KMinHashSketch::KMinHashSketch(uint64_t k, uint64_t hash_seed)
+    : k_(k), hash_seed_(hash_seed) {}
+
+void KMinHashSketch::Offer(uint64_t element) {
+  ++offers_;
+  uint64_t h = SeededHash64(element, hash_seed_);
+  auto it = entries_.find(h);
+  if (it != entries_.end()) {
+    ++it->second;
+    return;
+  }
+  if (entries_.size() < k_) {
+    entries_.emplace(h, 1);
+    return;
+  }
+  auto last = std::prev(entries_.end());
+  if (h < last->first) {
+    entries_.erase(last);
+    entries_.emplace(h, 1);
+  }
+}
+
+std::vector<uint64_t> KMinHashSketch::MinValues() const {
+  std::vector<uint64_t> out;
+  out.reserve(entries_.size());
+  for (const auto& [h, cnt] : entries_) out.push_back(h);
+  return out;
+}
+
+double KMinHashSketch::EstimateDistinctCount() const {
+  if (entries_.size() < k_) return static_cast<double>(entries_.size());
+  uint64_t kth = std::prev(entries_.end())->first;
+  double u = (static_cast<double>(kth) + 1.0) / 18446744073709551616.0;  // 2^64
+  if (u <= 0.0) return static_cast<double>(entries_.size());
+  return (static_cast<double>(k_) - 1.0) / u;
+}
+
+double KMinHashSketch::EstimateResemblance(const KMinHashSketch& other) const {
+  // Merge the two sketches' values, take the k smallest of the union, and
+  // count how many appear in both sketches.
+  std::vector<uint64_t> a = MinValues();
+  std::vector<uint64_t> b = other.MinValues();
+  std::vector<uint64_t> merged;
+  merged.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(),
+             std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  size_t take = std::min<size_t>(k_, merged.size());
+  if (take == 0) return 1.0;  // two empty sets are identical
+  size_t in_both = 0;
+  for (size_t i = 0; i < take; ++i) {
+    uint64_t h = merged[i];
+    bool ina = std::binary_search(a.begin(), a.end(), h);
+    bool inb = std::binary_search(b.begin(), b.end(), h);
+    if (ina && inb) ++in_both;
+  }
+  return static_cast<double>(in_both) / static_cast<double>(take);
+}
+
+double KMinHashSketch::EstimateRarity() const {
+  if (entries_.empty()) return 0.0;
+  uint64_t singletons = 0;
+  for (const auto& [h, cnt] : entries_) {
+    if (cnt == 1) ++singletons;
+  }
+  return static_cast<double>(singletons) / static_cast<double>(entries_.size());
+}
+
+void KMinHashSketch::Clear() {
+  entries_.clear();
+  offers_ = 0;
+}
+
+}  // namespace streamop

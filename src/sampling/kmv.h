@@ -1,0 +1,62 @@
+// K-minimum-values (min-hash) sketch, §4.3: retain the k smallest hash
+// values of the distinct elements seen. From two sketches one estimates the
+// Broder resemblance |A∩B| / |A∪B|; from one sketch the distinct count and
+// — following Datar-Muthukrishnan — the rarity (fraction of distinct
+// elements that occur exactly once), by also tracking the multiplicity of
+// each retained element.
+
+#ifndef STREAMOP_SAMPLING_KMV_H_
+#define STREAMOP_SAMPLING_KMV_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace streamop {
+
+class KMinHashSketch {
+ public:
+  explicit KMinHashSketch(uint64_t k, uint64_t hash_seed = 0);
+
+  /// Processes one element (pre-hashed by the caller if it isn't a u64).
+  void Offer(uint64_t element);
+
+  uint64_t k() const { return k_; }
+  uint64_t hash_seed() const { return hash_seed_; }
+  size_t size() const { return entries_.size(); }
+  uint64_t distinct_offered_upper_bound() const { return offers_; }
+
+  /// The retained hash values, ascending.
+  std::vector<uint64_t> MinValues() const;
+
+  /// KMV distinct-count estimator: (k-1) / U_(k) with U_(k) the kth
+  /// smallest hash normalized to (0,1]. Falls back to the exact count while
+  /// fewer than k distinct elements have been seen.
+  double EstimateDistinctCount() const;
+
+  /// Broder resemblance estimate of the element sets behind two sketches
+  /// (must share k and hash seed): |MinValues(A ∪ B) ∩ A_sketch ∩ B_sketch|
+  /// / k, the standard k-minimum-values coincidence estimator.
+  double EstimateResemblance(const KMinHashSketch& other) const;
+
+  /// Rarity: fraction of distinct elements occurring exactly once,
+  /// estimated over the uniform distinct-element sample the sketch retains.
+  double EstimateRarity() const;
+
+  void Clear();
+
+ private:
+  // hash value -> multiplicity of the underlying element
+  using EntryMap = std::map<uint64_t, uint64_t>;
+
+  uint64_t k_;
+  uint64_t hash_seed_;
+  uint64_t offers_ = 0;
+  EntryMap entries_;  // at most k smallest, keyed by hash
+};
+
+}  // namespace streamop
+
+#endif  // STREAMOP_SAMPLING_KMV_H_

@@ -1,0 +1,105 @@
+// Manku-Motwani lossy counting ("Approximate frequency counts over data
+// streams", VLDB 2002), the heavy-hitters algorithm of §4.2.
+//
+// The stream is divided into buckets of width w = ceil(1/eps). Each entry
+// (e, f, delta) tracks element e with estimated count f and maximal
+// undercount delta. At every bucket boundary, entries with
+// f + delta <= b_current are pruned. Query(s) returns all elements with
+// f >= (s - eps) * N; guarantees: no element with true frequency >= s*N is
+// missed, and no element with true frequency < (s - eps)*N is returned.
+
+#ifndef STREAMOP_SAMPLING_LOSSY_COUNTING_H_
+#define STREAMOP_SAMPLING_LOSSY_COUNTING_H_
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace streamop {
+
+template <typename K, typename Hash = std::hash<K>>
+class LossyCounting {
+ public:
+  struct Entry {
+    K element;
+    uint64_t frequency;   // estimated count f
+    uint64_t max_error;   // delta
+  };
+
+  explicit LossyCounting(double epsilon)
+      : epsilon_(epsilon),
+        bucket_width_(static_cast<uint64_t>(std::ceil(1.0 / epsilon))) {}
+
+  /// Processes one stream element.
+  void Offer(const K& element) {
+    ++n_;
+    auto it = table_.find(element);
+    if (it != table_.end()) {
+      ++it->second.frequency;
+    } else {
+      table_.emplace(element,
+                     Counts{1, current_bucket_ > 0 ? current_bucket_ - 1 : 0});
+    }
+    if (n_ % bucket_width_ == 0) {
+      ++current_bucket_;
+      Prune();
+    }
+  }
+
+  /// All elements whose true frequency may be >= s*N (the guarantee set).
+  std::vector<Entry> Query(double support) const {
+    std::vector<Entry> out;
+    double threshold = (support - epsilon_) * static_cast<double>(n_);
+    for (const auto& [k, c] : table_) {
+      if (static_cast<double>(c.frequency) >= threshold) {
+        out.push_back(Entry{k, c.frequency, c.max_error});
+      }
+    }
+    return out;
+  }
+
+  /// Estimated frequency of one element (0 if not tracked).
+  uint64_t EstimateFrequency(const K& element) const {
+    auto it = table_.find(element);
+    return it == table_.end() ? 0 : it->second.frequency;
+  }
+
+  uint64_t stream_length() const { return n_; }
+  uint64_t current_bucket() const { return current_bucket_; }
+  size_t table_size() const { return table_.size(); }
+  double epsilon() const { return epsilon_; }
+  uint64_t bucket_width() const { return bucket_width_; }
+
+  void Clear() {
+    table_.clear();
+    n_ = 0;
+    current_bucket_ = 1;
+  }
+
+ private:
+  struct Counts {
+    uint64_t frequency;
+    uint64_t max_error;
+  };
+
+  void Prune() {
+    for (auto it = table_.begin(); it != table_.end();) {
+      if (it->second.frequency + it->second.max_error <= current_bucket_) {
+        it = table_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  double epsilon_;
+  uint64_t bucket_width_;
+  uint64_t n_ = 0;
+  uint64_t current_bucket_ = 1;
+  std::unordered_map<K, Counts, Hash> table_;
+};
+
+}  // namespace streamop
+
+#endif  // STREAMOP_SAMPLING_LOSSY_COUNTING_H_

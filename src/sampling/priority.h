@@ -1,0 +1,104 @@
+// Priority sampling [Duffield, Lund, Thorup, 2004] — the successor of
+// subset-sum sampling and the natural "extension" algorithm for this
+// operator (admission + cleaning fit the same template): each item of
+// weight w gets priority q = w / u with u uniform in (0,1]; the k highest
+// priorities are kept, and any subset sum is estimated by
+// sum(max(w_i, tau)) over kept subset members, where tau is the (k+1)st
+// highest priority.
+
+#ifndef STREAMOP_SAMPLING_PRIORITY_H_
+#define STREAMOP_SAMPLING_PRIORITY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/random.h"
+
+namespace streamop {
+
+template <typename T>
+class PrioritySampler {
+ public:
+  struct Kept {
+    T item;
+    double weight;
+    double priority;
+  };
+
+  PrioritySampler(uint64_t k, uint64_t seed) : k_(k), rng_(seed) {}
+
+  void Offer(const T& item, double weight) {
+    double u = rng_.NextDoubleOpen();
+    double q = weight / u;
+    if (heap_.size() < k_ + 1) {
+      heap_.push(Kept{item, weight, q});
+      return;
+    }
+    if (q > heap_.top().priority) {
+      heap_.pop();
+      heap_.push(Kept{item, weight, q});
+    }
+  }
+
+  /// Threshold tau: the smallest retained priority (the (k+1)st highest
+  /// overall once more than k items were offered); 0 before that.
+  double tau() const {
+    return heap_.size() > k_ ? heap_.top().priority : 0.0;
+  }
+
+  /// The k retained samples with their Horvitz-Thompson adjusted weights
+  /// max(w, tau). (The (k+1)st item defines tau and is not part of the
+  /// sample.)
+  std::vector<Kept> Samples() const {
+    std::vector<Kept> all = HeapContents();
+    std::sort(all.begin(), all.end(), [](const Kept& a, const Kept& b) {
+      return a.priority > b.priority;
+    });
+    if (all.size() > k_) all.resize(k_);
+    double t = tau();
+    for (Kept& s : all) s.weight = std::max(s.weight, t);
+    return all;
+  }
+
+  /// Unbiased estimate of the total weight offered.
+  double EstimateSum() const {
+    double s = 0.0;
+    for (const Kept& kpt : Samples()) s += kpt.weight;
+    return s;
+  }
+
+  size_t size() const { return std::min<size_t>(heap_.size(), k_); }
+
+  void Clear() {
+    while (!heap_.empty()) heap_.pop();
+  }
+
+ private:
+  struct MinByPriority {
+    bool operator()(const Kept& a, const Kept& b) const {
+      return a.priority > b.priority;  // min-heap on priority
+    }
+  };
+
+  std::vector<Kept> HeapContents() const {
+    // std::priority_queue hides its container; copy via a drain.
+    auto copy = heap_;
+    std::vector<Kept> out;
+    out.reserve(copy.size());
+    while (!copy.empty()) {
+      out.push_back(copy.top());
+      copy.pop();
+    }
+    return out;
+  }
+
+  uint64_t k_;
+  Pcg64 rng_;
+  std::priority_queue<Kept, std::vector<Kept>, MinByPriority> heap_;
+};
+
+}  // namespace streamop
+
+#endif  // STREAMOP_SAMPLING_PRIORITY_H_

@@ -1,0 +1,63 @@
+#include "sampling/reservoir.h"
+
+namespace streamop {
+
+ReservoirControl::ReservoirControl(uint64_t n, Mode mode, uint64_t seed)
+    : n_(n), mode_(mode), seed_(seed), rng_(seed) {
+  Reset();
+}
+
+void ReservoirControl::Reset() {
+  rng_ = Pcg64(seed_);
+  t_ = 0;
+  next_admit_ = 0;
+  w_ = 0.0;
+  if (mode_ == Mode::kSkip) {
+    // The first n records are always admitted.
+    next_admit_ = 0;
+    w_ = std::exp(std::log(rng_.NextDoubleOpen()) / static_cast<double>(n_));
+  }
+}
+
+void ReservoirControl::ScheduleNextSkip() {
+  // Algorithm L [Li 1994], the modern constant-expected-time realization of
+  // Vitter's skip idea: after an admission at position t, the next admission
+  // is t + floor(log(u)/log(1-w)) + 1, and w *= u'^(1/n).
+  double u = rng_.NextDoubleOpen();
+  double denom = std::log1p(-w_);
+  double jump;
+  if (denom >= 0.0 || !std::isfinite(denom)) {
+    jump = 0.0;  // w_ ~ 1: admit next record
+  } else {
+    jump = std::floor(std::log(u) / denom);
+    if (jump > 1e18 || !std::isfinite(jump)) jump = 1e18;
+  }
+  // ScheduleNextSkip runs right after an admission at index t_-1, so the
+  // next admission lands at (t_-1) + jump + 1 = t_ + jump.
+  next_admit_ = t_ + static_cast<uint64_t>(jump);
+  w_ *= std::exp(std::log(rng_.NextDoubleOpen()) / static_cast<double>(n_));
+}
+
+bool ReservoirControl::Offer() {
+  uint64_t pos = t_;
+  ++t_;
+  if (pos < n_) {
+    if (mode_ == Mode::kSkip && pos == n_ - 1) {
+      // Warm-up complete: schedule the first real skip.
+      next_admit_ = 0;  // will be overwritten
+      ScheduleNextSkip();
+    }
+    return true;
+  }
+  if (mode_ == Mode::kPerRecord) {
+    // Admit with probability n/(t) where t = records seen including this.
+    return rng_.NextBounded(t_) < n_;
+  }
+  if (pos == next_admit_) {
+    ScheduleNextSkip();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace streamop

@@ -1,0 +1,241 @@
+// Reservoir sampling [Vitter, TOMS 1985]:
+//
+//   * ReservoirSampler<T> — the exact fixed-size uniform sample, with two
+//     admission strategies: per-record (Algorithm R) and skip-based
+//     (Algorithm L-style geometric jumps, the "constant expected time"
+//     variant §4.1 refers to);
+//   * CandidateReservoir<T> — the paper's operator-friendly variant: admit
+//     candidates by skips into a buffer of capacity T*n (10 < T < 40), and
+//     randomly subsample down to n whenever the buffer overflows and at the
+//     window boundary. This is the shape the rsample()/rsdo_clean()/
+//     rsclean_with()/rsfinal_clean() stateful functions implement.
+
+#ifndef STREAMOP_SAMPLING_RESERVOIR_H_
+#define STREAMOP_SAMPLING_RESERVOIR_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace streamop {
+
+/// Skip-sequence generator shared by the exact sampler and the candidate
+/// variant: decides, for a stream position t (records seen so far), whether
+/// the next record enters a size-n reservoir.
+class ReservoirControl {
+ public:
+  enum class Mode {
+    kPerRecord,  // Algorithm R: admit record t+1 with probability n/(t+1)
+    kSkip,       // Algorithm L: geometric jumps, O(n log(N/n)) admissions
+  };
+
+  ReservoirControl(uint64_t n, Mode mode, uint64_t seed);
+
+  /// Called once per stream record; true if this record is admitted.
+  bool Offer();
+
+  /// Index (0-based) of the slot the admitted record should replace,
+  /// uniform over [0, n). Valid to call once after Offer() returned true.
+  uint64_t ReplaceIndex() { return rng_.NextBounded(n_); }
+
+  uint64_t records_seen() const { return t_; }
+  void Reset();
+
+ private:
+  void ScheduleNextSkip();
+
+  uint64_t n_;
+  Mode mode_;
+  uint64_t seed_;
+  Pcg64 rng_;
+  uint64_t t_ = 0;          // records seen
+  uint64_t next_admit_ = 0;  // (skip mode) absolute index of next admission
+  double w_ = 0.0;           // Algorithm L state
+};
+
+/// Exact fixed-size uniform reservoir sample.
+template <typename T>
+class ReservoirSampler {
+ public:
+  ReservoirSampler(uint64_t n, uint64_t seed,
+                   ReservoirControl::Mode mode = ReservoirControl::Mode::kPerRecord)
+      : n_(n), control_(n, mode, seed) {}
+
+  void Offer(const T& item) {
+    if (sample_.size() < n_) {
+      sample_.push_back(item);
+      control_.Offer();  // keep the seen-count in sync
+      return;
+    }
+    if (control_.Offer()) {
+      sample_[control_.ReplaceIndex()] = item;
+    }
+  }
+
+  const std::vector<T>& sample() const { return sample_; }
+  uint64_t records_seen() const { return control_.records_seen(); }
+
+  void Reset() {
+    sample_.clear();
+    control_.Reset();
+  }
+
+ private:
+  uint64_t n_;
+  ReservoirControl control_;
+  std::vector<T> sample_;
+};
+
+/// The candidate-buffer reservoir of §4.1/§6.6: admitted records append to
+/// a candidate buffer; when the buffer exceeds T*n, a cleaning phase keeps
+/// n candidates chosen uniformly; the window-final sample is again a
+/// uniform choice of n candidates.
+///
+/// CAVEAT (measured in this repo; see EXPERIMENTS.md): because admission
+/// probability decays like n/t but candidates are never *replaced* — only
+/// occasionally subsampled — this deferred-replacement scheme is biased
+/// toward early stream positions (~3x over-representation of the first
+/// decile at N/n = 100). It reproduces the paper's operator formulation
+/// faithfully; use BackoffReservoir when exact uniformity matters.
+template <typename T>
+class CandidateReservoir {
+ public:
+  struct Stats {
+    uint64_t cleaning_phases = 0;
+    uint64_t candidates_admitted = 0;
+  };
+
+  CandidateReservoir(uint64_t n, double tolerance, uint64_t seed)
+      : n_(n),
+        capacity_(static_cast<uint64_t>(tolerance * static_cast<double>(n))),
+        control_(n, ReservoirControl::Mode::kSkip, seed),
+        rng_(seed ^ 0x5bf0361cull) {}
+
+  void Offer(const T& item) {
+    if (control_.Offer()) {
+      candidates_.push_back(item);
+      ++stats_.candidates_admitted;
+      if (candidates_.size() > capacity_) Clean();
+    }
+  }
+
+  /// Finishes the window: subsample to n, return the sample, reset.
+  std::vector<T> EndWindow() {
+    if (candidates_.size() > n_) SubsampleTo(n_);
+    std::vector<T> out = std::move(candidates_);
+    candidates_.clear();
+    control_.Reset();
+    Stats s = stats_;
+    last_stats_ = s;
+    stats_ = Stats{};
+    return out;
+  }
+
+  const std::vector<T>& candidates() const { return candidates_; }
+  const Stats& stats() const { return stats_; }
+  const Stats& last_window_stats() const { return last_stats_; }
+
+ private:
+  void Clean() {
+    ++stats_.cleaning_phases;
+    SubsampleTo(n_);
+  }
+
+  // Partial Fisher-Yates: uniformly keep k of the current candidates.
+  void SubsampleTo(uint64_t k) {
+    if (candidates_.size() <= k) return;
+    for (uint64_t i = 0; i < k; ++i) {
+      uint64_t j = i + rng_.NextBounded(candidates_.size() - i);
+      std::swap(candidates_[i], candidates_[j]);
+    }
+    candidates_.resize(k);
+  }
+
+  uint64_t n_;
+  uint64_t capacity_;
+  ReservoirControl control_;
+  Pcg64 rng_;
+  std::vector<T> candidates_;
+  Stats stats_;
+  Stats last_stats_;
+};
+
+/// An *exactly uniform* fixed-size sampler that still fits the operator's
+/// admit/clean template (no in-place replacement needed): records are
+/// admitted with a constant probability p (initially 1); when the candidate
+/// buffer exceeds T*n, p is halved and every candidate survives a fair coin
+/// flip. All records then share inclusion probability p_final before the
+/// window-final uniform subsample to n — so the final sample is an exact
+/// uniform n-subset. This is the classic Bernoulli-backoff reservoir and
+/// the statistically sound alternative to CandidateReservoir.
+template <typename T>
+class BackoffReservoir {
+ public:
+  struct Stats {
+    uint64_t cleaning_phases = 0;
+    uint64_t candidates_admitted = 0;
+  };
+
+  BackoffReservoir(uint64_t n, double tolerance, uint64_t seed)
+      : n_(n),
+        capacity_(static_cast<uint64_t>(tolerance * static_cast<double>(n))),
+        rng_(seed ^ 0x9d2c5680ull) {}
+
+  void Offer(const T& item) {
+    if (p_ < 1.0 && !rng_.NextBernoulli(p_)) return;
+    candidates_.push_back(item);
+    ++stats_.candidates_admitted;
+    if (candidates_.size() > capacity_) Halve();
+  }
+
+  /// Finishes the window: uniform subsample to n, return, reset.
+  std::vector<T> EndWindow() {
+    if (candidates_.size() > n_) SubsampleTo(n_);
+    std::vector<T> out = std::move(candidates_);
+    candidates_.clear();
+    p_ = 1.0;
+    Stats s = stats_;
+    last_stats_ = s;
+    stats_ = Stats{};
+    return out;
+  }
+
+  double admission_probability() const { return p_; }
+  const std::vector<T>& candidates() const { return candidates_; }
+  const Stats& stats() const { return stats_; }
+  const Stats& last_window_stats() const { return last_stats_; }
+
+ private:
+  void Halve() {
+    ++stats_.cleaning_phases;
+    p_ *= 0.5;
+    std::vector<T> kept;
+    kept.reserve(candidates_.size() / 2 + 8);
+    for (T& c : candidates_) {
+      if (rng_.NextBernoulli(0.5)) kept.push_back(std::move(c));
+    }
+    candidates_ = std::move(kept);
+  }
+
+  void SubsampleTo(uint64_t k) {
+    for (uint64_t i = 0; i < k; ++i) {
+      uint64_t j = i + rng_.NextBounded(candidates_.size() - i);
+      std::swap(candidates_[i], candidates_[j]);
+    }
+    candidates_.resize(k);
+  }
+
+  uint64_t n_;
+  uint64_t capacity_;
+  Pcg64 rng_;
+  double p_ = 1.0;
+  std::vector<T> candidates_;
+  Stats stats_;
+  Stats last_stats_;
+};
+
+}  // namespace streamop
+
+#endif  // STREAMOP_SAMPLING_RESERVOIR_H_

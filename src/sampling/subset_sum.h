@@ -1,0 +1,203 @@
+// Standalone subset-sum samplers over weighted items:
+//
+//   * BasicSubsetSumSampler<T>   — fixed threshold z (§4.4, basic version);
+//   * DynamicSubsetSumSampler<T> — fixed target sample size N with the
+//     aggressive z adjustment and cleaning-phase subsampling (§4.4, dynamic
+//     version), plus the paper's *relaxed* cross-window threshold carry-over
+//     (§7.1): z for the next window starts at z_final / f.
+//
+// These classes are what a library user embeds directly; the query-engine
+// path reaches the identical logic through the ssample()/ssdo_clean()/...
+// stateful functions in src/core/sfun_subset_sum.{h,cc}.
+
+#ifndef STREAMOP_SAMPLING_SUBSET_SUM_H_
+#define STREAMOP_SAMPLING_SUBSET_SUM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "sampling/threshold_core.h"
+
+namespace streamop {
+
+/// One retained sample: the caller's payload plus the weight-adjusted
+/// estimate contribution (max of true weight and every threshold the item
+/// survived).
+template <typename T>
+struct WeightedSample {
+  T item;
+  double adjusted_weight;
+};
+
+/// Basic subset-sum sampling at a fixed threshold z. The expected value of
+/// EstimateSum() over any subset of offered items equals that subset's true
+/// weight sum; the sample size is whatever the data yields.
+template <typename T>
+class BasicSubsetSumSampler {
+ public:
+  explicit BasicSubsetSumSampler(double z,
+                                 ThresholdMode mode = ThresholdMode::kCounter,
+                                 uint64_t seed = 1)
+      : core_(z, mode, seed) {}
+
+  /// Offers one item; retains it if the threshold test admits it.
+  void Offer(const T& item, double weight) {
+    ThresholdDecision d = core_.Offer(weight);
+    if (d.sampled) {
+      samples_.push_back(WeightedSample<T>{item, d.adjusted_weight});
+      if (d.was_large) ++large_count_;
+    }
+  }
+
+  double z() const { return core_.z(); }
+  const std::vector<WeightedSample<T>>& samples() const { return samples_; }
+  uint64_t large_count() const { return large_count_; }
+
+  /// Unbiased estimate of the total weight of all offered items.
+  double EstimateSum() const {
+    double s = 0.0;
+    for (const auto& ws : samples_) s += ws.adjusted_weight;
+    return s;
+  }
+
+  void Clear() {
+    samples_.clear();
+    large_count_ = 0;
+    core_.ResetCounter();
+  }
+
+ private:
+  ThresholdSamplerCore core_;
+  std::vector<WeightedSample<T>> samples_;
+  uint64_t large_count_ = 0;
+};
+
+/// Statistics one window of dynamic subset-sum sampling produces; the
+/// accuracy and cleaning-cost figures are computed from these.
+struct SubsetSumWindowStats {
+  uint64_t tuples_offered = 0;
+  uint64_t samples_admitted = 0;   // admitted at any point in the window
+  uint64_t cleaning_phases = 0;
+  uint64_t final_sample_count = 0;
+  double final_z = 0.0;
+  double estimated_sum = 0.0;
+};
+
+/// Dynamic subset-sum sampling: targets N final samples per window.
+/// A cleaning phase fires when the retained sample exceeds beta*N: the
+/// threshold is adjusted aggressively and the retained sample is
+/// re-subsampled at the new threshold. At the window boundary a final
+/// cleaning enforces |S| <= N, and the closing threshold seeds the next
+/// window — divided by relax_factor when relaxation is enabled.
+template <typename T>
+class DynamicSubsetSumSampler {
+ public:
+  struct Options {
+    uint64_t target_samples = 1000;  // N
+    double beta = 2.0;               // cleaning trigger at beta*N
+    double initial_z = 100.0;
+    bool relaxed = false;            // the paper's accuracy fix
+    double relax_factor = 10.0;      // f: z_next = z_final / f
+    uint64_t seed = 1;               // seeds the admission/subsampling RNGs
+    ThresholdMode mode = ThresholdMode::kCounter;
+  };
+
+  explicit DynamicSubsetSumSampler(Options opt)
+      : opt_(opt), core_(opt.initial_z, opt.mode, opt.seed) {}
+
+  /// Offers one item within the current window.
+  void Offer(const T& item, double weight) {
+    ++stats_.tuples_offered;
+    ThresholdDecision d = core_.Offer(weight);
+    if (d.sampled) {
+      samples_.push_back(WeightedSample<T>{item, d.adjusted_weight});
+      if (d.was_large) ++large_count_;
+      ++stats_.samples_admitted;
+    }
+    // Clean until back under the trigger: while the threshold is still far
+    // below the weight scale, one capped adjustment may not prune anything,
+    // so the loop mirrors the operator's per-tuple re-firing of
+    // CLEANING WHEN. Each iteration at least doubles z, so it terminates.
+    double trigger = opt_.beta * static_cast<double>(opt_.target_samples);
+    while (static_cast<double>(samples_.size()) > trigger) Clean();
+  }
+
+  /// Ends the window: final cleaning down to at most N samples, stats
+  /// capture, threshold carry-over, and state reset for the next window.
+  SubsetSumWindowStats EndWindow() {
+    while (samples_.size() > opt_.target_samples) Clean();
+    stats_.final_sample_count = samples_.size();
+    stats_.final_z = core_.z();
+    stats_.estimated_sum = EstimateSum();
+    SubsetSumWindowStats out = stats_;
+
+    double z_next = core_.z();
+    if (opt_.relaxed && opt_.relax_factor > 1.0) {
+      z_next /= opt_.relax_factor;
+    }
+    if (z_next < kMinZ) z_next = kMinZ;
+    core_ = ThresholdSamplerCore(z_next, opt_.mode,
+                                 HashCombine(opt_.seed, ++rng_seq_));
+    samples_.clear();
+    large_count_ = 0;
+    stats_ = SubsetSumWindowStats{};
+    return out;
+  }
+
+  /// Unbiased estimate of the window's total weight so far.
+  double EstimateSum() const {
+    double s = 0.0;
+    for (const auto& ws : samples_) s += ws.adjusted_weight;
+    return s;
+  }
+
+  const std::vector<WeightedSample<T>>& samples() const { return samples_; }
+  double z() const { return core_.z(); }
+  uint64_t cleaning_phases() const { return stats_.cleaning_phases; }
+
+ private:
+  static constexpr double kMinZ = 1e-6;
+
+  // One cleaning phase: adjust z aggressively, then re-subsample the
+  // retained items at the new threshold with a fresh counter.
+  void Clean() {
+    ++stats_.cleaning_phases;
+    double z_new = AggressiveZAdjust(core_.z(), samples_.size(),
+                                     opt_.target_samples, large_count_);
+    if (z_new <= core_.z()) {
+      // The threshold failed to grow (degenerate count mix); force growth so
+      // the cleaning loop terminates.
+      z_new = core_.z() * 2.0;
+    }
+    ThresholdSamplerCore resample(z_new, opt_.mode,
+                                  HashCombine(opt_.seed, ++rng_seq_));
+    std::vector<WeightedSample<T>> kept;
+    kept.reserve(samples_.size());
+    uint64_t large = 0;
+    for (auto& ws : samples_) {
+      ThresholdDecision d = resample.Offer(ws.adjusted_weight);
+      if (d.sampled) {
+        kept.push_back(WeightedSample<T>{ws.item, d.adjusted_weight});
+        if (d.was_large) ++large;
+      }
+    }
+    samples_ = std::move(kept);
+    large_count_ = large;
+    // Continue stream admission at the new threshold; the in-flight
+    // small-tuple counter restarts (it refers to the old threshold).
+    core_.set_z(z_new);
+    core_.ResetCounter();
+  }
+
+  Options opt_;
+  ThresholdSamplerCore core_;
+  std::vector<WeightedSample<T>> samples_;
+  uint64_t large_count_ = 0;
+  uint64_t rng_seq_ = 0;
+  SubsetSumWindowStats stats_;
+};
+
+}  // namespace streamop
+
+#endif  // STREAMOP_SAMPLING_SUBSET_SUM_H_

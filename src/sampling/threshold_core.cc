@@ -1,0 +1,35 @@
+#include "sampling/threshold_core.h"
+
+#include <algorithm>
+
+namespace streamop {
+
+double AggressiveZAdjust(double z_old, uint64_t sample_count,
+                         uint64_t desired_count, uint64_t large_count) {
+  if (desired_count == 0) return z_old;
+  const double s = static_cast<double>(sample_count);
+  const double m = static_cast<double>(desired_count);
+  if (sample_count < desired_count) {
+    // Shrink z proportionally; guard against collapsing to 0 when the
+    // sample is empty (keep at least 1/M of the old threshold).
+    double factor = s / m;
+    if (factor < 1.0 / m) factor = 1.0 / m;
+    return z_old * factor;
+  }
+  // Grow z so that the expected number of small samples shrinks to M - B.
+  double b = static_cast<double>(std::min(large_count, desired_count - 1));
+  double factor = (s - b) / (m - b);
+  // When B approaches M the raw formula explodes (the denominator can hit
+  // 1), wildly overshooting the threshold — it ignores that raising z
+  // reclassifies most "large" samples as small. Cap the per-phase growth at
+  // max(2, |S|/M): convergence then takes a few extra (cheap) cleaning
+  // phases instead of collapsing the sample, matching the paper's "large
+  // number of cleaning phases to identify the appropriate threshold".
+  double cap = s / m;
+  if (cap < 2.0) cap = 2.0;
+  if (factor > cap) factor = cap;
+  if (factor < 1.0) factor = 1.0;
+  return z_old * factor;
+}
+
+}  // namespace streamop

@@ -1,0 +1,107 @@
+// The decision core of Duffield-Lund-Thorup subset-sum (threshold)
+// sampling, exactly as described in §4.4 of the paper:
+//
+//   * every tuple with weight x > z is sampled;
+//   * smaller tuples accumulate into a counter; each time the counter
+//     exceeds z, z is subtracted and the current tuple is sampled with its
+//     weight adjusted up to z.
+//
+// The same core drives the standalone samplers, the cleaning-phase
+// subsampling, and the ssample()/ssclean_with() stateful functions of the
+// operator, so the admission logic exists in exactly one place.
+
+#ifndef STREAMOP_SAMPLING_THRESHOLD_CORE_H_
+#define STREAMOP_SAMPLING_THRESHOLD_CORE_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace streamop {
+
+/// Outcome of offering one weighted item to the threshold sampler.
+struct ThresholdDecision {
+  bool sampled = false;
+  double adjusted_weight = 0.0;  // max(x, z) when sampled; 0 otherwise
+  bool was_large = false;        // x > z (counted as B in the z-adjustment)
+};
+
+/// How small (x <= z) tuples are admitted.
+enum class ThresholdMode {
+  /// The counter scheme the paper spells out in §4.4: small weights
+  /// accumulate, and one sample of weight z is emitted each time the
+  /// counter crosses z. Deterministic, and the window estimate deviates
+  /// from the truth by at most one z (the final counter residue).
+  kCounter,
+  /// The original Duffield-Lund-Thorup rule: sample with probability
+  /// x / z independently per tuple. Unbiased, but a window whose total is
+  /// only a few z has a right-skewed estimate — most draws land below the
+  /// truth. This is the behaviour the paper's Fig. 2 exhibits when the
+  /// non-relaxed threshold overshoots after a load drop.
+  kProbabilistic,
+};
+
+/// Threshold sampling at a fixed threshold z.
+/// E[sum of adjusted weights over any subset] equals the true subset sum.
+class ThresholdSamplerCore {
+ public:
+  explicit ThresholdSamplerCore(double z = 1.0,
+                                ThresholdMode mode = ThresholdMode::kCounter,
+                                uint64_t seed = 1)
+      : z_(z), mode_(mode), rng_(seed) {}
+
+  double z() const { return z_; }
+
+  /// Changes the threshold without touching the small-weight counter; used
+  /// when a cleaning phase re-seeds the sampler at a new z.
+  void set_z(double z) { z_ = z; }
+
+  void ResetCounter() { counter_ = 0.0; }
+  double counter() const { return counter_; }
+
+  ThresholdMode mode() const { return mode_; }
+
+  /// Offers one item of weight x.
+  ThresholdDecision Offer(double x) {
+    ThresholdDecision d;
+    if (x > z_) {
+      d.sampled = true;
+      d.adjusted_weight = x;
+      d.was_large = true;
+      return d;
+    }
+    if (mode_ == ThresholdMode::kProbabilistic) {
+      if (z_ > 0.0 && rng_.NextDouble() < x / z_) {
+        d.sampled = true;
+        d.adjusted_weight = z_;
+      }
+      return d;
+    }
+    counter_ += x;
+    if (counter_ > z_) {
+      counter_ -= z_;
+      d.sampled = true;
+      d.adjusted_weight = z_;  // small samples represent weight z
+    }
+    return d;
+  }
+
+ private:
+  double z_;
+  double counter_ = 0.0;
+  ThresholdMode mode_ = ThresholdMode::kCounter;
+  Pcg64 rng_;
+};
+
+/// The "aggressive" z-threshold adjustment of §4.4 used by dynamic
+/// subset-sum sampling:
+///   if 0 <= |S| < M :  z_new = z_old * (|S| / M)
+///   if |S| >= M     :  z_new = z_old * max(1, (|S| - B) / (M - B))
+/// where |S| is the current sample count, M the desired sample count, and
+/// B the number of samples whose (adjusted) size exceeds the threshold.
+double AggressiveZAdjust(double z_old, uint64_t sample_count,
+                         uint64_t desired_count, uint64_t large_count);
+
+}  // namespace streamop
+
+#endif  // STREAMOP_SAMPLING_THRESHOLD_CORE_H_

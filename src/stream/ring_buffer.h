@@ -1,0 +1,91 @@
+// A fixed-capacity single-producer / single-consumer ring buffer, the data
+// path between a packet source and the low-level query node — mirroring
+// Gigascope, where "data from a source stream is fed to the low level
+// queries from a ring buffer without copying".
+//
+// Lock-free: one producer thread calls TryPush / PushBatch, one consumer
+// thread calls TryPop / PopBatch. Also usable single-threaded (the
+// benchmarks replay traces synchronously).
+
+#ifndef STREAMOP_STREAM_RING_BUFFER_H_
+#define STREAMOP_STREAM_RING_BUFFER_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace streamop {
+
+template <typename T>
+class RingBuffer {
+ public:
+  /// Capacity is rounded up to a power of two; one slot is kept empty to
+  /// distinguish full from empty, so usable capacity is capacity()-1.
+  explicit RingBuffer(size_t min_capacity) {
+    size_t cap = 2;
+    while (cap < min_capacity + 1) cap <<= 1;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  RingBuffer(const RingBuffer&) = delete;
+  RingBuffer& operator=(const RingBuffer&) = delete;
+
+  size_t capacity() const { return buf_.size() - 1; }
+
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  size_t size() const {
+    size_t h = head_.load(std::memory_order_acquire);
+    size_t t = tail_.load(std::memory_order_acquire);
+    return (t - h) & mask_;
+  }
+
+  /// Producer side. Returns false if the buffer is full (the caller decides
+  /// whether to drop or retry; Gigascope drops under overload).
+  bool TryPush(const T& item) {
+    size_t t = tail_.load(std::memory_order_relaxed);
+    size_t next = (t + 1) & mask_;
+    if (next == head_.load(std::memory_order_acquire)) return false;
+    buf_[t] = item;
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Pushes up to n items; returns how many were accepted.
+  size_t PushBatch(const T* items, size_t n) {
+    size_t pushed = 0;
+    while (pushed < n && TryPush(items[pushed])) ++pushed;
+    return pushed;
+  }
+
+  /// Consumer side. Returns false if the buffer is empty.
+  bool TryPop(T* out) {
+    size_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_.load(std::memory_order_acquire)) return false;
+    *out = buf_[h];
+    head_.store((h + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  /// Pops up to max items into out; returns how many were popped.
+  size_t PopBatch(T* out, size_t max) {
+    size_t popped = 0;
+    while (popped < max && TryPop(&out[popped])) ++popped;
+    return popped;
+  }
+
+ private:
+  std::vector<T> buf_;
+  size_t mask_ = 0;
+  std::atomic<size_t> head_{0};
+  std::atomic<size_t> tail_{0};
+};
+
+}  // namespace streamop
+
+#endif  // STREAMOP_STREAM_RING_BUFFER_H_

@@ -1,0 +1,19 @@
+#include "stream/stream_source.h"
+
+namespace streamop {
+
+Tuple PacketToTuple(const PacketRecord& p) {
+  std::vector<Value> vals;
+  vals.reserve(8);
+  vals.push_back(Value::UInt(p.ts_sec()));
+  vals.push_back(Value::UInt(p.ts_ns));
+  vals.push_back(Value::UInt(p.src_ip));
+  vals.push_back(Value::UInt(p.dst_ip));
+  vals.push_back(Value::UInt(p.src_port));
+  vals.push_back(Value::UInt(p.dst_port));
+  vals.push_back(Value::UInt(p.proto));
+  vals.push_back(Value::UInt(p.len));
+  return Tuple(std::move(vals));
+}
+
+}  // namespace streamop

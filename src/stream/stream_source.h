@@ -1,0 +1,82 @@
+// Stream sources: pull-based producers of tuples (and, on the fast path,
+// raw PacketRecords) consumed by query nodes.
+
+#ifndef STREAMOP_STREAM_STREAM_SOURCE_H_
+#define STREAMOP_STREAM_STREAM_SOURCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/trace_generator.h"
+#include "tuple/schema.h"
+#include "tuple/tuple.h"
+
+namespace streamop {
+
+/// Pull-based tuple source. Next() returns false at end-of-stream.
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+
+  virtual SchemaPtr schema() const = 0;
+
+  /// Produces the next tuple. Returns false when the stream is exhausted.
+  virtual bool Next(Tuple* out) = 0;
+
+  /// Rewinds to the beginning if the source is replayable (traces are).
+  virtual void Reset() {}
+};
+
+/// Converts a PacketRecord into a tuple matching MakePacketSchema():
+/// (time, ts_ns, srcIP, destIP, srcPort, destPort, proto, len).
+Tuple PacketToTuple(const PacketRecord& p);
+
+/// Replays an in-memory Trace as tuples. The trace is borrowed, not copied;
+/// it must outlive the source (the arena-replay data path of Gigascope).
+class TraceTupleSource : public StreamSource {
+ public:
+  explicit TraceTupleSource(const Trace* trace)
+      : trace_(trace), schema_(MakePacketSchema()) {}
+
+  SchemaPtr schema() const override { return schema_; }
+
+  bool Next(Tuple* out) override {
+    if (pos_ >= trace_->size()) return false;
+    *out = PacketToTuple(trace_->at(pos_++));
+    return true;
+  }
+
+  void Reset() override { pos_ = 0; }
+
+ private:
+  const Trace* trace_;
+  SchemaPtr schema_;
+  size_t pos_ = 0;
+};
+
+/// Yields a fixed vector of tuples; used heavily in unit tests.
+class VectorTupleSource : public StreamSource {
+ public:
+  VectorTupleSource(SchemaPtr schema, std::vector<Tuple> tuples)
+      : schema_(std::move(schema)), tuples_(std::move(tuples)) {}
+
+  SchemaPtr schema() const override { return schema_; }
+
+  bool Next(Tuple* out) override {
+    if (pos_ >= tuples_.size()) return false;
+    *out = tuples_[pos_++];
+    return true;
+  }
+
+  void Reset() override { pos_ = 0; }
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Tuple> tuples_;
+  size_t pos_ = 0;
+};
+
+}  // namespace streamop
+
+#endif  // STREAMOP_STREAM_STREAM_SOURCE_H_

@@ -1,0 +1,72 @@
+#include "tuple/schema.h"
+
+#include "common/string_util.h"
+
+namespace streamop {
+
+int Schema::FieldIndex(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (EqualsIgnoreCase(fields_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<int> Schema::ResolveField(std::string_view name) const {
+  int idx = FieldIndex(name);
+  if (idx < 0) {
+    return Status::AnalysisError("unknown column '" + std::string(name) +
+                                 "' in stream '" + name_ + "'");
+  }
+  return idx;
+}
+
+bool Schema::HasOrderedField() const {
+  for (const Field& f : fields_) {
+    if (f.ordering != Ordering::kNone) return true;
+  }
+  return false;
+}
+
+std::vector<int> Schema::OrderedFieldIndexes() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].ordering != Ordering::kNone) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += FieldTypeToString(fields_[i].type);
+    if (fields_[i].ordering == Ordering::kIncreasing) out += " increasing";
+    if (fields_[i].ordering == Ordering::kDecreasing) out += " decreasing";
+  }
+  out += ")";
+  return out;
+}
+
+SchemaPtr MakePacketSchema() {
+  return std::make_shared<Schema>(
+      "PKT",
+      std::vector<Field>{
+          // `ts_ns` is the paper's "uts": nanosecond granularity, with its
+          // timestamp-ness cast away (not marked ordered) so that grouping
+          // by it makes each packet its own group without ending windows.
+          {"time", FieldType::kUInt, Ordering::kIncreasing},
+          {"ts_ns", FieldType::kUInt, Ordering::kNone},
+          {"srcIP", FieldType::kUInt, Ordering::kNone},
+          {"destIP", FieldType::kUInt, Ordering::kNone},
+          {"srcPort", FieldType::kUInt, Ordering::kNone},
+          {"destPort", FieldType::kUInt, Ordering::kNone},
+          {"proto", FieldType::kUInt, Ordering::kNone},
+          {"len", FieldType::kUInt, Ordering::kNone},
+      });
+}
+
+}  // namespace streamop

@@ -1,0 +1,76 @@
+// Schema: an ordered list of named, typed fields. Following Gigascope,
+// fields can be marked as temporally ordered (increasing / decreasing);
+// the query analyzer uses that marking to infer evaluation windows.
+
+#ifndef STREAMOP_TUPLE_SCHEMA_H_
+#define STREAMOP_TUPLE_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tuple/value.h"
+
+namespace streamop {
+
+/// Temporal ordering property of a stream attribute (Gigascope's
+/// "time increasing" annotation).
+enum class Ordering {
+  kNone = 0,
+  kIncreasing,
+  kDecreasing,
+};
+
+/// One field of a schema.
+struct Field {
+  std::string name;
+  FieldType type = FieldType::kNull;
+  Ordering ordering = Ordering::kNone;
+};
+
+/// An immutable schema shared by all tuples of a stream.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::string name, std::vector<Field> fields)
+      : name_(std::move(name)), fields_(std::move(fields)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  /// Index of the named field, or -1 if absent (case-insensitive, matching
+  /// SQL identifier semantics).
+  int FieldIndex(std::string_view name) const;
+
+  /// Resolves a field by name into its index.
+  Result<int> ResolveField(std::string_view name) const;
+
+  /// True if any field carries a temporal ordering.
+  bool HasOrderedField() const;
+
+  /// Indexes of all temporally ordered fields.
+  std::vector<int> OrderedFieldIndexes() const;
+
+  /// "name(field:TYPE, ...)" for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<Field> fields_;
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+/// The canonical packet schema used by the network-monitoring examples and
+/// benchmarks: PKT(time increasing, ts_ns increasing, srcIP, destIP,
+/// srcPort, destPort, proto, len). `time` is in seconds, `ts_ns` is the
+/// nanosecond-granularity timestamp the paper uses ("uts") to make every
+/// packet its own group.
+SchemaPtr MakePacketSchema();
+
+}  // namespace streamop
+
+#endif  // STREAMOP_TUPLE_SCHEMA_H_

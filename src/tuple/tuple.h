@@ -1,0 +1,77 @@
+// Tuple: a row of Values, plus the composite-key helpers the group and
+// supergroup hash tables are built on.
+
+#ifndef STREAMOP_TUPLE_TUPLE_H_
+#define STREAMOP_TUPLE_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "tuple/schema.h"
+#include "tuple/value.h"
+
+namespace streamop {
+
+/// A row of dynamically typed values. The schema is carried out-of-band
+/// (by the stream / operator), not per-tuple, to keep tuples lean.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  Value& at(size_t i) { return values_[i]; }
+  const Value& operator[](size_t i) const { return values_[i]; }
+  Value& operator[](size_t i) { return values_[i]; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+  const std::vector<Value>& values() const { return values_; }
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+
+  /// "(v0, v1, ...)" for diagnostics and examples.
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// A composite grouping key: the projected group-by (or supergroup) values.
+/// Hash/equality are structural, suitable for unordered_map.
+class GroupKey {
+ public:
+  GroupKey() = default;
+  explicit GroupKey(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  bool operator==(const GroupKey& other) const {
+    return values_ == other.values_;
+  }
+
+  uint64_t Hash() const {
+    uint64_t h = 0x2545f4914f6cdd1dULL;
+    for (const Value& v : values_) h = HashCombine(h, v.Hash());
+    return h;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct GroupKeyHash {
+  size_t operator()(const GroupKey& k) const {
+    return static_cast<size_t>(k.Hash());
+  }
+};
+
+}  // namespace streamop
+
+#endif  // STREAMOP_TUPLE_TUPLE_H_

@@ -1,0 +1,107 @@
+// Value: the dynamically-typed scalar that flows through expressions,
+// group-by keys and output tuples. A tagged union over the five field
+// types the query engine supports.
+
+#ifndef STREAMOP_TUPLE_VALUE_H_
+#define STREAMOP_TUPLE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace streamop {
+
+/// The scalar types a stream field or expression may have.
+enum class FieldType {
+  kNull = 0,
+  kBool,
+  kUInt,    // 64-bit unsigned (timestamps, addresses, lengths)
+  kInt,     // 64-bit signed
+  kDouble,  // IEEE double
+  kString,
+};
+
+/// Short name for a field type ("UINT", "STRING", ...).
+const char* FieldTypeToString(FieldType t);
+
+/// True for kUInt / kInt / kDouble.
+inline bool IsNumeric(FieldType t) {
+  return t == FieldType::kUInt || t == FieldType::kInt ||
+         t == FieldType::kDouble;
+}
+
+/// A dynamically typed scalar. Cheap to copy for all types except kString.
+class Value {
+ public:
+  Value() : var_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Var(b)); }
+  static Value UInt(uint64_t v) { return Value(Var(v)); }
+  static Value Int(int64_t v) { return Value(Var(v)); }
+  static Value Double(double v) { return Value(Var(v)); }
+  static Value String(std::string s) { return Value(Var(std::move(s))); }
+
+  FieldType type() const {
+    switch (var_.index()) {
+      case 0:
+        return FieldType::kNull;
+      case 1:
+        return FieldType::kBool;
+      case 2:
+        return FieldType::kUInt;
+      case 3:
+        return FieldType::kInt;
+      case 4:
+        return FieldType::kDouble;
+      default:
+        return FieldType::kString;
+    }
+  }
+
+  bool is_null() const { return type() == FieldType::kNull; }
+
+  // Exact-type accessors; calling with the wrong type is a programming
+  // error guarded in debug builds by std::get.
+  bool bool_value() const { return std::get<bool>(var_); }
+  uint64_t uint_value() const { return std::get<uint64_t>(var_); }
+  int64_t int_value() const { return std::get<int64_t>(var_); }
+  double double_value() const { return std::get<double>(var_); }
+  const std::string& string_value() const { return std::get<std::string>(var_); }
+
+  /// Numeric coercion to double; Null/Bool/String coerce to 0.0, false/true
+  /// to 0.0/1.0. Used by aggregates that operate in double space.
+  double AsDouble() const;
+
+  /// Numeric coercion to uint64; doubles truncate, negatives clamp to 0.
+  uint64_t AsUInt() const;
+
+  /// Numeric coercion to int64.
+  int64_t AsInt() const;
+
+  /// Truthiness: false for Null, false Bool, zero numeric, empty string.
+  bool AsBool() const;
+
+  /// 64-bit hash suitable for group-table keys.
+  uint64_t Hash() const;
+
+  /// Structural equality: same type and same payload. (Cross-numeric-type
+  /// comparison is the expression evaluator's job, not Value's.)
+  bool operator==(const Value& other) const { return var_ == other.var_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Human-readable rendering for examples and debugging.
+  std::string ToString() const;
+
+ private:
+  using Var =
+      std::variant<std::monostate, bool, uint64_t, int64_t, double, std::string>;
+  explicit Value(Var v) : var_(std::move(v)) {}
+  Var var_;
+};
+
+}  // namespace streamop
+
+#endif  // STREAMOP_TUPLE_VALUE_H_

@@ -1,0 +1,526 @@
+// Tests for src/core: the sampling operator's evaluation loop (§6.4) with
+// hand-assembled plans — window semantics, grouping, aggregates,
+// supergroups, superaggregates, cleaning phases, and SFUN state hand-off —
+// plus the superaggregate state machine in isolation.
+
+#include <gtest/gtest.h>
+
+#include "core/sampling_operator.h"
+#include "core/sfun_subset_sum.h"
+#include "core/superagg.h"
+#include "expr/stateful.h"
+#include "stream/stream_source.h"
+
+namespace streamop {
+namespace {
+
+// Test schema: S(t increasing, k, v).
+SchemaPtr TestSchema() {
+  return std::make_shared<Schema>(
+      "S", std::vector<Field>{{"t", FieldType::kUInt, Ordering::kIncreasing},
+                              {"k", FieldType::kUInt, Ordering::kNone},
+                              {"v", FieldType::kUInt, Ordering::kNone}});
+}
+
+Tuple Row(uint64_t t, uint64_t k, uint64_t v) {
+  return Tuple({Value::UInt(t), Value::UInt(k), Value::UInt(v)});
+}
+
+// Base plan: SELECT tb, k, sum(v), count(*) FROM S GROUP BY t/10 as tb, k.
+std::shared_ptr<SamplingQueryPlan> MakeAggregationPlan() {
+  auto plan = std::make_shared<SamplingQueryPlan>();
+  plan->input_schema = TestSchema();
+  plan->group_by_exprs = {
+      Expr::Binary(BinaryOp::kDiv, Expr::InputRef("t", 0),
+                   Expr::Literal(Value::UInt(10))),
+      Expr::InputRef("k", 1)};
+  plan->group_by_names = {"tb", "k"};
+  plan->group_by_ordered = {true, false};
+
+  AggregateSpec sum_spec;
+  sum_spec.kind = AggregateKind::kSum;
+  sum_spec.arg = Expr::InputRef("v", 2);
+  sum_spec.display = "sum(v)";
+  AggregateSpec cnt_spec;
+  cnt_spec.kind = AggregateKind::kCount;
+  cnt_spec.star = true;
+  cnt_spec.display = "count(*)";
+  plan->aggregates = {sum_spec, cnt_spec};
+
+  plan->select_exprs = {Expr::GroupByRef("tb", 0), Expr::GroupByRef("k", 1),
+                        Expr::AggregateRef(0), Expr::AggregateRef(1)};
+  plan->output_names = {"tb", "k", "sum_v", "cnt"};
+  return plan;
+}
+
+TEST(SamplingOperatorTest, PlainAggregationPerWindow) {
+  SamplingOperator op(MakeAggregationPlan());
+  // Window 0 (t in [0,10)): k=1 gets 5+7, k=2 gets 3.
+  ASSERT_TRUE(op.Process(Row(1, 1, 5)).ok());
+  ASSERT_TRUE(op.Process(Row(2, 2, 3)).ok());
+  ASSERT_TRUE(op.Process(Row(9, 1, 7)).ok());
+  // Window 1: k=1 gets 100.
+  ASSERT_TRUE(op.Process(Row(12, 1, 100)).ok());
+  ASSERT_TRUE(op.FinishStream().ok());
+
+  std::vector<Tuple> out = op.DrainOutput();
+  ASSERT_EQ(out.size(), 3u);
+  std::map<std::pair<uint64_t, uint64_t>, std::pair<uint64_t, uint64_t>> got;
+  for (const Tuple& t : out) {
+    got[{t[0].AsUInt(), t[1].AsUInt()}] = {t[2].AsUInt(), t[3].AsUInt()};
+  }
+  using UPair = std::pair<uint64_t, uint64_t>;
+  UPair key01{0, 1}, key02{0, 2}, key11{1, 1};
+  EXPECT_EQ(got[key01], UPair(12, 2));
+  EXPECT_EQ(got[key02], UPair(3, 1));
+  EXPECT_EQ(got[key11], UPair(100, 1));
+}
+
+TEST(SamplingOperatorTest, WindowBoundaryOnOrderedChange) {
+  SamplingOperator op(MakeAggregationPlan());
+  ASSERT_TRUE(op.Process(Row(0, 1, 1)).ok());
+  EXPECT_TRUE(op.DrainOutput().empty());  // window still open
+  ASSERT_TRUE(op.Process(Row(10, 1, 1)).ok());  // t/10 changes 0 -> 1
+  EXPECT_EQ(op.DrainOutput().size(), 1u);  // window 0 flushed
+  EXPECT_EQ(op.window_stats().size(), 1u);
+  ASSERT_TRUE(op.FinishStream().ok());
+  EXPECT_EQ(op.DrainOutput().size(), 1u);
+}
+
+TEST(SamplingOperatorTest, WhereFiltersTuples) {
+  auto plan = MakeAggregationPlan();
+  // WHERE v >= 10
+  plan->where = Expr::Binary(BinaryOp::kGe, Expr::InputRef("v", 2),
+                             Expr::Literal(Value::UInt(10)));
+  SamplingOperator op(plan);
+  ASSERT_TRUE(op.Process(Row(1, 1, 5)).ok());   // filtered
+  ASSERT_TRUE(op.Process(Row(2, 1, 50)).ok());  // kept
+  ASSERT_TRUE(op.FinishStream().ok());
+  std::vector<Tuple> out = op.DrainOutput();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0][2].AsUInt(), 50u);
+  ASSERT_EQ(op.window_stats().size(), 1u);
+  EXPECT_EQ(op.window_stats()[0].tuples_in, 2u);
+  EXPECT_EQ(op.window_stats()[0].tuples_admitted, 1u);
+}
+
+TEST(SamplingOperatorTest, HavingPrunesGroups) {
+  auto plan = MakeAggregationPlan();
+  // HAVING sum(v) > 10
+  plan->having = Expr::Binary(BinaryOp::kGt, Expr::AggregateRef(0),
+                              Expr::Literal(Value::UInt(10)));
+  SamplingOperator op(plan);
+  ASSERT_TRUE(op.Process(Row(1, 1, 5)).ok());
+  ASSERT_TRUE(op.Process(Row(1, 2, 50)).ok());
+  ASSERT_TRUE(op.FinishStream().ok());
+  std::vector<Tuple> out = op.DrainOutput();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0][1].AsUInt(), 2u);
+  EXPECT_EQ(op.window_stats()[0].groups_output, 1u);
+}
+
+// Adds count_distinct$ over the default (ALL) supergroup plus a cleaning
+// pair: trigger when more than `limit` groups are live, keep groups with
+// count(*) >= 2.
+void AddCleaning(std::shared_ptr<SamplingQueryPlan>& plan, uint64_t limit) {
+  SuperAggSpec cd;
+  cd.kind = SuperAggKind::kCountDistinct;
+  cd.display = "count_distinct$(*)";
+  plan->superaggs = {cd};
+  plan->cleaning_when = Expr::Binary(BinaryOp::kGt, Expr::SuperAggRef(0),
+                                     Expr::Literal(Value::UInt(limit)));
+  plan->cleaning_by = Expr::Binary(BinaryOp::kGe, Expr::AggregateRef(1),
+                                   Expr::Literal(Value::UInt(2)));
+}
+
+TEST(SamplingOperatorTest, CleaningPhaseRemovesGroups) {
+  auto plan = MakeAggregationPlan();
+  AddCleaning(plan, 3);
+  SamplingOperator op(plan);
+  // Create groups k=1..3 (one tuple each), then repeat k=1 (count 2), then
+  // k=4 pushes the live count to 4 > 3 -> cleaning keeps only count>=2.
+  ASSERT_TRUE(op.Process(Row(1, 1, 1)).ok());
+  ASSERT_TRUE(op.Process(Row(1, 2, 1)).ok());
+  ASSERT_TRUE(op.Process(Row(1, 3, 1)).ok());
+  ASSERT_TRUE(op.Process(Row(1, 1, 1)).ok());
+  EXPECT_EQ(op.num_groups(), 3u);
+  ASSERT_TRUE(op.Process(Row(1, 4, 1)).ok());  // trigger
+  // Survivors: k=1 (count 2). k=2,3 removed; k=4 arrived with count 1 and
+  // is removed by the same pass (it was inserted before the trigger check).
+  EXPECT_EQ(op.num_groups(), 1u);
+  ASSERT_TRUE(op.FinishStream().ok());
+  ASSERT_EQ(op.window_stats().size(), 1u);
+  EXPECT_EQ(op.window_stats()[0].cleaning_phases, 1u);
+  EXPECT_EQ(op.window_stats()[0].groups_removed, 3u);
+  std::vector<Tuple> out = op.DrainOutput();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0][1].AsUInt(), 1u);
+}
+
+TEST(SamplingOperatorTest, CountDistinctTracksRemovals) {
+  auto plan = MakeAggregationPlan();
+  AddCleaning(plan, 2);
+  // SELECT also exposes count_distinct$ to observe it at flush.
+  plan->select_exprs.push_back(Expr::SuperAggRef(0));
+  plan->output_names.push_back("cd");
+  SamplingOperator op(plan);
+  ASSERT_TRUE(op.Process(Row(1, 1, 1)).ok());
+  ASSERT_TRUE(op.Process(Row(1, 1, 1)).ok());
+  ASSERT_TRUE(op.Process(Row(1, 2, 1)).ok());
+  ASSERT_TRUE(op.Process(Row(1, 3, 1)).ok());  // 3 > 2: clean, keep k=1 only
+  ASSERT_TRUE(op.FinishStream().ok());
+  std::vector<Tuple> out = op.DrainOutput();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0][4].AsUInt(), 1u);  // count_distinct$ after removals
+}
+
+TEST(SamplingOperatorTest, SupergroupPartitionsCleaning) {
+  // Supergroup on k's parity: cleaning in one supergroup must not touch
+  // groups of the other.
+  auto plan = std::make_shared<SamplingQueryPlan>();
+  plan->input_schema = TestSchema();
+  plan->group_by_exprs = {
+      Expr::Binary(BinaryOp::kDiv, Expr::InputRef("t", 0),
+                   Expr::Literal(Value::UInt(100))),
+      Expr::Binary(BinaryOp::kMod, Expr::InputRef("k", 1),
+                   Expr::Literal(Value::UInt(2))),
+      Expr::InputRef("k", 1)};
+  plan->group_by_names = {"tb", "parity", "k"};
+  plan->group_by_ordered = {true, false, false};
+  plan->supergroup_slots = {1};  // parity
+
+  AggregateSpec cnt;
+  cnt.kind = AggregateKind::kCount;
+  cnt.star = true;
+  cnt.display = "count(*)";
+  plan->aggregates = {cnt};
+
+  SuperAggSpec cd;
+  cd.kind = SuperAggKind::kCountDistinct;
+  cd.display = "count_distinct$(*)";
+  plan->superaggs = {cd};
+
+  plan->select_exprs = {Expr::GroupByRef("parity", 1), Expr::GroupByRef("k", 2),
+                        Expr::AggregateRef(0)};
+  plan->output_names = {"parity", "k", "cnt"};
+  // Trigger cleaning when a supergroup holds > 2 groups; remove everything
+  // (CLEANING BY FALSE).
+  plan->cleaning_when = Expr::Binary(BinaryOp::kGt, Expr::SuperAggRef(0),
+                                     Expr::Literal(Value::UInt(2)));
+  plan->cleaning_by = Expr::Literal(Value::Bool(false));
+
+  SamplingOperator op(plan);
+  // Even supergroup: k=0,2,4 (third insert trips the cleaner, wiping evens).
+  // Odd supergroup: k=1,3 stays at 2 groups — untouched.
+  for (uint64_t k : {0, 1, 2, 3, 4}) {
+    ASSERT_TRUE(op.Process(Row(1, k, 1)).ok());
+  }
+  ASSERT_TRUE(op.FinishStream().ok());
+  std::vector<Tuple> out = op.DrainOutput();
+  ASSERT_EQ(out.size(), 2u);
+  for (const Tuple& t : out) {
+    EXPECT_EQ(t[0].AsUInt(), 1u) << "only odd supergroup should survive";
+  }
+}
+
+TEST(SamplingOperatorTest, KthSmallestSuperaggregate) {
+  // SELECT tb, k FROM S GROUP BY t/10 tb, k WHERE k <= kth_smallest$(k, 2):
+  // admits groups while their k is within the 2 smallest seen.
+  auto plan = std::make_shared<SamplingQueryPlan>();
+  plan->input_schema = TestSchema();
+  plan->group_by_exprs = {
+      Expr::Binary(BinaryOp::kDiv, Expr::InputRef("t", 0),
+                   Expr::Literal(Value::UInt(10))),
+      Expr::InputRef("k", 1)};
+  plan->group_by_names = {"tb", "k"};
+  plan->group_by_ordered = {true, false};
+  AggregateSpec cnt;
+  cnt.kind = AggregateKind::kCount;
+  cnt.star = true;
+  cnt.display = "count(*)";
+  plan->aggregates = {cnt};
+
+  SuperAggSpec kth;
+  kth.kind = SuperAggKind::kKthSmallest;
+  kth.group_by_slot = 1;
+  kth.k = 2;
+  kth.display = "kth_smallest$(k, 2)";
+  plan->superaggs = {kth};
+
+  plan->where = Expr::Binary(BinaryOp::kLe, Expr::GroupByRef("k", 1),
+                             Expr::SuperAggRef(0));
+  plan->having = Expr::Binary(BinaryOp::kLe, Expr::GroupByRef("k", 1),
+                              Expr::SuperAggRef(0));
+  plan->cleaning_when = Expr::Binary(BinaryOp::kGt, Expr::SuperAggRef(0),
+                                     Expr::Literal(Value::UInt(1000)));
+  plan->cleaning_by = Expr::Literal(Value::Bool(true));
+  plan->select_exprs = {Expr::GroupByRef("k", 1)};
+  plan->output_names = {"k"};
+
+  SamplingOperator op(plan);
+  // ks arrive in decreasing order; the final 2-smallest are 2 and 4.
+  for (uint64_t k : {20, 10, 8, 6, 4, 2}) {
+    ASSERT_TRUE(op.Process(Row(1, k, 1)).ok());
+  }
+  ASSERT_TRUE(op.FinishStream().ok());
+  std::vector<Tuple> out = op.DrainOutput();
+  std::set<uint64_t> ks;
+  for (const Tuple& t : out) ks.insert(t[0].AsUInt());
+  EXPECT_TRUE(ks.count(2) == 1);
+  EXPECT_TRUE(ks.count(4) == 1);
+  // Larger ks were admitted while the sketch was filling but must fail the
+  // HAVING clause at window end.
+  EXPECT_TRUE(ks.count(20) == 0);
+}
+
+TEST(SamplingOperatorTest, SumSuperaggregateWithShadowSubtraction) {
+  auto plan = MakeAggregationPlan();
+  // sum$(v) with shadow on aggregate slot 0 (sum(v)); cleaning removes
+  // single-tuple groups when more than 2 groups are live.
+  SuperAggSpec cd;
+  cd.kind = SuperAggKind::kCountDistinct;
+  cd.display = "count_distinct$(*)";
+  SuperAggSpec ssum;
+  ssum.kind = SuperAggKind::kSum;
+  ssum.arg = Expr::InputRef("v", 2);
+  ssum.shadow_agg_slot = 0;  // sum(v) already present in aggregates[0]
+  ssum.display = "sum$(v)";
+  plan->superaggs = {cd, ssum};
+  plan->cleaning_when = Expr::Binary(BinaryOp::kGt, Expr::SuperAggRef(0),
+                                     Expr::Literal(Value::UInt(2)));
+  plan->cleaning_by = Expr::Binary(BinaryOp::kGe, Expr::AggregateRef(1),
+                                   Expr::Literal(Value::UInt(2)));
+  plan->select_exprs.push_back(Expr::SuperAggRef(1));
+  plan->output_names.push_back("supersum");
+
+  SamplingOperator op(plan);
+  ASSERT_TRUE(op.Process(Row(1, 1, 10)).ok());
+  ASSERT_TRUE(op.Process(Row(1, 1, 10)).ok());
+  ASSERT_TRUE(op.Process(Row(1, 2, 7)).ok());
+  ASSERT_TRUE(op.Process(Row(1, 3, 5)).ok());  // trigger: k=2, k=3 removed
+  ASSERT_TRUE(op.FinishStream().ok());
+  std::vector<Tuple> out = op.DrainOutput();
+  ASSERT_EQ(out.size(), 1u);
+  // sum$ saw 10+10+7+5 = 32, minus removed shadows 7 and 5 -> 20.
+  EXPECT_EQ(out[0][4].AsUInt(), 20u);
+}
+
+TEST(SamplingOperatorTest, SfunStateCarriesAcrossWindows) {
+  EnsureBuiltinSfunPackagesRegistered();
+  const SfunStateDef* state =
+      SfunRegistry::Global().FindState("subsetsum_sampling_state");
+  ASSERT_NE(state, nullptr);
+  const SfunDef* ssample = SfunRegistry::Global().FindFunction("ssample");
+  const SfunDef* ssthreshold =
+      SfunRegistry::Global().FindFunction("ssthreshold");
+  const SfunDef* ssdo_clean = SfunRegistry::Global().FindFunction("ssdo_clean");
+  const SfunDef* ssclean_with =
+      SfunRegistry::Global().FindFunction("ssclean_with");
+
+  auto plan = std::make_shared<SamplingQueryPlan>();
+  plan->input_schema = TestSchema();
+  plan->group_by_exprs = {
+      Expr::Binary(BinaryOp::kDiv, Expr::InputRef("t", 0),
+                   Expr::Literal(Value::UInt(10))),
+      Expr::InputRef("k", 1)};
+  plan->group_by_names = {"tb", "k"};
+  plan->group_by_ordered = {true, false};
+  plan->sfun_states = {state};
+
+  AggregateSpec sum_spec;
+  sum_spec.kind = AggregateKind::kSum;
+  sum_spec.arg = Expr::InputRef("v", 2);
+  sum_spec.display = "sum(v)";
+  plan->aggregates = {sum_spec};
+
+  SuperAggSpec cd;
+  cd.kind = SuperAggKind::kCountDistinct;
+  cd.display = "count_distinct$(*)";
+  plan->superaggs = {cd};
+
+  auto SfunCall = [&](const SfunDef* def, std::vector<ExprPtr> args) {
+    ExprPtr e = Expr::Call(def->name, std::move(args));
+    e->kind = ExprKind::kStatefulCall;
+    e->sfun = def;
+    e->sfun_state_slot = 0;
+    return e;
+  };
+
+  // WHERE ssample(v, 4) = TRUE, with a tiny target to force cleaning.
+  plan->where =
+      Expr::Binary(BinaryOp::kEq,
+                   SfunCall(ssample, {Expr::InputRef("v", 2),
+                                      Expr::Literal(Value::UInt(4))}),
+                   Expr::Literal(Value::Bool(true)));
+  plan->cleaning_when =
+      Expr::Binary(BinaryOp::kEq, SfunCall(ssdo_clean, {Expr::SuperAggRef(0)}),
+                   Expr::Literal(Value::Bool(true)));
+  plan->cleaning_by =
+      Expr::Binary(BinaryOp::kEq, SfunCall(ssclean_with, {Expr::AggregateRef(0)}),
+                   Expr::Literal(Value::Bool(true)));
+  plan->select_exprs = {Expr::GroupByRef("tb", 0), SfunCall(ssthreshold, {})};
+  plan->output_names = {"tb", "z"};
+
+  SamplingOperator op(plan);
+  // Window 0: many tuples -> z grows well above the initial 1.0.
+  for (uint64_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(op.Process(Row(1, i, 100 + (i % 900))).ok());
+  }
+  // Window 1: one tuple; its state must inherit window 0's threshold, so
+  // the first ssample call rejects a small tuple (v < carried z).
+  ASSERT_TRUE(op.Process(Row(11, 0, 1)).ok());
+  ASSERT_TRUE(op.FinishStream().ok());
+  std::vector<Tuple> out = op.DrainOutput();
+  ASSERT_GE(out.size(), 1u);
+  double z_win0 = out[0][1].AsDouble();
+  EXPECT_GT(z_win0, 100.0);  // threshold adapted upward
+  ASSERT_EQ(op.window_stats().size(), 2u);
+  EXPECT_GT(op.window_stats()[0].cleaning_phases, 0u);
+  EXPECT_EQ(op.window_stats()[1].tuples_admitted, 0u);  // carried z rejects
+}
+
+TEST(SamplingOperatorTest, NoGroupByOrderedMeansSingleWindow) {
+  auto plan = MakeAggregationPlan();
+  plan->group_by_ordered = {false, false};  // nothing ordered
+  SamplingOperator op(plan);
+  ASSERT_TRUE(op.Process(Row(1, 1, 1)).ok());
+  ASSERT_TRUE(op.Process(Row(500, 1, 1)).ok());  // still the same window
+  EXPECT_TRUE(op.DrainOutput().empty());
+  ASSERT_TRUE(op.FinishStream().ok());
+  EXPECT_EQ(op.window_stats().size(), 1u);
+}
+
+TEST(SamplingOperatorTest, RunToCompletionDriver) {
+  auto plan = MakeAggregationPlan();
+  SchemaPtr schema = TestSchema();
+  std::vector<Tuple> rows = {Row(1, 1, 5), Row(2, 1, 5), Row(11, 2, 3)};
+  VectorTupleSource src(schema, rows);
+  SamplingOperator op(plan);
+  Result<std::vector<Tuple>> out = RunToCompletion(op, src);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);
+}
+
+// ---------- SuperAggState in isolation ----------
+
+TEST(SuperAggStateTest, CountDistinctAddRemove) {
+  SuperAggSpec spec;
+  spec.kind = SuperAggKind::kCountDistinct;
+  SuperAggState st(&spec);
+  GroupKey g1({Value::UInt(1)}), g2({Value::UInt(2)});
+  st.OnGroupCreated(g1);
+  st.OnGroupCreated(g2);
+  EXPECT_EQ(st.Final(), Value::UInt(2));
+  st.OnGroupRemoved(g1, Value::Null());
+  EXPECT_EQ(st.Final(), Value::UInt(1));
+  st.OnGroupRemoved(g2, Value::Null());
+  st.OnGroupRemoved(g2, Value::Null());  // double-remove stays at 0
+  EXPECT_EQ(st.Final(), Value::UInt(0));
+}
+
+TEST(SuperAggStateTest, KthSmallestWithDuplicatesAndRemoval) {
+  SuperAggSpec spec;
+  spec.kind = SuperAggKind::kKthSmallest;
+  spec.group_by_slot = 0;
+  spec.k = 2;
+  SuperAggState st(&spec);
+  EXPECT_EQ(st.Final(), Value::UInt(UINT64_MAX));  // below k: everything passes
+  st.OnGroupCreated(GroupKey({Value::UInt(5)}));
+  st.OnGroupCreated(GroupKey({Value::UInt(5)}));  // duplicate value
+  EXPECT_EQ(st.Final(), Value::UInt(5));
+  st.OnGroupCreated(GroupKey({Value::UInt(3)}));
+  EXPECT_EQ(st.Final(), Value::UInt(5));  // 2nd smallest of {3,5,5}
+  st.OnGroupRemoved(GroupKey({Value::UInt(5)}), Value::Null());
+  EXPECT_EQ(st.Final(), Value::UInt(5));  // {3,5}
+  st.OnGroupRemoved(GroupKey({Value::UInt(5)}), Value::Null());
+  EXPECT_EQ(st.Final(), Value::UInt(UINT64_MAX));  // {3}: below k again
+}
+
+TEST(SuperAggStateTest, FirstIsInsensitiveToRemoval) {
+  SuperAggSpec spec;
+  spec.kind = SuperAggKind::kFirst;
+  spec.arg = Expr::InputRef("v", 0);
+  SuperAggState st(&spec);
+  EXPECT_TRUE(st.Final().is_null());
+  st.OnTuple(Value::UInt(9));
+  st.OnTuple(Value::UInt(5));
+  EXPECT_EQ(st.Final(), Value::UInt(9));
+  st.OnGroupRemoved(GroupKey(std::vector<Value>{}), Value::UInt(9));
+  EXPECT_EQ(st.Final(), Value::UInt(9));
+}
+
+TEST(SuperAggStateTest, KthLargestWithRemoval) {
+  SuperAggSpec spec;
+  spec.kind = SuperAggKind::kKthLargest;
+  spec.group_by_slot = 0;
+  spec.k = 2;
+  SuperAggState st(&spec);
+  EXPECT_EQ(st.Final(), Value::UInt(0));  // below k: nothing excluded
+  st.OnGroupCreated(GroupKey({Value::Double(5.0)}));
+  st.OnGroupCreated(GroupKey({Value::Double(9.0)}));
+  st.OnGroupCreated(GroupKey({Value::Double(7.0)}));
+  EXPECT_EQ(st.Final(), Value::Double(7.0));  // 2nd largest of {5,7,9}
+  st.OnGroupRemoved(GroupKey({Value::Double(9.0)}), Value::Null());
+  EXPECT_EQ(st.Final(), Value::Double(5.0));  // {5,7}
+}
+
+TEST(SuperAggStateTest, LookupNames) {
+  SuperAggKind k;
+  EXPECT_TRUE(LookupSuperAggKind("count_distinct", &k));
+  EXPECT_EQ(k, SuperAggKind::kCountDistinct);
+  EXPECT_TRUE(LookupSuperAggKind("Kth_smallest_value", &k));
+  EXPECT_EQ(k, SuperAggKind::kKthSmallest);
+  EXPECT_TRUE(LookupSuperAggKind("kth_largest_value", &k));
+  EXPECT_EQ(k, SuperAggKind::kKthLargest);
+  EXPECT_TRUE(LookupSuperAggKind("sum", &k));
+  EXPECT_FALSE(LookupSuperAggKind("median", &k));
+}
+
+// ---------- Subset-sum SFUN state unit behaviour ----------
+
+TEST(SubsetSumSfunTest, StateInitCarriesConfigAndRelaxesZ) {
+  EnsureBuiltinSfunPackagesRegistered();
+  const SfunStateDef* def =
+      SfunRegistry::Global().FindState("subsetsum_sampling_state");
+  ASSERT_NE(def, nullptr);
+
+  alignas(std::max_align_t) unsigned char old_mem[sizeof(SubsetSumSfunState)];
+  alignas(std::max_align_t) unsigned char new_mem[sizeof(SubsetSumSfunState)];
+  def->init(old_mem, nullptr, 1);
+  auto* old_state = reinterpret_cast<SubsetSumSfunState*>(old_mem);
+  old_state->target = 500;
+  old_state->beta = 3.0;
+  old_state->relax_factor = 10.0;
+  old_state->admit.set_z(400.0);
+
+  def->init(new_mem, old_mem, 2);
+  auto* new_state = reinterpret_cast<SubsetSumSfunState*>(new_mem);
+  EXPECT_EQ(new_state->target, 500u);
+  EXPECT_DOUBLE_EQ(new_state->beta, 3.0);
+  EXPECT_DOUBLE_EQ(new_state->admit.z(), 40.0);  // 400 / relax_factor
+  EXPECT_EQ(new_state->cleanings_this_window, 0u);
+
+  def->destroy(old_mem);
+  def->destroy(new_mem);
+}
+
+TEST(SubsetSumSfunTest, NonRelaxedCarriesZVerbatim) {
+  EnsureBuiltinSfunPackagesRegistered();
+  const SfunStateDef* def =
+      SfunRegistry::Global().FindState("subsetsum_sampling_state");
+  alignas(std::max_align_t) unsigned char old_mem[sizeof(SubsetSumSfunState)];
+  alignas(std::max_align_t) unsigned char new_mem[sizeof(SubsetSumSfunState)];
+  def->init(old_mem, nullptr, 1);
+  auto* old_state = reinterpret_cast<SubsetSumSfunState*>(old_mem);
+  old_state->target = 100;
+  old_state->relax_factor = 1.0;
+  old_state->admit.set_z(250.0);
+  def->init(new_mem, old_mem, 2);
+  auto* new_state = reinterpret_cast<SubsetSumSfunState*>(new_mem);
+  EXPECT_DOUBLE_EQ(new_state->admit.z(), 250.0);
+  def->destroy(old_mem);
+  def->destroy(new_mem);
+}
+
+}  // namespace
+}  // namespace streamop

@@ -1,0 +1,672 @@
+// Tests for src/sampling: threshold (subset-sum) sampling, reservoir
+// variants, lossy counting, k-minimum-values sketches, and the uniform
+// baselines — including parameterized statistical property sweeps.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "common/random.h"
+#include "sampling/bernoulli.h"
+#include "sampling/kmv.h"
+#include "sampling/lossy_counting.h"
+#include "sampling/priority.h"
+#include "sampling/reservoir.h"
+#include "sampling/subset_sum.h"
+#include "sampling/threshold_core.h"
+
+namespace streamop {
+namespace {
+
+// ---------- ThresholdSamplerCore ----------
+
+TEST(ThresholdCoreTest, LargeItemsAlwaysSampledAtTrueWeight) {
+  ThresholdSamplerCore core(100.0);
+  ThresholdDecision d = core.Offer(150.0);
+  EXPECT_TRUE(d.sampled);
+  EXPECT_TRUE(d.was_large);
+  EXPECT_DOUBLE_EQ(d.adjusted_weight, 150.0);
+}
+
+TEST(ThresholdCoreTest, SmallItemsSampledViaCounter) {
+  ThresholdSamplerCore core(100.0);
+  // 40+40+40 = 120 > 100 at the third item.
+  EXPECT_FALSE(core.Offer(40.0).sampled);
+  EXPECT_FALSE(core.Offer(40.0).sampled);
+  ThresholdDecision d = core.Offer(40.0);
+  EXPECT_TRUE(d.sampled);
+  EXPECT_FALSE(d.was_large);
+  EXPECT_DOUBLE_EQ(d.adjusted_weight, 100.0);  // adjusted up to z
+  EXPECT_DOUBLE_EQ(core.counter(), 20.0);      // residual carries on
+}
+
+TEST(ThresholdCoreTest, EstimateWithinOneThresholdOfTruth) {
+  // The counter-based scheme loses at most the final counter residue (< z).
+  ThresholdSamplerCore core(500.0);
+  double truth = 0.0, est = 0.0;
+  Pcg64 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double x = 40.0 + static_cast<double>(rng.NextBounded(1460));
+    truth += x;
+    ThresholdDecision d = core.Offer(x);
+    if (d.sampled) est += d.adjusted_weight;
+  }
+  EXPECT_LE(std::fabs(truth - est), 500.0);
+}
+
+TEST(ThresholdCoreTest, SetZKeepsCounter) {
+  ThresholdSamplerCore core(10.0);
+  core.Offer(4.0);
+  core.set_z(20.0);
+  EXPECT_DOUBLE_EQ(core.counter(), 4.0);
+  core.ResetCounter();
+  EXPECT_DOUBLE_EQ(core.counter(), 0.0);
+}
+
+TEST(ZAdjustTest, ShrinksWhenUnderTarget) {
+  EXPECT_DOUBLE_EQ(AggressiveZAdjust(100.0, 50, 100, 0), 50.0);
+  EXPECT_DOUBLE_EQ(AggressiveZAdjust(100.0, 0, 100, 0), 1.0);  // floor 1/M
+}
+
+TEST(ZAdjustTest, GrowsWhenOverTarget) {
+  // |S|=200, M=100, B=0: factor 2.
+  EXPECT_DOUBLE_EQ(AggressiveZAdjust(100.0, 200, 100, 0), 200.0);
+  // With B large items the raw shrink factor would be (200-50)/(100-50)=3,
+  // but per-phase growth is capped at max(2, |S|/M) = 2 to avoid the
+  // blow-up when B approaches M.
+  EXPECT_DOUBLE_EQ(AggressiveZAdjust(100.0, 200, 100, 50), 200.0);
+  // The cap scales with the overshoot: |S|=1000, M=100 allows up to 10x.
+  EXPECT_DOUBLE_EQ(AggressiveZAdjust(100.0, 1000, 100, 50), 1000.0);
+  // The explosive near-degenerate case stays bounded.
+  EXPECT_DOUBLE_EQ(AggressiveZAdjust(100.0, 200, 100, 99), 200.0);
+  // Never shrinks below z_old when |S| >= M.
+  EXPECT_DOUBLE_EQ(AggressiveZAdjust(100.0, 100, 100, 0), 100.0);
+}
+
+TEST(ZAdjustTest, DegenerateTargets) {
+  EXPECT_DOUBLE_EQ(AggressiveZAdjust(100.0, 10, 0, 0), 100.0);
+}
+
+// ---------- BasicSubsetSumSampler ----------
+
+TEST(BasicSubsetSumTest, SampleSizeScalesInverselyWithZ) {
+  Pcg64 rng(7);
+  std::vector<double> weights;
+  for (int i = 0; i < 20000; ++i) {
+    weights.push_back(40.0 + static_cast<double>(rng.NextBounded(1460)));
+  }
+  // Both thresholds sit above the weight range, so every sample is a
+  // "small" one and the counts scale as 1/z.
+  BasicSubsetSumSampler<int> lo(2000.0), hi(20000.0);
+  for (int i = 0; i < 20000; ++i) {
+    lo.Offer(i, weights[static_cast<size_t>(i)]);
+    hi.Offer(i, weights[static_cast<size_t>(i)]);
+  }
+  EXPECT_GT(lo.samples().size(), 5 * hi.samples().size());
+}
+
+TEST(BasicSubsetSumTest, PerColorSubsetSumsAccurate) {
+  // R(C, x): 16 colors, estimate each color's sum from one joint sample.
+  Pcg64 rng(11);
+  constexpr int kColors = 16;
+  std::vector<double> truth(kColors, 0.0);
+  BasicSubsetSumSampler<int> sampler(300.0);
+  for (int i = 0; i < 200000; ++i) {
+    int color = static_cast<int>(rng.NextBounded(kColors));
+    double x = 40.0 + static_cast<double>(rng.NextBounded(1460));
+    truth[static_cast<size_t>(color)] += x;
+    sampler.Offer(color, x);
+  }
+  std::vector<double> est(kColors, 0.0);
+  for (const auto& ws : sampler.samples()) {
+    est[static_cast<size_t>(ws.item)] += ws.adjusted_weight;
+  }
+  for (int c = 0; c < kColors; ++c) {
+    EXPECT_NEAR(est[static_cast<size_t>(c)], truth[static_cast<size_t>(c)],
+                0.05 * truth[static_cast<size_t>(c)])
+        << "color " << c;
+  }
+}
+
+TEST(BasicSubsetSumTest, ClearResets) {
+  BasicSubsetSumSampler<int> s(10.0);
+  s.Offer(1, 100.0);
+  EXPECT_EQ(s.samples().size(), 1u);
+  EXPECT_EQ(s.large_count(), 1u);
+  s.Clear();
+  EXPECT_TRUE(s.samples().empty());
+  EXPECT_EQ(s.large_count(), 0u);
+  EXPECT_DOUBLE_EQ(s.EstimateSum(), 0.0);
+}
+
+// ---------- DynamicSubsetSumSampler ----------
+
+struct DynParam {
+  uint64_t target;
+  double beta;
+};
+
+class DynamicSubsetSumParamTest : public testing::TestWithParam<DynParam> {};
+
+TEST_P(DynamicSubsetSumParamTest, SampleSizeControlAndAccuracy) {
+  const DynParam p = GetParam();
+  DynamicSubsetSumSampler<int>::Options opt;
+  opt.target_samples = p.target;
+  opt.beta = p.beta;
+  opt.initial_z = 1.0;
+  DynamicSubsetSumSampler<int> sampler(opt);
+
+  Pcg64 rng(13);
+  double truth = 0.0;
+  const int kItems = 100000;
+  for (int i = 0; i < kItems; ++i) {
+    double x = 40.0 + static_cast<double>(rng.NextBounded(1460));
+    truth += x;
+    sampler.Offer(i, x);
+    // Invariant: the retained sample never exceeds beta*N for long — one
+    // Offer may land exactly one above the trigger before cleaning.
+    EXPECT_LE(sampler.samples().size(),
+              static_cast<size_t>(p.beta * static_cast<double>(p.target)) + 1);
+  }
+  SubsetSumWindowStats stats = sampler.EndWindow();
+  EXPECT_LE(stats.final_sample_count, p.target);
+  EXPECT_GT(stats.final_sample_count, p.target / 4);  // not degenerate
+  EXPECT_GT(stats.cleaning_phases, 0u);
+  EXPECT_NEAR(stats.estimated_sum, truth, 0.15 * truth);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DynamicSubsetSumParamTest,
+                         testing::Values(DynParam{100, 2.0},
+                                         DynParam{1000, 2.0},
+                                         DynParam{1000, 1.5},
+                                         DynParam{1000, 4.0},
+                                         DynParam{5000, 2.0}));
+
+TEST(DynamicSubsetSumTest, RelaxedCarryOverDividesThreshold) {
+  DynamicSubsetSumSampler<int>::Options opt;
+  opt.target_samples = 50;
+  opt.initial_z = 1.0;
+  opt.relaxed = true;
+  opt.relax_factor = 10.0;
+  DynamicSubsetSumSampler<int> sampler(opt);
+  Pcg64 rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    sampler.Offer(i, 40.0 + static_cast<double>(rng.NextBounded(1460)));
+  }
+  SubsetSumWindowStats stats = sampler.EndWindow();
+  EXPECT_NEAR(sampler.z(), stats.final_z / 10.0, 1e-9);
+}
+
+TEST(DynamicSubsetSumTest, NonRelaxedCarriesThresholdUnchanged) {
+  DynamicSubsetSumSampler<int>::Options opt;
+  opt.target_samples = 50;
+  opt.initial_z = 1.0;
+  opt.relaxed = false;
+  DynamicSubsetSumSampler<int> sampler(opt);
+  Pcg64 rng(19);
+  for (int i = 0; i < 20000; ++i) {
+    sampler.Offer(i, 40.0 + static_cast<double>(rng.NextBounded(1460)));
+  }
+  SubsetSumWindowStats stats = sampler.EndWindow();
+  EXPECT_DOUBLE_EQ(sampler.z(), stats.final_z);
+}
+
+TEST(DynamicSubsetSumTest, NonRelaxedUnderSamplesAfterLoadDrop) {
+  // The Fig. 2/3 failure mode: a heavy window followed by a light one.
+  DynamicSubsetSumSampler<int>::Options opt;
+  opt.target_samples = 200;
+  opt.initial_z = 1.0;
+  opt.relaxed = false;
+  DynamicSubsetSumSampler<int> nonrelaxed(opt);
+  opt.relaxed = true;
+  opt.relax_factor = 10.0;
+  DynamicSubsetSumSampler<int> relaxed(opt);
+
+  Pcg64 rng(23);
+  auto run_window = [&](DynamicSubsetSumSampler<int>& s, int items) {
+    for (int i = 0; i < items; ++i) {
+      s.Offer(i, 40.0 + static_cast<double>(rng.NextBounded(1460)));
+    }
+    return s.EndWindow();
+  };
+  run_window(nonrelaxed, 200000);  // heavy window
+  run_window(relaxed, 200000);
+  SubsetSumWindowStats nr = run_window(nonrelaxed, 4000);  // 50x load drop
+  SubsetSumWindowStats rx = run_window(relaxed, 4000);
+  EXPECT_LT(nr.final_sample_count, rx.final_sample_count / 2);
+}
+
+TEST(DynamicSubsetSumTest, EstimateUnbiasedAcrossWindows) {
+  DynamicSubsetSumSampler<int>::Options opt;
+  opt.target_samples = 500;
+  opt.initial_z = 1.0;
+  opt.relaxed = true;
+  DynamicSubsetSumSampler<int> sampler(opt);
+  Pcg64 rng(29);
+  double total_err = 0.0;
+  int windows = 0;
+  for (int w = 0; w < 10; ++w) {
+    double truth = 0.0;
+    for (int i = 0; i < 30000; ++i) {
+      double x = 40.0 + static_cast<double>(rng.NextBounded(1460));
+      truth += x;
+      sampler.Offer(i, x);
+    }
+    SubsetSumWindowStats stats = sampler.EndWindow();
+    total_err += (stats.estimated_sum - truth) / truth;
+    ++windows;
+  }
+  // Mean signed relative error stays near zero (unbiasedness).
+  EXPECT_LT(std::fabs(total_err / windows), 0.05);
+}
+
+// ---------- ReservoirControl / ReservoirSampler ----------
+
+TEST(ReservoirControlTest, FirstNAlwaysAdmitted) {
+  for (auto mode : {ReservoirControl::Mode::kPerRecord,
+                    ReservoirControl::Mode::kSkip}) {
+    ReservoirControl c(10, mode, 1);
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_TRUE(c.Offer()) << "mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(ReservoirControlTest, SkipModeAdmissionCountLogarithmic) {
+  const uint64_t n = 100, N = 100000;
+  ReservoirControl c(n, ReservoirControl::Mode::kSkip, 3);
+  uint64_t admitted = 0;
+  for (uint64_t i = 0; i < N; ++i) {
+    if (c.Offer()) ++admitted;
+  }
+  // Expected admissions ~ n * (1 + ln(N/n)) ~ 100 * 7.9 ~ 790.
+  double expected =
+      static_cast<double>(n) *
+      (1.0 + std::log(static_cast<double>(N) / static_cast<double>(n)));
+  EXPECT_GT(admitted, expected * 0.5);
+  EXPECT_LT(admitted, expected * 2.0);
+}
+
+TEST(ReservoirControlTest, ResetRestoresDeterminism) {
+  ReservoirControl c(5, ReservoirControl::Mode::kSkip, 7);
+  std::vector<bool> first;
+  for (int i = 0; i < 1000; ++i) first.push_back(c.Offer());
+  c.Reset();
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(c.Offer(), first[static_cast<size_t>(i)]);
+}
+
+class ReservoirUniformityTest
+    : public testing::TestWithParam<ReservoirControl::Mode> {};
+
+TEST_P(ReservoirUniformityTest, InclusionFrequenciesUniform) {
+  // Every stream position should land in the final sample with equal
+  // probability n/N; verify with a chi-square over many trials.
+  const uint64_t n = 10, N = 200;
+  const int kTrials = 4000;
+  std::vector<uint64_t> inclusion(N, 0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    ReservoirSampler<uint64_t> s(n, static_cast<uint64_t>(trial) + 1,
+                                 GetParam());
+    for (uint64_t i = 0; i < N; ++i) s.Offer(i);
+    for (uint64_t v : s.sample()) ++inclusion[v];
+  }
+  // 199 dof; 99.99th percentile ~ 292. Use a generous bound.
+  EXPECT_LT(ChiSquareUniform(inclusion), 300.0);
+  // Every position was sampled at least once across 4000 trials.
+  for (uint64_t i = 0; i < N; ++i) EXPECT_GT(inclusion[i], 0u) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, ReservoirUniformityTest,
+                         testing::Values(ReservoirControl::Mode::kPerRecord,
+                                         ReservoirControl::Mode::kSkip));
+
+TEST(ReservoirSamplerTest, SampleSizeNeverExceedsN) {
+  ReservoirSampler<int> s(50, 9);
+  for (int i = 0; i < 10000; ++i) {
+    s.Offer(i);
+    EXPECT_LE(s.sample().size(), 50u);
+  }
+  EXPECT_EQ(s.sample().size(), 50u);
+  EXPECT_EQ(s.records_seen(), 10000u);
+}
+
+TEST(ReservoirSamplerTest, ShortStreamKeepsEverything) {
+  ReservoirSampler<int> s(100, 9);
+  for (int i = 0; i < 30; ++i) s.Offer(i);
+  EXPECT_EQ(s.sample().size(), 30u);
+}
+
+TEST(CandidateReservoirTest, WindowSampleHasTargetSize) {
+  CandidateReservoir<int> r(100, 20.0, 31);
+  for (int i = 0; i < 500000; ++i) r.Offer(i);
+  std::vector<int> sample = r.EndWindow();
+  EXPECT_EQ(sample.size(), 100u);
+}
+
+TEST(CandidateReservoirTest, CleaningTriggeredOnOverflow) {
+  CandidateReservoir<int> r(10, 2.0, 37);  // tiny buffer: 20 candidates
+  for (int i = 0; i < 100000; ++i) r.Offer(i);
+  EXPECT_GT(r.stats().cleaning_phases, 0u);
+  EXPECT_LE(r.candidates().size(), 20u);
+  std::vector<int> sample = r.EndWindow();
+  EXPECT_LE(sample.size(), 10u);
+  EXPECT_EQ(r.candidates().size(), 0u);  // reset for next window
+}
+
+TEST(CandidateReservoirTest, EarlyPositionBiasIsReal) {
+  // Documents a property of the paper's deferred-replacement scheme:
+  // admission decays like n/t while survival is uniform, so early stream
+  // positions are over-represented (EXPERIMENTS.md discusses this).
+  const uint64_t n = 20, N = 2000;
+  const int kTrials = 2000;
+  uint64_t first_decile = 0, last_decile = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    CandidateReservoir<uint64_t> r(n, 4.0, static_cast<uint64_t>(trial) + 1);
+    for (uint64_t i = 0; i < N; ++i) r.Offer(i);
+    for (uint64_t v : r.EndWindow()) {
+      if (v < N / 10) ++first_decile;
+      if (v >= 9 * N / 10) ++last_decile;
+    }
+  }
+  EXPECT_GT(first_decile, 2 * last_decile);
+}
+
+TEST(BackoffReservoirTest, WindowSampleHasTargetSize) {
+  BackoffReservoir<int> r(100, 4.0, 31);
+  for (int i = 0; i < 100000; ++i) r.Offer(i);
+  EXPECT_GT(r.stats().cleaning_phases, 0u);
+  EXPECT_LT(r.admission_probability(), 1.0);
+  std::vector<int> sample = r.EndWindow();
+  EXPECT_EQ(sample.size(), 100u);
+  EXPECT_DOUBLE_EQ(r.admission_probability(), 1.0);  // reset per window
+}
+
+TEST(BackoffReservoirTest, ShortStreamKeepsEverything) {
+  BackoffReservoir<int> r(100, 4.0, 33);
+  for (int i = 0; i < 50; ++i) r.Offer(i);
+  EXPECT_EQ(r.EndWindow().size(), 50u);
+}
+
+TEST(BackoffReservoirTest, InclusionIsUniform) {
+  // The whole point of the backoff scheme: exact uniformity, in contrast
+  // to CandidateReservoir's early-position bias.
+  const uint64_t n = 20, N = 2000;
+  const int kTrials = 4000;
+  std::vector<uint64_t> inclusion(N, 0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    BackoffReservoir<uint64_t> r(n, 4.0, static_cast<uint64_t>(trial) + 1);
+    for (uint64_t i = 0; i < N; ++i) r.Offer(i);
+    for (uint64_t v : r.EndWindow()) ++inclusion[v];
+  }
+  // Compare first and last decile totals: uniform within a few percent.
+  uint64_t first = 0, last = 0;
+  for (uint64_t i = 0; i < N / 10; ++i) first += inclusion[i];
+  for (uint64_t i = 9 * N / 10; i < N; ++i) last += inclusion[i];
+  double ratio = static_cast<double>(first) / static_cast<double>(last);
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 1.1);
+  // And a chi-square over all positions (1999 dof; 99.99th pct ~ 2290 for
+  // this dof is far above; use mean-based bound ~ dof + 5*sqrt(2*dof)).
+  EXPECT_LT(ChiSquareUniform(inclusion), 2000.0 + 5 * std::sqrt(2 * 1999.0));
+}
+
+TEST(CandidateReservoirTest, SampleElementsDistinct) {
+  CandidateReservoir<int> r(50, 10.0, 41);
+  for (int i = 0; i < 100000; ++i) r.Offer(i);
+  std::vector<int> sample = r.EndWindow();
+  std::sort(sample.begin(), sample.end());
+  EXPECT_TRUE(std::adjacent_find(sample.begin(), sample.end()) ==
+              sample.end());
+}
+
+// ---------- LossyCounting ----------
+
+TEST(LossyCountingTest, ExactWhenNoPruningNeeded) {
+  LossyCounting<int> lc(0.1);  // bucket width 10
+  for (int i = 0; i < 9; ++i) lc.Offer(7);
+  EXPECT_EQ(lc.EstimateFrequency(7), 9u);
+  EXPECT_EQ(lc.EstimateFrequency(8), 0u);
+}
+
+TEST(LossyCountingTest, NoFalseNegativesAtSupport) {
+  // Guarantee: every element with true frequency >= s*N is returned.
+  const double eps = 0.001, s = 0.01;
+  LossyCounting<uint64_t> lc(eps);
+  Pcg64 rng(43);
+  ZipfDistribution zipf(1000, 1.2);
+  std::map<uint64_t, uint64_t> truth;
+  const int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    uint64_t e = zipf.Sample(rng);
+    ++truth[e];
+    lc.Offer(e);
+  }
+  auto result = lc.Query(s);
+  std::set<uint64_t> reported;
+  for (const auto& entry : result) reported.insert(entry.element);
+  for (const auto& [e, f] : truth) {
+    if (static_cast<double>(f) >= s * kN) {
+      EXPECT_TRUE(reported.count(e) > 0) << "missed heavy hitter " << e;
+    }
+    // And nothing below (s - eps) * N is reported.
+    if (static_cast<double>(f) < (s - eps) * kN) {
+      EXPECT_TRUE(reported.count(e) == 0) << "false positive " << e;
+    }
+  }
+}
+
+TEST(LossyCountingTest, FrequencyUnderestimateBoundedByEpsN) {
+  const double eps = 0.005;
+  LossyCounting<uint64_t> lc(eps);
+  Pcg64 rng(47);
+  ZipfDistribution zipf(200, 1.0);
+  std::map<uint64_t, uint64_t> truth;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    uint64_t e = zipf.Sample(rng);
+    ++truth[e];
+    lc.Offer(e);
+  }
+  for (const auto& [e, f] : truth) {
+    uint64_t est = lc.EstimateFrequency(e);
+    EXPECT_LE(est, f);  // lossy counting never overestimates
+    if (est > 0) {
+      EXPECT_GE(static_cast<double>(est),
+                static_cast<double>(f) - eps * kN - 1);
+    }
+  }
+}
+
+class LossyCountingSpaceTest : public testing::TestWithParam<double> {};
+
+TEST_P(LossyCountingSpaceTest, TableStaysSmall) {
+  const double eps = GetParam();
+  LossyCounting<uint64_t> lc(eps);
+  Pcg64 rng(53);
+  const int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    lc.Offer(rng.NextBounded(100000));  // near-uniform: worst case
+  }
+  // Manku-Motwani bound: (1/eps) log(eps N).
+  double bound = (1.0 / eps) * std::log(eps * kN) + 2.0 / eps;
+  EXPECT_LT(static_cast<double>(lc.table_size()), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsSweep, LossyCountingSpaceTest,
+                         testing::Values(0.01, 0.005, 0.002));
+
+TEST(LossyCountingTest, ClearResets) {
+  LossyCounting<int> lc(0.1);
+  lc.Offer(1);
+  lc.Clear();
+  EXPECT_EQ(lc.stream_length(), 0u);
+  EXPECT_EQ(lc.table_size(), 0u);
+  EXPECT_EQ(lc.current_bucket(), 1u);
+}
+
+// ---------- KMinHashSketch ----------
+
+TEST(KmvTest, RetainsAtMostK) {
+  KMinHashSketch sk(16);
+  for (uint64_t i = 0; i < 1000; ++i) sk.Offer(i);
+  EXPECT_EQ(sk.size(), 16u);
+  auto vals = sk.MinValues();
+  EXPECT_TRUE(std::is_sorted(vals.begin(), vals.end()));
+}
+
+TEST(KmvTest, DuplicatesDoNotGrowSketch) {
+  KMinHashSketch sk(16);
+  for (int rep = 0; rep < 10; ++rep) {
+    for (uint64_t i = 0; i < 8; ++i) sk.Offer(i);
+  }
+  EXPECT_EQ(sk.size(), 8u);
+  EXPECT_DOUBLE_EQ(sk.EstimateDistinctCount(), 8.0);  // exact below k
+}
+
+class KmvDistinctCountTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(KmvDistinctCountTest, EstimateWithinRelativeError) {
+  const uint64_t k = GetParam();
+  KMinHashSketch sk(k);
+  const uint64_t kDistinct = 50000;
+  for (uint64_t i = 0; i < kDistinct; ++i) sk.Offer(i * 2654435761ULL);
+  // KMV standard error ~ 1/sqrt(k-2); allow 5 sigma.
+  double rel = 5.0 / std::sqrt(static_cast<double>(k) - 2.0);
+  EXPECT_NEAR(sk.EstimateDistinctCount(), static_cast<double>(kDistinct),
+              rel * static_cast<double>(kDistinct));
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, KmvDistinctCountTest,
+                         testing::Values(64, 256, 1024));
+
+TEST(KmvTest, ResemblanceIdenticalSetsIsOne) {
+  KMinHashSketch a(64), b(64);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    a.Offer(i);
+    b.Offer(i);
+  }
+  EXPECT_DOUBLE_EQ(a.EstimateResemblance(b), 1.0);
+}
+
+TEST(KmvTest, ResemblanceDisjointSetsIsZero) {
+  KMinHashSketch a(64), b(64);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    a.Offer(i);
+    b.Offer(i + 1000000);
+  }
+  EXPECT_LT(a.EstimateResemblance(b), 0.05);
+}
+
+TEST(KmvTest, ResemblancePartialOverlapAccurate) {
+  // |A| = |B| = 20000, |A ∩ B| = 10000 -> resemblance = 10000/30000 = 1/3.
+  KMinHashSketch a(512), b(512);
+  for (uint64_t i = 0; i < 20000; ++i) a.Offer(i);
+  for (uint64_t i = 10000; i < 30000; ++i) b.Offer(i);
+  EXPECT_NEAR(a.EstimateResemblance(b), 1.0 / 3.0, 0.08);
+}
+
+TEST(KmvTest, RarityEstimate) {
+  // Half the distinct elements occur once, half occur 3 times.
+  KMinHashSketch sk(256);
+  for (uint64_t i = 0; i < 10000; ++i) sk.Offer(i);  // singletons
+  for (uint64_t i = 10000; i < 20000; ++i) {
+    sk.Offer(i);
+    sk.Offer(i);
+    sk.Offer(i);
+  }
+  EXPECT_NEAR(sk.EstimateRarity(), 0.5, 0.12);
+}
+
+TEST(KmvTest, EmptyAndClear) {
+  KMinHashSketch sk(8);
+  EXPECT_DOUBLE_EQ(sk.EstimateDistinctCount(), 0.0);
+  EXPECT_DOUBLE_EQ(sk.EstimateRarity(), 0.0);
+  sk.Offer(1);
+  sk.Clear();
+  EXPECT_EQ(sk.size(), 0u);
+}
+
+TEST(KmvTest, SketchesWithDifferentSeedsHashDifferently) {
+  KMinHashSketch a(8, 1), b(8, 2);
+  for (uint64_t i = 0; i < 100; ++i) {
+    a.Offer(i);
+    b.Offer(i);
+  }
+  EXPECT_NE(a.MinValues(), b.MinValues());
+}
+
+// ---------- Bernoulli / Systematic ----------
+
+TEST(BernoulliTest, KeepRateMatchesP) {
+  BernoulliSampler<int> s(0.1, 59);
+  for (int i = 0; i < 100000; ++i) s.Offer(i);
+  double rate = static_cast<double>(s.sample().size()) / 100000.0;
+  EXPECT_NEAR(rate, 0.1, 0.01);
+  EXPECT_DOUBLE_EQ(s.InverseInclusionProbability(), 10.0);
+}
+
+TEST(BernoulliTest, HorvitzThompsonCountEstimate) {
+  BernoulliSampler<int> s(0.25, 61);
+  const int kN = 80000;
+  for (int i = 0; i < kN; ++i) s.Offer(i);
+  double est = static_cast<double>(s.sample().size()) *
+               s.InverseInclusionProbability();
+  EXPECT_NEAR(est, kN, 0.05 * kN);
+}
+
+TEST(SystematicTest, ExactOneInK) {
+  SystematicSampler<int> s(10, 67);
+  for (int i = 0; i < 1000; ++i) s.Offer(i);
+  EXPECT_EQ(s.sample().size(), 100u);
+  // Consecutive kept elements are exactly k apart.
+  for (size_t i = 1; i < s.sample().size(); ++i) {
+    EXPECT_EQ(s.sample()[i] - s.sample()[i - 1], 10);
+  }
+}
+
+TEST(SystematicTest, KZeroTreatedAsOne) {
+  SystematicSampler<int> s(0, 67);
+  for (int i = 0; i < 10; ++i) s.Offer(i);
+  EXPECT_EQ(s.sample().size(), 10u);
+}
+
+// ---------- PrioritySampler ----------
+
+TEST(PriorityTest, KeepsAtMostK) {
+  PrioritySampler<int> s(32, 71);
+  for (int i = 0; i < 10000; ++i) s.Offer(i, 100.0);
+  EXPECT_EQ(s.Samples().size(), 32u);
+  EXPECT_GT(s.tau(), 0.0);
+}
+
+TEST(PriorityTest, FewItemsKeepsAll) {
+  PrioritySampler<int> s(100, 73);
+  for (int i = 0; i < 20; ++i) s.Offer(i, 5.0);
+  EXPECT_EQ(s.Samples().size(), 20u);
+  EXPECT_DOUBLE_EQ(s.tau(), 0.0);
+  EXPECT_DOUBLE_EQ(s.EstimateSum(), 100.0);  // exact below k
+}
+
+TEST(PriorityTest, SumEstimateAccurateOnSkewedWeights) {
+  Pcg64 rng(79);
+  double mean_rel_err = 0.0;
+  const int kTrials = 30;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    PrioritySampler<int> s(500, static_cast<uint64_t>(trial) * 13 + 1);
+    double truth = 0.0;
+    for (int i = 0; i < 50000; ++i) {
+      double w = rng.NextPareto(1.5, 40.0);
+      if (w > 100000.0) w = 100000.0;
+      truth += w;
+      s.Offer(i, w);
+    }
+    mean_rel_err += (s.EstimateSum() - truth) / truth;
+  }
+  EXPECT_LT(std::fabs(mean_rel_err / kTrials), 0.05);  // unbiased
+}
+
+}  // namespace
+}  // namespace streamop

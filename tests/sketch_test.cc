@@ -1,0 +1,221 @@
+// Tests for the extension sketches: the Greenwald-Khanna quantile summary
+// (§8's contrast case, exposed as the quantile()/median() aggregate) and
+// Gibbons' distinct sampler (the fifth algorithm package).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "sampling/distinct.h"
+#include "sampling/gk_quantile.h"
+
+namespace streamop {
+namespace {
+
+// ---------- GkQuantileSketch ----------
+
+// Distance from target rank to the rank *interval* the value v occupies in
+// the sorted data (duplicated values span [lower_bound, upper_bound]).
+double RankIntervalError(const std::vector<double>& sorted, double v,
+                         double target) {
+  double lo = static_cast<double>(
+      std::lower_bound(sorted.begin(), sorted.end(), v) - sorted.begin());
+  double hi = static_cast<double>(
+      std::upper_bound(sorted.begin(), sorted.end(), v) - sorted.begin());
+  if (target < lo) return lo - target;
+  if (target > hi) return target - hi;
+  return 0.0;
+}
+
+void CheckRankErrors(const std::vector<double>& data, double eps) {
+  GkQuantileSketch sk(eps);
+  for (double v : data) sk.Insert(v);
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(data.size());
+  for (double phi : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    double q = sk.Query(phi);
+    // Allow 2*eps*n slack: eps from the sketch invariant plus discreteness.
+    EXPECT_LE(RankIntervalError(sorted, q, phi * n), 2.0 * eps * n + 2.0)
+        << "phi=" << phi << " eps=" << eps << " n=" << n;
+  }
+}
+
+TEST(GkQuantileTest, UniformRandomStream) {
+  Pcg64 rng(3);
+  std::vector<double> data;
+  for (int i = 0; i < 50000; ++i) data.push_back(rng.NextDouble() * 1e6);
+  CheckRankErrors(data, 0.01);
+}
+
+TEST(GkQuantileTest, SortedAndReversedStreams) {
+  std::vector<double> asc, desc;
+  for (int i = 0; i < 20000; ++i) {
+    asc.push_back(static_cast<double>(i));
+    desc.push_back(static_cast<double>(20000 - i));
+  }
+  CheckRankErrors(asc, 0.01);
+  CheckRankErrors(desc, 0.01);
+}
+
+TEST(GkQuantileTest, HeavyTailedStream) {
+  Pcg64 rng(5);
+  std::vector<double> data;
+  for (int i = 0; i < 50000; ++i) data.push_back(rng.NextPareto(1.2, 1.0));
+  CheckRankErrors(data, 0.005);
+}
+
+TEST(GkQuantileTest, ManyDuplicates) {
+  Pcg64 rng(7);
+  std::vector<double> data;
+  for (int i = 0; i < 30000; ++i) {
+    data.push_back(static_cast<double>(rng.NextBounded(5)));
+  }
+  CheckRankErrors(data, 0.01);
+}
+
+TEST(GkQuantileTest, SummaryStaysSublinear) {
+  GkQuantileSketch sk(0.01);
+  Pcg64 rng(9);
+  for (int i = 0; i < 200000; ++i) sk.Insert(rng.NextDouble());
+  EXPECT_EQ(sk.count(), 200000u);
+  // GK space is O((1/eps) log(eps n)) ~ a few hundred entries at eps=0.01.
+  EXPECT_LT(sk.summary_size(), 2000u);
+}
+
+TEST(GkQuantileTest, SmallStreamsExact) {
+  GkQuantileSketch sk(0.01);
+  EXPECT_DOUBLE_EQ(sk.Query(0.5), 0.0);  // empty
+  sk.Insert(42.0);
+  EXPECT_DOUBLE_EQ(sk.Query(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(sk.Query(1.0), 42.0);
+  sk.Insert(10.0);
+  sk.Insert(99.0);
+  double med = sk.Query(0.5);
+  EXPECT_GE(med, 10.0);
+  EXPECT_LE(med, 99.0);
+}
+
+TEST(GkQuantileTest, ClearResets) {
+  GkQuantileSketch sk(0.01);
+  sk.Insert(1.0);
+  sk.Clear();
+  EXPECT_EQ(sk.count(), 0u);
+  EXPECT_EQ(sk.summary_size(), 0u);
+}
+
+TEST(GkQuantileTest, EpsilonClamped) {
+  GkQuantileSketch bad1(-1.0), bad2(5.0);
+  EXPECT_GT(bad1.eps(), 0.0);
+  EXPECT_LE(bad2.eps(), 0.5);
+}
+
+// ---------- DistinctSampler ----------
+
+TEST(DistinctSamplerTest, ExactBelowCapacity) {
+  DistinctSampler ds(128);
+  for (uint64_t i = 0; i < 100; ++i) {
+    ds.Offer(i);
+    ds.Offer(i);  // duplicates must not grow the sample
+  }
+  EXPECT_EQ(ds.size(), 100u);
+  EXPECT_EQ(ds.level(), 0u);
+  EXPECT_DOUBLE_EQ(ds.EstimateDistinctCount(), 100.0);
+}
+
+TEST(DistinctSamplerTest, CapacityRespected) {
+  DistinctSampler ds(64);
+  for (uint64_t i = 0; i < 100000; ++i) {
+    ds.Offer(i);
+    EXPECT_LE(ds.size(), 64u);
+  }
+  EXPECT_GT(ds.level(), 5u);
+}
+
+class DistinctCountAccuracyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(DistinctCountAccuracyTest, EstimateWithinBand) {
+  const uint64_t distinct = GetParam();
+  // Average over several hash seeds: the estimator is unbiased but has
+  // ~1/sqrt(capacity) relative deviation per run.
+  double total = 0.0;
+  const int kRuns = 16;
+  for (int run = 0; run < kRuns; ++run) {
+    DistinctSampler ds(512, static_cast<uint64_t>(run) * 7919 + 1);
+    Pcg64 rng(static_cast<uint64_t>(run) + 100);
+    for (uint64_t i = 0; i < distinct; ++i) {
+      uint64_t e = i;
+      // Each element appears 1-4 times.
+      uint64_t reps = 1 + rng.NextBounded(4);
+      for (uint64_t r = 0; r < reps; ++r) ds.Offer(e);
+    }
+    total += ds.EstimateDistinctCount();
+  }
+  double mean = total / kRuns;
+  EXPECT_NEAR(mean, static_cast<double>(distinct),
+              0.10 * static_cast<double>(distinct));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DistinctCountAccuracyTest,
+                         testing::Values(1000, 10000, 100000));
+
+TEST(DistinctSamplerTest, RarityEstimate) {
+  // 3000 singletons + 3000 elements appearing 5 times: rarity = 0.5.
+  DistinctSampler ds(512, 12345);
+  for (uint64_t i = 0; i < 3000; ++i) ds.Offer(i);
+  for (uint64_t i = 3000; i < 6000; ++i) {
+    for (int r = 0; r < 5; ++r) ds.Offer(i);
+  }
+  EXPECT_NEAR(ds.EstimateRarity(), 0.5, 0.12);
+}
+
+TEST(DistinctSamplerTest, SampleIsUniformOverDistinct) {
+  // Skewed occurrence counts must NOT skew the distinct-element sample:
+  // element 0 appears 10000 times, the rest once. Its inclusion frequency
+  // across seeds equals everyone else's (~capacity/distinct).
+  const uint64_t kDistinct = 4000;
+  const int kRuns = 400;
+  int heavy_in = 0;
+  double mean_size = 0.0;
+  for (int run = 0; run < kRuns; ++run) {
+    DistinctSampler ds(256, static_cast<uint64_t>(run) + 1);
+    for (int r = 0; r < 10000; ++r) ds.Offer(0);
+    for (uint64_t i = 1; i < kDistinct; ++i) ds.Offer(i);
+    if (ds.sample().count(0) > 0) ++heavy_in;
+    mean_size += static_cast<double>(ds.size());
+  }
+  mean_size /= kRuns;
+  double expected_p = mean_size / static_cast<double>(kDistinct);
+  double got_p = static_cast<double>(heavy_in) / kRuns;
+  EXPECT_NEAR(got_p, expected_p, 0.1);
+}
+
+TEST(DistinctSamplerTest, CountsTrackOccurrences) {
+  DistinctSampler ds(64);
+  for (int r = 0; r < 7; ++r) ds.Offer(42);
+  auto it = ds.sample().find(42);
+  ASSERT_NE(it, ds.sample().end());
+  EXPECT_EQ(it->second, 7u);
+}
+
+TEST(DistinctSamplerTest, ClearResets) {
+  DistinctSampler ds(8);
+  for (uint64_t i = 0; i < 1000; ++i) ds.Offer(i);
+  ds.Clear();
+  EXPECT_EQ(ds.size(), 0u);
+  EXPECT_EQ(ds.level(), 0u);
+}
+
+TEST(HashLevelTest, TrailingZeros) {
+  EXPECT_EQ(HashLevel(1), 0u);
+  EXPECT_EQ(HashLevel(2), 1u);
+  EXPECT_EQ(HashLevel(8), 3u);
+  EXPECT_EQ(HashLevel(0), 64u);
+  EXPECT_EQ(HashLevel(uint64_t{1} << 63), 63u);
+}
+
+}  // namespace
+}  // namespace streamop

@@ -1,0 +1,152 @@
+// Unit tests for src/stream: the SPSC ring buffer (single- and
+// multi-threaded) and the tuple sources.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+
+#include "net/trace_generator.h"
+#include "stream/ring_buffer.h"
+#include "stream/stream_source.h"
+
+namespace streamop {
+namespace {
+
+TEST(RingBufferTest, CapacityRoundsToPowerOfTwo) {
+  RingBuffer<int> rb(5);
+  EXPECT_GE(rb.capacity(), 5u);
+  RingBuffer<int> rb2(1);
+  EXPECT_GE(rb2.capacity(), 1u);
+}
+
+TEST(RingBufferTest, PushPopFifoOrder) {
+  RingBuffer<int> rb(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(rb.TryPush(i));
+  EXPECT_EQ(rb.size(), 5u);
+  int v;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(rb.TryPop(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.TryPop(&v));
+}
+
+TEST(RingBufferTest, FullBufferRejectsPush) {
+  RingBuffer<int> rb(2);  // usable capacity >= 2
+  size_t pushed = 0;
+  while (rb.TryPush(1)) ++pushed;
+  EXPECT_EQ(pushed, rb.capacity());
+  int v;
+  ASSERT_TRUE(rb.TryPop(&v));
+  EXPECT_TRUE(rb.TryPush(2));  // space reclaimed
+}
+
+TEST(RingBufferTest, BatchOperations) {
+  RingBuffer<int> rb(16);
+  int in[10];
+  std::iota(in, in + 10, 0);
+  EXPECT_EQ(rb.PushBatch(in, 10), 10u);
+  int out[10];
+  EXPECT_EQ(rb.PopBatch(out, 10), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(RingBufferTest, WrapAroundManyTimes) {
+  RingBuffer<uint64_t> rb(4);
+  uint64_t next_in = 0, next_out = 0;
+  for (int round = 0; round < 1000; ++round) {
+    while (rb.TryPush(next_in)) ++next_in;
+    uint64_t v;
+    while (rb.TryPop(&v)) {
+      EXPECT_EQ(v, next_out);
+      ++next_out;
+    }
+  }
+  EXPECT_EQ(next_in, next_out);
+}
+
+TEST(RingBufferTest, SpscTwoThreads) {
+  RingBuffer<uint64_t> rb(1024);
+  constexpr uint64_t kCount = 200000;
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < kCount;) {
+      if (rb.TryPush(i)) ++i;
+    }
+  });
+  uint64_t expected = 0;
+  while (expected < kCount) {
+    uint64_t v;
+    if (rb.TryPop(&v)) {
+      ASSERT_EQ(v, expected);
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(StreamSourceTest, PacketToTupleFieldMapping) {
+  PacketRecord p{};
+  p.ts_ns = 2'500'000'000ULL;
+  p.src_ip = 10;
+  p.dst_ip = 20;
+  p.src_port = 30;
+  p.dst_port = 40;
+  p.proto = 6;
+  p.len = 99;
+  Tuple t = PacketToTuple(p);
+  SchemaPtr schema = MakePacketSchema();
+  ASSERT_EQ(t.size(), schema->num_fields());
+  EXPECT_EQ(t[schema->FieldIndex("time")].uint_value(), 2u);
+  EXPECT_EQ(t[schema->FieldIndex("ts_ns")].uint_value(), 2'500'000'000ULL);
+  EXPECT_EQ(t[schema->FieldIndex("srcIP")].uint_value(), 10u);
+  EXPECT_EQ(t[schema->FieldIndex("destIP")].uint_value(), 20u);
+  EXPECT_EQ(t[schema->FieldIndex("srcPort")].uint_value(), 30u);
+  EXPECT_EQ(t[schema->FieldIndex("destPort")].uint_value(), 40u);
+  EXPECT_EQ(t[schema->FieldIndex("proto")].uint_value(), 6u);
+  EXPECT_EQ(t[schema->FieldIndex("len")].uint_value(), 99u);
+}
+
+TEST(StreamSourceTest, TraceSourceReplaysAll) {
+  Trace trace = TraceGenerator::MakeResearchFeed(1.0, 3);
+  TraceTupleSource src(&trace);
+  Tuple t;
+  size_t n = 0;
+  while (src.Next(&t)) ++n;
+  EXPECT_EQ(n, trace.size());
+  EXPECT_FALSE(src.Next(&t));  // stays exhausted
+}
+
+TEST(StreamSourceTest, TraceSourceReset) {
+  Trace trace = TraceGenerator::MakeResearchFeed(0.5, 3);
+  TraceTupleSource src(&trace);
+  Tuple t;
+  size_t first = 0;
+  while (src.Next(&t)) ++first;
+  src.Reset();
+  size_t second = 0;
+  while (src.Next(&t)) ++second;
+  EXPECT_EQ(first, second);
+}
+
+TEST(StreamSourceTest, VectorSource) {
+  SchemaPtr schema = MakePacketSchema();
+  std::vector<Tuple> tuples = {Tuple({Value::UInt(1)}),
+                               Tuple({Value::UInt(2)})};
+  VectorTupleSource src(schema, tuples);
+  EXPECT_EQ(src.schema()->name(), "PKT");
+  Tuple t;
+  ASSERT_TRUE(src.Next(&t));
+  EXPECT_EQ(t[0].uint_value(), 1u);
+  ASSERT_TRUE(src.Next(&t));
+  EXPECT_EQ(t[0].uint_value(), 2u);
+  EXPECT_FALSE(src.Next(&t));
+  src.Reset();
+  ASSERT_TRUE(src.Next(&t));
+  EXPECT_EQ(t[0].uint_value(), 1u);
+}
+
+}  // namespace
+}  // namespace streamop

@@ -1,0 +1,183 @@
+// Unit tests for src/tuple: Value semantics, Schema resolution, Tuple and
+// GroupKey hashing/equality.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tuple/schema.h"
+#include "tuple/tuple.h"
+#include "tuple/value.h"
+
+namespace streamop {
+namespace {
+
+// ---------- Value ----------
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), FieldType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).type(), FieldType::kBool);
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_EQ(Value::UInt(7).uint_value(), 7u);
+  EXPECT_EQ(Value::Int(-7).int_value(), -7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("x").string_value(), "x");
+}
+
+TEST(ValueTest, AsDoubleCoercions) {
+  EXPECT_DOUBLE_EQ(Value::UInt(3).AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Int(-3).AsDouble(), -3.0);
+  EXPECT_DOUBLE_EQ(Value::Double(1.5).AsDouble(), 1.5);
+  EXPECT_DOUBLE_EQ(Value::Bool(true).AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(Value::Null().AsDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(Value::String("9").AsDouble(), 0.0);
+}
+
+TEST(ValueTest, AsUIntClampsNegatives) {
+  EXPECT_EQ(Value::Int(-5).AsUInt(), 0u);
+  EXPECT_EQ(Value::Double(-0.5).AsUInt(), 0u);
+  EXPECT_EQ(Value::Double(7.9).AsUInt(), 7u);
+  EXPECT_EQ(Value::UInt(5).AsUInt(), 5u);
+}
+
+TEST(ValueTest, AsBoolTruthiness) {
+  EXPECT_FALSE(Value::Null().AsBool());
+  EXPECT_FALSE(Value::UInt(0).AsBool());
+  EXPECT_TRUE(Value::UInt(1).AsBool());
+  EXPECT_FALSE(Value::Double(0.0).AsBool());
+  EXPECT_TRUE(Value::Double(0.1).AsBool());
+  EXPECT_FALSE(Value::String("").AsBool());
+  EXPECT_TRUE(Value::String("x").AsBool());
+}
+
+TEST(ValueTest, DoubleToIntegerClampsInsteadOfUB) {
+  // Regression: UMAX(x, 1e154) once wrapped to 0 via an out-of-range cast.
+  EXPECT_EQ(Value::Double(1e154).AsUInt(), UINT64_MAX);
+  EXPECT_EQ(Value::Double(-1e154).AsUInt(), 0u);
+  EXPECT_EQ(Value::Double(1e300).AsInt(), INT64_MAX);
+  EXPECT_EQ(Value::Double(-1e300).AsInt(), INT64_MIN);
+  double nan = std::nan("");
+  EXPECT_EQ(Value::Double(nan).AsUInt(), 0u);
+  EXPECT_EQ(Value::Double(nan).AsInt(), 0);
+}
+
+TEST(ValueTest, EqualityIsTypeStrict) {
+  EXPECT_EQ(Value::UInt(1), Value::UInt(1));
+  EXPECT_NE(Value::UInt(1), Value::Int(1));  // different types
+  EXPECT_NE(Value::UInt(1), Value::UInt(2));
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_EQ(Value::String("a"), Value::String("a"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::UInt(42).Hash(), Value::UInt(42).Hash());
+  EXPECT_NE(Value::UInt(42).Hash(), Value::Int(42).Hash());
+  EXPECT_NE(Value::UInt(42).Hash(), Value::UInt(43).Hash());
+  EXPECT_EQ(Value::String("k").Hash(), Value::String("k").Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(false).ToString(), "FALSE");
+  EXPECT_EQ(Value::UInt(12).ToString(), "12");
+  EXPECT_EQ(Value::Int(-12).ToString(), "-12");
+  EXPECT_EQ(Value::String("hi").ToString(), "hi");
+}
+
+TEST(ValueTest, FieldTypeNames) {
+  EXPECT_STREQ(FieldTypeToString(FieldType::kUInt), "UINT");
+  EXPECT_STREQ(FieldTypeToString(FieldType::kString), "STRING");
+  EXPECT_TRUE(IsNumeric(FieldType::kDouble));
+  EXPECT_FALSE(IsNumeric(FieldType::kString));
+  EXPECT_FALSE(IsNumeric(FieldType::kBool));
+}
+
+// ---------- Schema ----------
+
+TEST(SchemaTest, FieldLookupCaseInsensitive) {
+  SchemaPtr s = MakePacketSchema();
+  EXPECT_EQ(s->FieldIndex("srcip"), 2);
+  EXPECT_EQ(s->FieldIndex("SRCIP"), 2);
+  EXPECT_EQ(s->FieldIndex("len"), 7);
+  EXPECT_EQ(s->FieldIndex("nope"), -1);
+}
+
+TEST(SchemaTest, ResolveFieldErrors) {
+  SchemaPtr s = MakePacketSchema();
+  EXPECT_TRUE(s->ResolveField("destIP").ok());
+  Result<int> r = s->ResolveField("bogus");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAnalysisError);
+}
+
+TEST(SchemaTest, PacketSchemaOrdering) {
+  SchemaPtr s = MakePacketSchema();
+  EXPECT_TRUE(s->HasOrderedField());
+  auto ordered = s->OrderedFieldIndexes();
+  // Only `time` is ordered; ts_ns has its timestamp-ness cast away (§6.1).
+  ASSERT_EQ(ordered.size(), 1u);
+  EXPECT_EQ(ordered[0], 0);
+  EXPECT_EQ(s->field(1).ordering, Ordering::kNone);
+}
+
+TEST(SchemaTest, ToStringMentionsOrdering) {
+  SchemaPtr s = MakePacketSchema();
+  std::string str = s->ToString();
+  EXPECT_NE(str.find("PKT("), std::string::npos);
+  EXPECT_NE(str.find("time:UINT increasing"), std::string::npos);
+}
+
+TEST(SchemaTest, EmptySchema) {
+  Schema s;
+  EXPECT_EQ(s.num_fields(), 0u);
+  EXPECT_FALSE(s.HasOrderedField());
+  EXPECT_EQ(s.FieldIndex("x"), -1);
+}
+
+// ---------- Tuple / GroupKey ----------
+
+TEST(TupleTest, BasicAccess) {
+  Tuple t({Value::UInt(1), Value::String("a")});
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].uint_value(), 1u);
+  t.Append(Value::Double(3.5));
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.ToString(), "(1, a, 3.5)");
+}
+
+TEST(TupleTest, Equality) {
+  Tuple a({Value::UInt(1)});
+  Tuple b({Value::UInt(1)});
+  Tuple c({Value::UInt(2)});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(GroupKeyTest, HashAndEquality) {
+  GroupKey a({Value::UInt(1), Value::UInt(2)});
+  GroupKey b({Value::UInt(1), Value::UInt(2)});
+  GroupKey c({Value::UInt(2), Value::UInt(1)});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_FALSE(a == c);
+  EXPECT_NE(a.Hash(), c.Hash());  // order matters
+}
+
+TEST(GroupKeyTest, EmptyKeyIsValid) {
+  GroupKey empty1, empty2;
+  EXPECT_EQ(empty1, empty2);
+  EXPECT_EQ(empty1.Hash(), empty2.Hash());
+}
+
+TEST(GroupKeyTest, UsableInUnorderedMap) {
+  std::unordered_map<GroupKey, int, GroupKeyHash> m;
+  m[GroupKey({Value::UInt(1)})] = 10;
+  m[GroupKey({Value::UInt(2)})] = 20;
+  m[GroupKey({Value::UInt(1)})] = 11;  // overwrite
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[GroupKey({Value::UInt(1)})], 11);
+}
+
+}  // namespace
+}  // namespace streamop
