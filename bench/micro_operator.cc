@@ -111,6 +111,107 @@ void BM_QueryCompilation(benchmark::State& state) {
 }
 BENCHMARK(BM_QueryCompilation);
 
+// ---------------------------------------------------------------------------
+// Steady-state benchmarks: the per-tuple hot path of the sampling operator
+// with every group already created and no window boundary in sight. This is
+// the regime the paper's CPU evaluation (§8, Fig. 5) cares about — the
+// operator must keep up with ~100k pkt/s line rate — and the regime the
+// flat-table / hash-once-key / scratch-buffer work targets. Each benchmark
+// iteration processes exactly one tuple, so `real_time` is ns/tuple, and the
+// `tuples_per_sec` / `groups_per_sec` counters land in the JSON emitted by
+// --benchmark_out for the perf trajectory (bench/run_bench.sh).
+// ---------------------------------------------------------------------------
+
+// Packet-shaped tuples over a fixed (srcIP, destIP) key grid, all within one
+// time window (time is pinned) so the window never closes while timing.
+std::vector<Tuple> SteadyStateTuples(size_t count, uint64_t num_src,
+                                     uint64_t num_dst) {
+  std::vector<Tuple> tuples;
+  tuples.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t src = 0x0a000000ULL + (i % num_src);
+    uint64_t dst = 0xc0a80000ULL + ((i / num_src) % num_dst);
+    uint64_t len = 40 + (i * 97) % 1460;
+    tuples.push_back(Tuple({Value::UInt(100),          // time (pinned)
+                            Value::UInt(i * 1000),     // ts_ns
+                            Value::UInt(src), Value::UInt(dst),
+                            Value::UInt(1234), Value::UInt(80),
+                            Value::UInt(6), Value::UInt(len)}));
+  }
+  return tuples;
+}
+
+// One-tuple-per-iteration driver over a pre-created operator; reports
+// ns/tuple (real_time) plus tuples/s and groups-touched/s counters.
+void RunSteadyState(benchmark::State& state, const std::string& sql,
+                    uint64_t num_src, uint64_t num_dst) {
+  Catalog catalog = Catalog::Default();
+  Result<CompiledQuery> cq = CompileQuery(sql, catalog, {.seed = 3});
+  if (!cq.ok() || cq->kind != CompiledQueryKind::kSampling) {
+    state.SkipWithError(cq.ok() ? "not a sampling query"
+                                : cq.status().ToString().c_str());
+    return;
+  }
+  SamplingOperator op(cq->sampling);
+  const std::vector<Tuple> tuples =
+      SteadyStateTuples(4096, num_src, num_dst);
+  // Warm-up: create every group so the timed loop only sees existing ones.
+  for (const Tuple& t : tuples) {
+    Status s = op.Process(t);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+  }
+  const size_t groups_at_steady_state = op.num_groups();
+  size_t i = 0;
+  for (auto _ : state) {
+    Status s = op.Process(tuples[i]);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    i = (i + 1) & 4095;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["tuples_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+  // Every steady-state tuple probes and updates exactly one group.
+  state.counters["groups_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+  state.counters["live_groups"] =
+      benchmark::Counter(static_cast<double>(groups_at_steady_state));
+}
+
+// Plain grouped aggregation: group probe + two aggregate updates per tuple.
+void BM_SteadyStateGroupedAggregation(benchmark::State& state) {
+  RunSteadyState(state,
+                 "SELECT tb, srcIP, destIP, sum(len), count(*) FROM PKTS "
+                 "GROUP BY time/20 as tb, srcIP, destIP",
+                 64, static_cast<uint64_t>(state.range(0)));
+}
+BENCHMARK(BM_SteadyStateGroupedAggregation)->Arg(16)->Arg(64);
+
+// The paper's grouped subset-sum sampling shape: stateful admission in
+// WHERE, superaggregate maintenance, CLEANING WHEN checked per tuple. The
+// sample target is set high enough that no cleaning phase ever fires, so
+// the timed loop is pure steady state (existing group, no window close).
+void BM_SteadyStateGroupedSampling(benchmark::State& state) {
+  RunSteadyState(state, R"(
+      SELECT tb, srcIP, destIP, UMAX(sum(len), ssthreshold())
+      FROM PKTS
+      WHERE ssample(len, 1000000000, 2, 10, 0.5) = TRUE
+      GROUP BY time/20 as tb, srcIP, destIP
+      HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE
+      CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
+      CLEANING BY ssclean_with(sum(len)) = TRUE
+  )",
+                 64, static_cast<uint64_t>(state.range(0)));
+}
+BENCHMARK(BM_SteadyStateGroupedSampling)->Arg(16)->Arg(64);
+
 }  // namespace
 }  // namespace streamop
 

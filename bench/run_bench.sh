@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Runs the operator and sampler micro-benchmarks and writes
+# BENCH_operator.json (repo root) for the perf trajectory.
+#
+# Usage: bench/run_bench.sh [build_dir] [output_json]
+#
+# The JSON layout:
+#   {
+#     "timestamp": ...,
+#     "benchmarks": { "<name>": {"real_time_ns": ..., "items_per_second": ...} },
+#     "baseline":   { "<name>": {...} },          # when BENCH_BASELINE is set
+#     "speedup":    { "<name>": <x faster> },     # optimized vs baseline
+#     "raw": { "micro_operator": <google-benchmark JSON>,
+#              "micro_samplers": <google-benchmark JSON> }
+#   }
+#
+# Set BENCH_BASELINE to a google-benchmark JSON file from a pre-change build
+# to embed a before/after comparison.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+OUT="${2:-$REPO_ROOT/BENCH_operator.json}"
+MIN_TIME="${BENCH_MIN_TIME:-0.5}"
+
+TMPDIR_BENCH="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_BENCH"' EXIT
+
+for exe in micro_operator micro_samplers; do
+  bin="$BUILD_DIR/bench/$exe"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built (cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+  fi
+  echo "== $exe =="
+  "$bin" --benchmark_min_time="$MIN_TIME" \
+         --benchmark_out="$TMPDIR_BENCH/$exe.json" \
+         --benchmark_out_format=json
+done
+
+python3 - "$TMPDIR_BENCH" "$OUT" "${BENCH_BASELINE:-}" <<'EOF'
+import json, sys, time
+
+tmpdir, out_path, baseline_path = sys.argv[1], sys.argv[2], sys.argv[3]
+
+def flatten(data):
+    flat = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        flat[b["name"]] = {
+            "real_time_ns": b.get("real_time"),
+            "cpu_time_ns": b.get("cpu_time"),
+            "items_per_second": b.get("items_per_second"),
+        }
+    return flat
+
+raw = {}
+flat = {}
+for exe in ("micro_operator", "micro_samplers"):
+    with open(f"{tmpdir}/{exe}.json") as f:
+        data = json.load(f)
+    raw[exe] = data
+    flat.update(flatten(data))
+
+result = {
+    "timestamp": int(time.time()),
+    "benchmarks": flat,
+}
+
+if baseline_path:
+    with open(baseline_path) as f:
+        base = flatten(json.load(f))
+    result["baseline"] = base
+    result["speedup"] = {
+        name: round(flat[name]["items_per_second"] /
+                    base[name]["items_per_second"], 3)
+        for name in sorted(base)
+        if name in flat and base[name].get("items_per_second")
+        and flat[name].get("items_per_second")
+    }
+
+result["raw"] = raw
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=1)
+    f.write("\n")
+print(f"wrote {out_path} ({len(flat)} benchmarks)")
+for name, x in sorted(result.get("speedup", {}).items()):
+    print(f"  {name}: {x}x")
+EOF

@@ -7,7 +7,12 @@ namespace streamop {
 
 SamplingOperator::SamplingOperator(
     std::shared_ptr<const SamplingQueryPlan> plan)
-    : plan_(std::move(plan)) {}
+    : plan_(std::move(plan)) {
+  scratch_gk_.Reserve(plan_->group_by_exprs.size());
+  scratch_sk_.Reserve(plan_->supergroup_slots.size());
+  scratch_superagg_finals_.reserve(plan_->superaggs.size());
+  scratch_agg_finals_.reserve(plan_->aggregates.size());
+}
 
 SamplingOperator::~SamplingOperator() {
   DestroySupergroupStates(new_supergroups_);
@@ -60,75 +65,84 @@ SamplingOperator::SupergroupEntry& SamplingOperator::GetOrCreateSupergroup(
   for (const SuperAggSpec& spec : plan_->superaggs) {
     entry.superaggs.emplace_back(&spec);
   }
+  supergroup_order_.push_back(sk);
   auto [ins_it, inserted] = new_supergroups_.emplace(sk, std::move(entry));
   (void)inserted;
   return ins_it->second;
 }
 
-std::vector<Value> SamplingOperator::SuperAggFinals(
-    const SupergroupEntry& sg) const {
-  std::vector<Value> out;
-  out.reserve(sg.superaggs.size());
-  for (const SuperAggState& s : sg.superaggs) out.push_back(s.Final());
-  return out;
+void SamplingOperator::SuperAggFinalsInto(const SupergroupEntry& sg,
+                                          std::vector<Value>* out) const {
+  out->clear();
+  out->reserve(sg.superaggs.size());
+  for (const SuperAggState& s : sg.superaggs) out->push_back(s.Final());
 }
 
-std::vector<Value> SamplingOperator::AggFinals(const GroupEntry& g) const {
-  std::vector<Value> out;
-  out.reserve(g.aggs.size());
-  for (const AggregateAccumulator& a : g.aggs) out.push_back(a.Final());
-  return out;
+void SamplingOperator::AggFinalsInto(const GroupEntry& g,
+                                     std::vector<Value>* out) const {
+  out->clear();
+  out->reserve(g.aggs.size());
+  for (const AggregateAccumulator& a : g.aggs) out->push_back(a.Final());
 }
 
 Status SamplingOperator::Process(const Tuple& input) {
-  // 1. Compute every group-by variable.
-  std::vector<Value> gb_values;
-  gb_values.reserve(plan_->group_by_exprs.size());
+  // 1. Compute every group-by variable into the scratch key. The key's
+  // hash folds in incrementally, and its vector capacity is reused, so the
+  // steady-state path performs no allocation here.
+  scratch_gk_.Clear();
   {
     EvalContext gb_ctx;
     gb_ctx.input = &input;
     for (const ExprPtr& e : plan_->group_by_exprs) {
       STREAMOP_ASSIGN_OR_RETURN(Value v, Evaluate(*e, gb_ctx));
-      gb_values.push_back(std::move(v));
+      scratch_gk_.Append(std::move(v));
     }
   }
+  const std::vector<Value>& gb_values = scratch_gk_.values();
 
   // 2. Window boundary: any ordered group-by variable changed value.
-  std::vector<Value> window_id;
-  for (size_t i = 0; i < gb_values.size(); ++i) {
-    if (plan_->group_by_ordered[i]) window_id.push_back(gb_values[i]);
+  // Compared in place; the window-id vector is only rebuilt on a boundary.
+  bool boundary = !window_open_;
+  if (window_open_) {
+    size_t oi = 0;
+    for (size_t i = 0; i < gb_values.size(); ++i) {
+      if (!plan_->group_by_ordered[i]) continue;
+      if (oi >= current_window_id_.size() ||
+          !(gb_values[i] == current_window_id_[oi])) {
+        boundary = true;
+        break;
+      }
+      ++oi;
+    }
   }
-  if (!window_open_) {
+  if (boundary) {
+    if (window_open_) {
+      STREAMOP_RETURN_NOT_OK(FlushWindow());
+    }
     window_open_ = true;
-    current_window_id_ = window_id;
+    current_window_id_.clear();
+    for (size_t i = 0; i < gb_values.size(); ++i) {
+      if (plan_->group_by_ordered[i]) current_window_id_.push_back(gb_values[i]);
+    }
     live_stats_ = WindowStats{};
-    live_stats_.window_id = window_id;
-  } else if (window_id != current_window_id_) {
-    STREAMOP_RETURN_NOT_OK(FlushWindow());
-    current_window_id_ = window_id;
-    live_stats_ = WindowStats{};
-    live_stats_.window_id = window_id;
+    live_stats_.window_id = current_window_id_;
   }
   ++live_stats_.tuples_in;
 
   // 3. Supergroup lookup / creation (with previous-window state hand-off).
-  std::vector<Value> sk_values;
-  sk_values.reserve(plan_->supergroup_slots.size());
+  scratch_sk_.Clear();
   for (int slot : plan_->supergroup_slots) {
-    sk_values.push_back(gb_values[static_cast<size_t>(slot)]);
+    scratch_sk_.Append(gb_values[static_cast<size_t>(slot)]);
   }
-  GroupKey sk(std::move(sk_values));
-  SupergroupEntry& sg = GetOrCreateSupergroup(sk);
-
-  GroupKey gk(std::move(gb_values));
+  SupergroupEntry& sg = GetOrCreateSupergroup(scratch_sk_);
 
   // 4. WHERE: the sampling admission predicate.
-  std::vector<Value> sa_finals = SuperAggFinals(sg);
+  SuperAggFinalsInto(sg, &scratch_superagg_finals_);
   {
     EvalContext ctx;
     ctx.input = &input;
-    ctx.group_key = &gk;
-    ctx.superaggs = &sa_finals;
+    ctx.group_key = &scratch_gk_;
+    ctx.superaggs = &scratch_superagg_finals_;
     ctx.sfun_states = sg.states.data();
     ctx.num_sfun_states = sg.states.size();
     STREAMOP_ASSIGN_OR_RETURN(bool admitted,
@@ -146,7 +160,7 @@ Status SamplingOperator::Process(const Tuple& input) {
       if (spec.arg != nullptr) {
         EvalContext ctx;
         ctx.input = &input;
-        ctx.group_key = &gk;
+        ctx.group_key = &scratch_gk_;
         ctx.sfun_states = sg.states.data();
         ctx.num_sfun_states = sg.states.size();
         STREAMOP_ASSIGN_OR_RETURN(v, Evaluate(*spec.arg, ctx));
@@ -155,17 +169,19 @@ Status SamplingOperator::Process(const Tuple& input) {
     }
   }
 
-  // 6. Group lookup / creation + aggregate update.
-  auto git = groups_.find(gk);
+  // 6. Group lookup / creation + aggregate update. The lookup probes with
+  // the scratch key (cached hash); a persistent copy is made only when the
+  // group is new.
+  auto git = groups_.find(scratch_gk_);
   if (git == groups_.end()) {
     GroupEntry entry;
     entry.aggs.reserve(plan_->aggregates.size());
     for (const AggregateSpec& spec : plan_->aggregates) {
       entry.aggs.emplace_back(spec.kind, spec.param);
     }
-    git = groups_.emplace(gk, std::move(entry)).first;
-    for (SuperAggState& s : sg.superaggs) s.OnGroupCreated(gk);
-    supergroup_groups_[sk].push_back(gk);
+    git = groups_.emplace(scratch_gk_, std::move(entry)).first;
+    for (SuperAggState& s : sg.superaggs) s.OnGroupCreated(scratch_gk_);
+    supergroup_groups_[scratch_sk_].push_back(scratch_gk_);
     ++live_stats_.groups_created;
     if (groups_.size() > live_stats_.peak_groups) {
       live_stats_.peak_groups = groups_.size();
@@ -174,7 +190,7 @@ Status SamplingOperator::Process(const Tuple& input) {
   {
     EvalContext ctx;
     ctx.input = &input;
-    ctx.group_key = &gk;
+    ctx.group_key = &scratch_gk_;
     ctx.sfun_states = sg.states.data();
     ctx.num_sfun_states = sg.states.size();
     for (size_t i = 0; i < plan_->aggregates.size(); ++i) {
@@ -189,20 +205,20 @@ Status SamplingOperator::Process(const Tuple& input) {
   }
 
   // 7. CLEANING WHEN: the cleaning trigger, evaluated against the
-  // supergroup state and fresh superaggregates.
+  // supergroup state and fresh superaggregates (scratch buffer reused).
   if (plan_->cleaning_when != nullptr) {
-    std::vector<Value> fresh = SuperAggFinals(sg);
+    SuperAggFinalsInto(sg, &scratch_superagg_finals_);
     EvalContext ctx;
     ctx.input = &input;
-    ctx.group_key = &gk;
-    ctx.superaggs = &fresh;
+    ctx.group_key = &scratch_gk_;
+    ctx.superaggs = &scratch_superagg_finals_;
     ctx.sfun_states = sg.states.data();
     ctx.num_sfun_states = sg.states.size();
     STREAMOP_ASSIGN_OR_RETURN(bool trigger,
                               EvaluatePredicate(plan_->cleaning_when.get(), ctx));
     if (trigger) {
       ++live_stats_.cleaning_phases;
-      STREAMOP_RETURN_NOT_OK(RunCleaningPhase(sk, sg));
+      STREAMOP_RETURN_NOT_OK(RunCleaningPhase(scratch_sk_, sg));
     }
   }
   return Status::OK();
@@ -233,17 +249,18 @@ Status SamplingOperator::RunCleaningPhase(const GroupKey& sk,
   // Superaggregates are materialized once at the start of the pass; the
   // CLEANING BY predicate sees a consistent snapshot while removals update
   // the live superaggregate state underneath.
-  std::vector<Value> sa_finals = SuperAggFinals(sg);
+  std::vector<Value> sa_finals;
+  SuperAggFinalsInto(sg, &sa_finals);
 
   std::vector<GroupKey> survivors;
   survivors.reserve(mit->second.size());
   for (const GroupKey& gk : mit->second) {
     auto git = groups_.find(gk);
     if (git == groups_.end()) continue;  // already removed
-    std::vector<Value> agg_finals = AggFinals(git->second);
+    AggFinalsInto(git->second, &scratch_agg_finals_);
     EvalContext ctx;
     ctx.group_key = &gk;
-    ctx.aggregates = &agg_finals;
+    ctx.aggregates = &scratch_agg_finals_;
     ctx.superaggs = &sa_finals;
     ctx.sfun_states = sg.states.data();
     ctx.num_sfun_states = sg.states.size();
@@ -252,6 +269,8 @@ Status SamplingOperator::RunCleaningPhase(const GroupKey& sk,
     if (keep) {
       survivors.push_back(gk);
     } else {
+      // RemoveGroup touches only the group table, so `git`/`mit` staying
+      // borrowed across it is safe even with backward-shift deletion.
       RemoveGroup(gk, sg);
     }
   }
@@ -260,8 +279,12 @@ Status SamplingOperator::RunCleaningPhase(const GroupKey& sk,
 }
 
 Status SamplingOperator::FlushWindow() {
-  // Signal end-of-window to every SFUN state that cares.
-  for (auto& [sk, sg] : new_supergroups_) {
+  // Signal end-of-window to every SFUN state that cares. Walked in
+  // supergroup creation order (not table order) for deterministic output.
+  for (const GroupKey& sk : supergroup_order_) {
+    auto sgit = new_supergroups_.find(sk);
+    if (sgit == new_supergroups_.end()) continue;
+    SupergroupEntry& sg = sgit->second;
     for (size_t i = 0; i < sg.states.size(); ++i) {
       const SfunStateDef* def = plan_->sfun_states[i];
       if (def->window_final != nullptr) def->window_final(sg.states[i]);
@@ -270,20 +293,25 @@ Status SamplingOperator::FlushWindow() {
 
   // HAVING + SELECT per group, walking supergroup membership lists so the
   // SFUN states see their own groups in a contiguous pass (the final
-  // cleaning of subset-sum / reservoir depends on this).
-  for (auto& [sk, member_keys] : supergroup_groups_) {
+  // cleaning of subset-sum / reservoir depends on this). Supergroups are
+  // visited in creation order and groups in membership (creation) order, so
+  // emitted rows are insertion-ordered — independent of table layout.
+  for (const GroupKey& sk : supergroup_order_) {
+    auto mit = supergroup_groups_.find(sk);
+    if (mit == supergroup_groups_.end()) continue;
     auto sgit = new_supergroups_.find(sk);
     if (sgit == new_supergroups_.end()) continue;
     SupergroupEntry& sg = sgit->second;
-    std::vector<Value> sa_finals = SuperAggFinals(sg);
+    std::vector<Value> sa_finals;
+    SuperAggFinalsInto(sg, &sa_finals);
 
-    for (const GroupKey& gk : member_keys) {
+    for (const GroupKey& gk : mit->second) {
       auto git = groups_.find(gk);
       if (git == groups_.end()) continue;
-      std::vector<Value> agg_finals = AggFinals(git->second);
+      AggFinalsInto(git->second, &scratch_agg_finals_);
       EvalContext ctx;
       ctx.group_key = &gk;
-      ctx.aggregates = &agg_finals;
+      ctx.aggregates = &scratch_agg_finals_;
       ctx.superaggs = &sa_finals;
       ctx.sfun_states = sg.states.data();
       ctx.num_sfun_states = sg.states.size();
@@ -309,12 +337,20 @@ Status SamplingOperator::FlushWindow() {
   window_stats_.push_back(live_stats_);
 
   // Table swap per §6.4: clear the group and membership tables, drop the
-  // old supergroup table, move new -> old.
+  // old supergroup table, move new -> old. clear() keeps each table's slot
+  // array, and the fresh supergroup table is pre-sized from this window's
+  // population, so the next window's burst does not rehash.
+  const uint64_t expected_groups = window_stats_.back().peak_groups;
+  const size_t expected_supergroups = new_supergroups_.size();
   groups_.clear();
   supergroup_groups_.clear();
+  supergroup_order_.clear();
   DestroySupergroupStates(old_supergroups_);
   old_supergroups_ = std::move(new_supergroups_);
   new_supergroups_.clear();
+  groups_.reserve(static_cast<size_t>(expected_groups));
+  supergroup_groups_.reserve(expected_supergroups);
+  new_supergroups_.reserve(expected_supergroups);
   return Status::OK();
 }
 

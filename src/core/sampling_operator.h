@@ -19,9 +19,9 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash_table.h"
 #include "common/status.h"
 #include "core/superagg.h"
 #include "expr/aggregate.h"
@@ -125,21 +125,26 @@ class SamplingOperator {
     std::vector<SuperAggState> superaggs;
   };
 
-  using GroupTable = std::unordered_map<GroupKey, GroupEntry, GroupKeyHash>;
+  // Flat open-addressing tables keyed by the hash-once GroupKey. Probes
+  // compare the cached key hash before values; clear() keeps capacity so
+  // the per-window table swap never rehashes the next window's burst.
+  using GroupTable = FlatHashTable<GroupKey, GroupEntry, GroupKeyHash>;
   using SupergroupTable =
-      std::unordered_map<GroupKey, SupergroupEntry, GroupKeyHash>;
+      FlatHashTable<GroupKey, SupergroupEntry, GroupKeyHash>;
   using MembershipTable =
-      std::unordered_map<GroupKey, std::vector<GroupKey>, GroupKeyHash>;
+      FlatHashTable<GroupKey, std::vector<GroupKey>, GroupKeyHash>;
 
   // Creates (or finds) the supergroup for `sk`, initializing SFUN states
   // from the previous window's equivalent supergroup when present.
   SupergroupEntry& GetOrCreateSupergroup(const GroupKey& sk);
 
-  // Materializes the current superaggregate values of a supergroup.
-  std::vector<Value> SuperAggFinals(const SupergroupEntry& sg) const;
+  // Materializes the current superaggregate values of a supergroup into
+  // `out` (cleared first); capacity is reused across calls.
+  void SuperAggFinalsInto(const SupergroupEntry& sg,
+                          std::vector<Value>* out) const;
 
-  // Materializes the final values of a group's aggregates.
-  std::vector<Value> AggFinals(const GroupEntry& g) const;
+  // Materializes the final values of a group's aggregates into `out`.
+  void AggFinalsInto(const GroupEntry& g, std::vector<Value>* out) const;
 
   // Runs one cleaning phase over the groups of supergroup `sk`.
   Status RunCleaningPhase(const GroupKey& sk, SupergroupEntry& sg);
@@ -158,6 +163,20 @@ class SamplingOperator {
   SupergroupTable new_supergroups_;
   SupergroupTable old_supergroups_;
   MembershipTable supergroup_groups_;
+
+  // Supergroup keys in creation order. Output emission and window-final
+  // hooks walk this list so results never depend on hash-table iteration
+  // order (the flat tables' order shifts with capacity and churn).
+  std::vector<GroupKey> supergroup_order_;
+
+  // Scratch state for the allocation-free steady-state Process path: the
+  // projected group / supergroup keys and the materialized superaggregate
+  // finals are rebuilt in place each tuple, reusing capacity. Persistent
+  // copies are made only when a new group or supergroup is created.
+  GroupKey scratch_gk_;
+  GroupKey scratch_sk_;
+  std::vector<Value> scratch_superagg_finals_;
+  std::vector<Value> scratch_agg_finals_;
 
   bool window_open_ = false;
   std::vector<Value> current_window_id_;

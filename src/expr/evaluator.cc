@@ -10,6 +10,10 @@ namespace streamop {
 
 namespace {
 
+// Call arguments at or below this count are marshalled on the stack; no
+// in-repo builtin takes more (max today is 5, ssample's).
+constexpr size_t kInlineArgs = 8;
+
 // Numeric tower for arithmetic: double if either side is double; signed if
 // either side is signed; otherwise unsigned.
 enum class NumClass { kUInt, kInt, kDouble };
@@ -201,13 +205,21 @@ Result<Value> Evaluate(const Expr& expr, const EvalContext& ctx) {
     }
 
     case ExprKind::kScalarCall: {
-      std::vector<Value> args;
-      args.reserve(expr.children.size());
-      for (const ExprPtr& c : expr.children) {
-        STREAMOP_ASSIGN_OR_RETURN(Value v, Evaluate(*c, ctx));
-        args.push_back(std::move(v));
+      // Arguments land in a stack buffer (heap fallback only past
+      // kInlineArgs) — the per-tuple hot path makes several calls and must
+      // not allocate for each.
+      Value inline_args[kInlineArgs];
+      std::vector<Value> spill;
+      Value* args = inline_args;
+      if (expr.children.size() > kInlineArgs) {
+        spill.resize(expr.children.size());
+        args = spill.data();
       }
-      return expr.scalar->fn(args);
+      for (size_t i = 0; i < expr.children.size(); ++i) {
+        STREAMOP_ASSIGN_OR_RETURN(Value v, Evaluate(*expr.children[i], ctx));
+        args[i] = std::move(v);
+      }
+      return expr.scalar->fn(args, expr.children.size());
     }
 
     case ExprKind::kStatefulCall: {
@@ -216,14 +228,19 @@ Result<Value> Evaluate(const Expr& expr, const EvalContext& ctx) {
         return Status::Internal("stateful function '" + expr.func_name +
                                 "' called without live state");
       }
-      std::vector<Value> args;
-      args.reserve(expr.children.size());
-      for (const ExprPtr& c : expr.children) {
-        STREAMOP_ASSIGN_OR_RETURN(Value v, Evaluate(*c, ctx));
-        args.push_back(std::move(v));
+      Value inline_args[kInlineArgs];
+      std::vector<Value> spill;
+      Value* args = inline_args;
+      if (expr.children.size() > kInlineArgs) {
+        spill.resize(expr.children.size());
+        args = spill.data();
+      }
+      for (size_t i = 0; i < expr.children.size(); ++i) {
+        STREAMOP_ASSIGN_OR_RETURN(Value v, Evaluate(*expr.children[i], ctx));
+        args[i] = std::move(v);
       }
       void* state = ctx.sfun_states[expr.sfun_state_slot];
-      return expr.sfun->call(state, args.data(), args.size());
+      return expr.sfun->call(state, args, expr.children.size());
     }
 
     case ExprKind::kAggregateRef: {

@@ -9,30 +9,30 @@ namespace streamop {
 
 namespace {
 
-Result<Value> ScalarUmax(const std::vector<Value>& args) {
+Result<Value> ScalarUmax(const Value* args, size_t /*num_args*/) {
   // Unsigned max, the paper's UMAX(sum(len), ssthreshold()).
   return Value::UInt(std::max(args[0].AsUInt(), args[1].AsUInt()));
 }
 
-Result<Value> ScalarUmin(const std::vector<Value>& args) {
+Result<Value> ScalarUmin(const Value* args, size_t /*num_args*/) {
   return Value::UInt(std::min(args[0].AsUInt(), args[1].AsUInt()));
 }
 
-Result<Value> ScalarDmax(const std::vector<Value>& args) {
+Result<Value> ScalarDmax(const Value* args, size_t /*num_args*/) {
   return Value::Double(std::max(args[0].AsDouble(), args[1].AsDouble()));
 }
 
-Result<Value> ScalarDmin(const std::vector<Value>& args) {
+Result<Value> ScalarDmin(const Value* args, size_t /*num_args*/) {
   return Value::Double(std::min(args[0].AsDouble(), args[1].AsDouble()));
 }
 
-Result<Value> ScalarHash(const std::vector<Value>& args) {
+Result<Value> ScalarHash(const Value* args, size_t num_args) {
   // H(x [, seed]): the min-hash hash function, uniform over u64.
-  uint64_t seed = args.size() > 1 ? args[1].AsUInt() : 0;
+  uint64_t seed = num_args > 1 ? args[1].AsUInt() : 0;
   return Value::UInt(SeededHash64(args[0].Hash(), seed));
 }
 
-Result<Value> ScalarAbs(const std::vector<Value>& args) {
+Result<Value> ScalarAbs(const Value* args, size_t /*num_args*/) {
   const Value& v = args[0];
   if (v.type() == FieldType::kDouble) {
     return Value::Double(std::fabs(v.double_value()));
@@ -41,24 +41,24 @@ Result<Value> ScalarAbs(const std::vector<Value>& args) {
   return Value::Int(i < 0 ? -i : i);
 }
 
-Result<Value> ScalarFloat(const std::vector<Value>& args) {
+Result<Value> ScalarFloat(const Value* args, size_t /*num_args*/) {
   return Value::Double(args[0].AsDouble());
 }
 
-Result<Value> ScalarUint(const std::vector<Value>& args) {
+Result<Value> ScalarUint(const Value* args, size_t /*num_args*/) {
   return Value::UInt(args[0].AsUInt());
 }
 
-Result<Value> ScalarIpStr(const std::vector<Value>& args) {
+Result<Value> ScalarIpStr(const Value* args, size_t /*num_args*/) {
   return Value::String(FormatIpv4(static_cast<uint32_t>(args[0].AsUInt())));
 }
 
-Result<Value> ScalarPrio(const std::vector<Value>& args) {
+Result<Value> ScalarPrio(const Value* args, size_t num_args) {
   // PRIO(w, key [, seed]): priority-sampling priority q = w / u with u a
   // uniform (0,1] variate *derived deterministically from the tuple key*
   // (hash randomness instead of an RNG keeps query replays reproducible).
   double w = args[0].AsDouble();
-  uint64_t seed = args.size() > 2 ? args[2].AsUInt() : UINT64_C(0x9e3779b9);
+  uint64_t seed = num_args > 2 ? args[2].AsUInt() : UINT64_C(0x9e3779b9);
   uint64_t h = SeededHash64(args[1].Hash(), seed);
   double u = (static_cast<double>(h >> 11) + 1.0) * 0x1.0p-53;  // (0, 1]
   return Value::Double(w / u);

@@ -18,7 +18,9 @@ struct ScalarFunctionDef {
   std::string name;
   int min_args = 0;
   int max_args = 0;  // inclusive; -1 = variadic
-  std::function<Result<Value>(const std::vector<Value>&)> fn;
+  // Pointer+count rather than std::vector so the evaluator can pass
+  // arguments from a stack buffer without allocating per call.
+  std::function<Result<Value>(const Value* args, size_t num_args)> fn;
 };
 
 /// Global registry of scalar functions, populated with the builtins on

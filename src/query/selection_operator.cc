@@ -38,13 +38,15 @@ Result<bool> SelectionOperator::Process(const Tuple& input, Tuple* out) {
                             EvaluatePredicate(plan_->where.get(), ctx));
   if (!pass) return false;
   ++tuples_out_;
-  std::vector<Value> row;
+  // Project into the caller's tuple in place; a reused output tuple keeps
+  // its capacity, so the projection itself never allocates.
+  std::vector<Value>& row = out->mutable_values();
+  row.clear();
   row.reserve(plan_->select_exprs.size());
   for (const ExprPtr& e : plan_->select_exprs) {
     STREAMOP_ASSIGN_OR_RETURN(Value v, Evaluate(*e, ctx));
     row.push_back(std::move(v));
   }
-  *out = Tuple(std::move(row));
   return true;
 }
 

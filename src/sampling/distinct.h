@@ -13,8 +13,8 @@
 #define STREAMOP_SAMPLING_DISTINCT_H_
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_hash_table.h"
 #include "common/hash.h"
 
 namespace streamop {
@@ -64,9 +64,7 @@ class DistinctSampler {
   size_t capacity() const { return capacity_; }
 
   /// element -> occurrence count for the retained distinct elements.
-  const std::unordered_map<uint64_t, uint64_t>& sample() const {
-    return sample_;
-  }
+  const FlatHashTable<uint64_t, uint64_t>& sample() const { return sample_; }
 
   void Clear() {
     sample_.clear();
@@ -76,6 +74,8 @@ class DistinctSampler {
  private:
   // Raises the level until the sample fits; each +1 halves the expected
   // sample (elements whose hash lacks the extra trailing zero are purged).
+  // The purge predicate depends only on the element, so the flat table's
+  // possible double visit under erase-while-iterating is harmless.
   void RaiseLevel() {
     while (sample_.size() > capacity_ && level_ < 63) {
       ++level_;
@@ -92,7 +92,7 @@ class DistinctSampler {
   size_t capacity_;
   uint64_t hash_seed_;
   uint32_t level_ = 0;
-  std::unordered_map<uint64_t, uint64_t> sample_;
+  FlatHashTable<uint64_t, uint64_t> sample_;
 };
 
 }  // namespace streamop

@@ -5,7 +5,10 @@
 namespace streamop {
 
 KMinHashSketch::KMinHashSketch(uint64_t k, uint64_t hash_seed)
-    : k_(k), hash_seed_(hash_seed) {}
+    : k_(k), hash_seed_(hash_seed) {
+  entries_.reserve(static_cast<size_t>(k));
+  heap_.reserve(static_cast<size_t>(k));
+}
 
 void KMinHashSketch::Offer(uint64_t element) {
   ++offers_;
@@ -17,25 +20,29 @@ void KMinHashSketch::Offer(uint64_t element) {
   }
   if (entries_.size() < k_) {
     entries_.emplace(h, 1);
+    heap_.push_back(h);
+    std::push_heap(heap_.begin(), heap_.end());
     return;
   }
-  auto last = std::prev(entries_.end());
-  if (h < last->first) {
-    entries_.erase(last);
+  // The heap front is the largest retained hash — the eviction candidate.
+  if (h < heap_.front()) {
+    entries_.erase(heap_.front());
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.back() = h;
+    std::push_heap(heap_.begin(), heap_.end());
     entries_.emplace(h, 1);
   }
 }
 
 std::vector<uint64_t> KMinHashSketch::MinValues() const {
-  std::vector<uint64_t> out;
-  out.reserve(entries_.size());
-  for (const auto& [h, cnt] : entries_) out.push_back(h);
+  std::vector<uint64_t> out(heap_.begin(), heap_.end());
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 double KMinHashSketch::EstimateDistinctCount() const {
   if (entries_.size() < k_) return static_cast<double>(entries_.size());
-  uint64_t kth = std::prev(entries_.end())->first;
+  uint64_t kth = heap_.front();  // largest of the k smallest
   double u = (static_cast<double>(kth) + 1.0) / 18446744073709551616.0;  // 2^64
   if (u <= 0.0) return static_cast<double>(entries_.size());
   return (static_cast<double>(k_) - 1.0) / u;
@@ -74,6 +81,7 @@ double KMinHashSketch::EstimateRarity() const {
 
 void KMinHashSketch::Clear() {
   entries_.clear();
+  heap_.clear();
   offers_ = 0;
 }
 

@@ -9,9 +9,9 @@
 #define STREAMOP_SAMPLING_KMV_H_
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
+#include "common/flat_hash_table.h"
 #include "common/hash.h"
 
 namespace streamop {
@@ -48,13 +48,17 @@ class KMinHashSketch {
   void Clear();
 
  private:
-  // hash value -> multiplicity of the underlying element
-  using EntryMap = std::map<uint64_t, uint64_t>;
+  // hash value -> multiplicity of the underlying element. The ordered map
+  // this used to be cost an allocation and a tree rebalance per admitted
+  // element; the flat table plus a max-heap over the retained hashes gives
+  // O(1) membership and O(log k) eviction with no per-entry allocation.
+  using EntryMap = FlatHashTable<uint64_t, uint64_t>;
 
   uint64_t k_;
   uint64_t hash_seed_;
   uint64_t offers_ = 0;
-  EntryMap entries_;  // at most k smallest, keyed by hash
+  EntryMap entries_;           // at most k smallest, keyed by hash
+  std::vector<uint64_t> heap_; // max-heap of the retained hashes
 };
 
 }  // namespace streamop

@@ -13,12 +13,13 @@
 
 #include <cmath>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
+
+#include "common/flat_hash_table.h"
 
 namespace streamop {
 
-template <typename K, typename Hash = std::hash<K>>
+template <typename K, typename Hash = FlatHash<K>>
 class LossyCounting {
  public:
   struct Entry {
@@ -83,6 +84,9 @@ class LossyCounting {
     uint64_t max_error;
   };
 
+  // The flat table's erase-while-iterating can revisit an entry shifted
+  // across the array wrap; the retention predicate is idempotent, so a
+  // double visit is harmless.
   void Prune() {
     for (auto it = table_.begin(); it != table_.end();) {
       if (it->second.frequency + it->second.max_error <= current_bucket_) {
@@ -97,7 +101,7 @@ class LossyCounting {
   uint64_t bucket_width_;
   uint64_t n_ = 0;
   uint64_t current_bucket_ = 1;
-  std::unordered_map<K, Counts, Hash> table_;
+  FlatHashTable<K, Counts, Hash> table_;
 };
 
 }  // namespace streamop

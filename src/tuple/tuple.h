@@ -30,6 +30,10 @@ class Tuple {
   void Append(Value v) { values_.push_back(std::move(v)); }
   const std::vector<Value>& values() const { return values_; }
 
+  /// Direct access for operators that fill a reused output tuple in place
+  /// (clear + push_back keeps the vector's capacity).
+  std::vector<Value>& mutable_values() { return values_; }
+
   bool operator==(const Tuple& other) const { return values_ == other.values_; }
 
   /// "(v0, v1, ...)" for diagnostics and examples.
@@ -40,30 +44,56 @@ class Tuple {
 };
 
 /// A composite grouping key: the projected group-by (or supergroup) values.
-/// Hash/equality are structural, suitable for unordered_map.
+/// Hash/equality are structural, suitable for hash tables.
+///
+/// The hash is computed once — incrementally as values are appended (or
+/// eagerly at construction) — and cached, so table probes and rehashes
+/// never re-hash the key's values (string values in particular are hashed
+/// exactly once per key construction). The Clear()/Append() pair lets a
+/// long-lived scratch key be rebuilt per tuple while reusing its vector
+/// capacity: the operator's steady-state path allocates nothing.
 class GroupKey {
  public:
   GroupKey() = default;
-  explicit GroupKey(std::vector<Value> values) : values_(std::move(values)) {}
+  explicit GroupKey(std::vector<Value> values) : values_(std::move(values)) {
+    hash_ = kHashSeed;
+    for (const Value& v : values_) hash_ = HashCombine(hash_, v.Hash());
+  }
 
   size_t size() const { return values_.size(); }
   const Value& at(size_t i) const { return values_[i]; }
   const std::vector<Value>& values() const { return values_; }
 
-  bool operator==(const GroupKey& other) const {
-    return values_ == other.values_;
+  /// Resets to the empty key, retaining vector capacity (scratch reuse).
+  void Clear() {
+    values_.clear();
+    hash_ = kHashSeed;
   }
 
-  uint64_t Hash() const {
-    uint64_t h = 0x2545f4914f6cdd1dULL;
-    for (const Value& v : values_) h = HashCombine(h, v.Hash());
-    return h;
+  /// Appends one value, folding it into the cached hash.
+  void Append(Value v) {
+    hash_ = HashCombine(hash_, v.Hash());
+    values_.push_back(std::move(v));
   }
+
+  void Reserve(size_t n) { values_.reserve(n); }
+
+  bool operator==(const GroupKey& other) const {
+    return hash_ == other.hash_ && values_ == other.values_;
+  }
+
+  /// The cached structural hash (computed at construction, O(1) here).
+  uint64_t Hash() const { return hash_; }
 
   std::string ToString() const;
 
  private:
+  // Chosen so that the cached hash equals the historical per-call
+  // computation: seeded fold of HashCombine over the value hashes.
+  static constexpr uint64_t kHashSeed = 0x2545f4914f6cdd1dULL;
+
   std::vector<Value> values_;
+  uint64_t hash_ = kHashSeed;
 };
 
 struct GroupKeyHash {

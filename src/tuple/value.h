@@ -5,9 +5,10 @@
 #ifndef STREAMOP_TUPLE_VALUE_H_
 #define STREAMOP_TUPLE_VALUE_H_
 
+#include <bit>
+#include <cassert>
 #include <cstdint>
 #include <string>
-#include <variant>
 
 #include "common/hash.h"
 #include "common/status.h"
@@ -34,42 +35,99 @@ inline bool IsNumeric(FieldType t) {
 }
 
 /// A dynamically typed scalar. Cheap to copy for all types except kString.
+///
+/// Implemented as a hand-rolled tagged union rather than std::variant: every
+/// non-string alternative lives in one 64-bit word, so copy / move / assign
+/// of numeric values — the per-tuple hot path is made of little else — is a
+/// branch plus a two-word copy, fully inlined, instead of out-of-line
+/// variant visitation.
 class Value {
  public:
-  Value() : var_(std::monostate{}) {}
-  static Value Null() { return Value(); }
-  static Value Bool(bool b) { return Value(Var(b)); }
-  static Value UInt(uint64_t v) { return Value(Var(v)); }
-  static Value Int(int64_t v) { return Value(Var(v)); }
-  static Value Double(double v) { return Value(Var(v)); }
-  static Value String(std::string s) { return Value(Var(std::move(s))); }
+  Value() noexcept : type_(FieldType::kNull), raw_(0) {}
+  ~Value() { DestroyString(); }
 
-  FieldType type() const {
-    switch (var_.index()) {
-      case 0:
-        return FieldType::kNull;
-      case 1:
-        return FieldType::kBool;
-      case 2:
-        return FieldType::kUInt;
-      case 3:
-        return FieldType::kInt;
-      case 4:
-        return FieldType::kDouble;
-      default:
-        return FieldType::kString;
+  Value(const Value& o) : type_(o.type_) {
+    if (type_ == FieldType::kString) {
+      new (&str_) std::string(o.str_);
+    } else {
+      raw_ = o.raw_;
     }
   }
+  Value(Value&& o) noexcept : type_(o.type_) {
+    if (type_ == FieldType::kString) {
+      new (&str_) std::string(std::move(o.str_));
+    } else {
+      raw_ = o.raw_;
+    }
+  }
+  Value& operator=(const Value& o) {
+    if (this == &o) return *this;
+    if (type_ == FieldType::kString && o.type_ == FieldType::kString) {
+      str_ = o.str_;  // reuse the string's capacity
+      return *this;
+    }
+    DestroyString();
+    type_ = o.type_;
+    if (type_ == FieldType::kString) {
+      new (&str_) std::string(o.str_);
+    } else {
+      raw_ = o.raw_;
+    }
+    return *this;
+  }
+  Value& operator=(Value&& o) noexcept {
+    if (this == &o) return *this;
+    if (type_ == FieldType::kString && o.type_ == FieldType::kString) {
+      str_ = std::move(o.str_);
+      return *this;
+    }
+    DestroyString();
+    type_ = o.type_;
+    if (type_ == FieldType::kString) {
+      new (&str_) std::string(std::move(o.str_));
+    } else {
+      raw_ = o.raw_;
+    }
+    return *this;
+  }
 
-  bool is_null() const { return type() == FieldType::kNull; }
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(FieldType::kBool, b ? 1 : 0); }
+  static Value UInt(uint64_t v) { return Value(FieldType::kUInt, v); }
+  static Value Int(int64_t v) {
+    return Value(FieldType::kInt, static_cast<uint64_t>(v));
+  }
+  static Value Double(double v) {
+    return Value(FieldType::kDouble, std::bit_cast<uint64_t>(v));
+  }
+  static Value String(std::string s) { return Value(std::move(s)); }
+
+  FieldType type() const { return type_; }
+
+  bool is_null() const { return type_ == FieldType::kNull; }
 
   // Exact-type accessors; calling with the wrong type is a programming
-  // error guarded in debug builds by std::get.
-  bool bool_value() const { return std::get<bool>(var_); }
-  uint64_t uint_value() const { return std::get<uint64_t>(var_); }
-  int64_t int_value() const { return std::get<int64_t>(var_); }
-  double double_value() const { return std::get<double>(var_); }
-  const std::string& string_value() const { return std::get<std::string>(var_); }
+  // error (asserted in debug builds).
+  bool bool_value() const {
+    assert(type_ == FieldType::kBool);
+    return raw_ != 0;
+  }
+  uint64_t uint_value() const {
+    assert(type_ == FieldType::kUInt);
+    return raw_;
+  }
+  int64_t int_value() const {
+    assert(type_ == FieldType::kInt);
+    return static_cast<int64_t>(raw_);
+  }
+  double double_value() const {
+    assert(type_ == FieldType::kDouble);
+    return std::bit_cast<double>(raw_);
+  }
+  const std::string& string_value() const {
+    assert(type_ == FieldType::kString);
+    return str_;
+  }
 
   /// Numeric coercion to double; Null/Bool/String coerce to 0.0, false/true
   /// to 0.0/1.0. Used by aggregates that operate in double space.
@@ -88,18 +146,39 @@ class Value {
   uint64_t Hash() const;
 
   /// Structural equality: same type and same payload. (Cross-numeric-type
-  /// comparison is the expression evaluator's job, not Value's.)
-  bool operator==(const Value& other) const { return var_ == other.var_; }
+  /// comparison is the expression evaluator's job, not Value's.) Doubles
+  /// compare by value (NaN != NaN, -0 == +0), matching the old variant.
+  bool operator==(const Value& other) const {
+    if (type_ != other.type_) return false;
+    switch (type_) {
+      case FieldType::kString:
+        return str_ == other.str_;
+      case FieldType::kDouble:
+        return double_value() == other.double_value();
+      default:
+        return raw_ == other.raw_;
+    }
+  }
   bool operator!=(const Value& other) const { return !(*this == other); }
 
   /// Human-readable rendering for examples and debugging.
   std::string ToString() const;
 
  private:
-  using Var =
-      std::variant<std::monostate, bool, uint64_t, int64_t, double, std::string>;
-  explicit Value(Var v) : var_(std::move(v)) {}
-  Var var_;
+  Value(FieldType t, uint64_t raw) noexcept : type_(t), raw_(raw) {}
+  explicit Value(std::string s) : type_(FieldType::kString) {
+    new (&str_) std::string(std::move(s));
+  }
+
+  void DestroyString() {
+    if (type_ == FieldType::kString) str_.~basic_string();
+  }
+
+  FieldType type_;
+  union {
+    uint64_t raw_;  // bool / uint / int / double payload (bit_cast)
+    std::string str_;
+  };
 };
 
 }  // namespace streamop

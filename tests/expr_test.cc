@@ -187,7 +187,7 @@ TEST(ExprTest, ToStringRoundRepresentation) {
 Value CallScalar(const std::string& name, std::vector<Value> args) {
   const ScalarFunctionDef* def = ScalarFunctionRegistry::Global().Find(name);
   EXPECT_NE(def, nullptr) << name;
-  Result<Value> r = def->fn(args);
+  Result<Value> r = def->fn(args.data(), args.size());
   EXPECT_TRUE(r.ok());
   return r.ok() ? *r : Value::Null();
 }
@@ -246,7 +246,7 @@ TEST(ScalarFunctionTest, DuplicateRegistrationRejected) {
   ScalarFunctionDef def;
   def.name = "UMAX";
   def.min_args = def.max_args = 2;
-  def.fn = [](const std::vector<Value>&) -> Result<Value> {
+  def.fn = [](const Value*, size_t) -> Result<Value> {
     return Value::Null();
   };
   Status s = ScalarFunctionRegistry::Global().Register(def);
