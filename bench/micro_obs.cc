@@ -1,0 +1,168 @@
+// Micro-benchmarks for the observability layer (src/obs): the primitive
+// record costs (counter add, histogram record, trace-ring event) and the
+// tentpole's overhead criterion — the sampling operator's steady-state
+// ns/tuple with full instrumentation attached vs detached. run_bench.sh
+// computes the instrumented/uninstrumented ratio and embeds it in
+// BENCH_operator.json; the budget is <= 2% (DESIGN.md §7). Building with
+// -DSTREAMOP_NO_STATS=ON compiles every increment away, which should make
+// the two steady-state benchmarks indistinguishable.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/sampling_operator.h"
+#include "obs/metrics.h"
+#include "obs/trace_ring.h"
+
+namespace streamop {
+namespace {
+
+// ---------- primitives ----------
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::Counter c;
+  for (auto _ : state) {
+    c.Add();
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_GaugeSetMax(benchmark::State& state) {
+  obs::Gauge g;
+  double v = 0.0;
+  for (auto _ : state) {
+    g.SetMax(v);
+    v += 0.5;
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GaugeSetMax);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram h;
+  uint64_t v = 1;
+  for (auto _ : state) {
+    h.Record(v);
+    v = v * 31 % 1000003;  // spread across buckets
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_NowNanos(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::NowNanos());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NowNanos);
+
+void BM_TraceRingRecord(benchmark::State& state) {
+  obs::TraceRing ring(8192);
+  ring.set_enabled(true);
+  uint64_t ts = 0;
+  for (auto _ : state) {
+    ring.Record("bench_event", ts, 10);
+    ts += 100;
+  }
+  benchmark::DoNotOptimize(ring.events_recorded());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRingRecord);
+
+void BM_TraceRingDisabled(benchmark::State& state) {
+  obs::TraceRing ring(8192);  // disabled: one relaxed bool load per call
+  uint64_t ts = 0;
+  for (auto _ : state) {
+    ring.Record("bench_event", ts, 10);
+    ts += 100;
+  }
+  benchmark::DoNotOptimize(ring.events_recorded());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRingDisabled);
+
+// ---------- operator steady state: instrumented vs uninstrumented ----------
+
+// Same tuple shape as micro_operator's steady-state benchmarks: fixed key
+// grid, time pinned so no window boundary fires while timing.
+std::vector<Tuple> SteadyStateTuples(size_t count, uint64_t num_src,
+                                     uint64_t num_dst) {
+  std::vector<Tuple> tuples;
+  tuples.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t src = 0x0a000000ULL + (i % num_src);
+    uint64_t dst = 0xc0a80000ULL + ((i / num_src) % num_dst);
+    uint64_t len = 40 + (i * 97) % 1460;
+    tuples.push_back(Tuple({Value::UInt(100), Value::UInt(i * 1000),
+                            Value::UInt(src), Value::UInt(dst),
+                            Value::UInt(1234), Value::UInt(80), Value::UInt(6),
+                            Value::UInt(len)}));
+  }
+  return tuples;
+}
+
+constexpr char kAggregationSql[] =
+    "SELECT tb, srcIP, destIP, sum(len), count(*) FROM PKTS "
+    "GROUP BY time/20 as tb, srcIP, destIP";
+
+void RunSteadyState(benchmark::State& state, bool instrumented) {
+  Catalog catalog = Catalog::Default();
+  Result<CompiledQuery> cq =
+      CompileQuery(kAggregationSql, catalog, {.seed = 3});
+  if (!cq.ok() || cq->kind != CompiledQueryKind::kSampling) {
+    state.SkipWithError(cq.ok() ? "not a sampling query"
+                                : cq.status().ToString().c_str());
+    return;
+  }
+  SamplingOperator op(cq->sampling);
+  if (instrumented) {
+    op.set_metrics(obs::OperatorMetrics::Create(
+        obs::MetricRegistry::Default(), "micro_obs"));
+  }
+  const std::vector<Tuple> tuples = SteadyStateTuples(4096, 64, 16);
+  for (const Tuple& t : tuples) {
+    Status s = op.Process(t);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    Status s = op.Process(tuples[i]);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    i = (i + 1) & 4095;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["tuples_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+
+// Baseline: metrics bundle detached — every record site short-circuits on
+// enabled(), the same cost profile as a STREAMOP_NO_STATS build.
+void BM_SteadyStateUninstrumented(benchmark::State& state) {
+  RunSteadyState(state, /*instrumented=*/false);
+}
+BENCHMARK(BM_SteadyStateUninstrumented);
+
+// Full instrumentation: per-tuple counters, sampled (1/256) admission
+// timing, gauges at group creation. The ratio vs the benchmark above is
+// the observability overhead (budget: <= 2%).
+void BM_SteadyStateInstrumented(benchmark::State& state) {
+  RunSteadyState(state, /*instrumented=*/true);
+}
+BENCHMARK(BM_SteadyStateInstrumented);
+
+}  // namespace
+}  // namespace streamop
+
+BENCHMARK_MAIN();

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Runs the operator and sampler micro-benchmarks and writes
+# Runs the operator, sampler and observability micro-benchmarks and writes
 # BENCH_operator.json (repo root) for the perf trajectory.
 #
 # Usage: bench/run_bench.sh [build_dir] [output_json]
@@ -8,14 +8,20 @@
 #   {
 #     "timestamp": ...,
 #     "benchmarks": { "<name>": {"real_time_ns": ..., "items_per_second": ...} },
-#     "baseline":   { "<name>": {...} },          # when BENCH_BASELINE is set
-#     "speedup":    { "<name>": <x faster> },     # optimized vs baseline
-#     "raw": { "micro_operator": <google-benchmark JSON>,
-#              "micro_samplers": <google-benchmark JSON> }
+#     "obs_overhead": { "instrumented_ns": ..., "uninstrumented_ns": ...,
+#                       "ratio": ... },            # budget: ratio <= 1.02
+#     "metrics_snapshot": { ... },                 # registry JSON from a CLI run
+#     "baseline":   { "<name>": {...} },           # when BENCH_BASELINE is set
+#     "speedup":    { "<name>": <x faster> },      # optimized vs baseline
+#     "raw": { "micro_operator": <google-benchmark JSON>, ... }
 #   }
 #
 # Set BENCH_BASELINE to a google-benchmark JSON file from a pre-change build
 # to embed a before/after comparison.
+#
+# Any missing benchmark binary, benchmark crash, unparsable benchmark JSON
+# or failing CLI run aborts the script with a non-zero exit code — a silent
+# half-empty BENCH_operator.json would poison the perf trajectory.
 
 set -euo pipefail
 
@@ -27,17 +33,44 @@ MIN_TIME="${BENCH_MIN_TIME:-0.5}"
 TMPDIR_BENCH="$(mktemp -d)"
 trap 'rm -rf "$TMPDIR_BENCH"' EXIT
 
-for exe in micro_operator micro_samplers; do
+fail() {
+  echo "error: $*" >&2
+  exit 1
+}
+
+BENCHES=(micro_operator micro_samplers micro_obs)
+
+for exe in "${BENCHES[@]}"; do
   bin="$BUILD_DIR/bench/$exe"
-  if [[ ! -x "$bin" ]]; then
-    echo "error: $bin not built (cmake --build $BUILD_DIR -j)" >&2
-    exit 1
-  fi
+  [[ -x "$bin" ]] || fail "$bin not built (cmake --build $BUILD_DIR -j)"
   echo "== $exe =="
-  "$bin" --benchmark_min_time="$MIN_TIME" \
-         --benchmark_out="$TMPDIR_BENCH/$exe.json" \
-         --benchmark_out_format=json
+  # micro_obs measures a <=2% A/B delta: interleave repetitions so clock
+  # drift hits both sides equally, and compare medians.
+  extra=()
+  if [[ "$exe" == micro_obs ]]; then
+    extra=(--benchmark_repetitions=5 --benchmark_enable_random_interleaving=true)
+  fi
+  if ! "$bin" --benchmark_min_time="$MIN_TIME" \
+              --benchmark_out="$TMPDIR_BENCH/$exe.json" \
+              --benchmark_out_format=json "${extra[@]}"; then
+    fail "$exe exited non-zero"
+  fi
+  [[ -s "$TMPDIR_BENCH/$exe.json" ]] || fail "$exe produced no JSON output"
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+      "$TMPDIR_BENCH/$exe.json" || fail "$exe wrote unparsable JSON"
 done
+
+# One instrumented CLI run so the snapshot of engine metrics (ring, node,
+# operator phases) rides along with the benchmark numbers.
+CLI="$BUILD_DIR/examples/streamop_cli"
+[[ -x "$CLI" ]] || fail "$CLI not built"
+if ! "$CLI" --feed datacenter --duration 2 --seed 7 \
+        --query "SELECT tb, srcIP, sum(len), count(*) FROM PKT GROUP BY time/20 as tb, srcIP" \
+        --limit 0 --metrics-json="$TMPDIR_BENCH/metrics.json" \
+        > /dev/null; then
+  fail "streamop_cli metrics run failed"
+fi
+[[ -s "$TMPDIR_BENCH/metrics.json" ]] || fail "CLI produced no metrics JSON"
 
 python3 - "$TMPDIR_BENCH" "$OUT" "${BENCH_BASELINE:-}" <<'EOF'
 import json, sys, time
@@ -58,7 +91,7 @@ def flatten(data):
 
 raw = {}
 flat = {}
-for exe in ("micro_operator", "micro_samplers"):
+for exe in ("micro_operator", "micro_samplers", "micro_obs"):
     with open(f"{tmpdir}/{exe}.json") as f:
         data = json.load(f)
     raw[exe] = data
@@ -68,6 +101,28 @@ result = {
     "timestamp": int(time.time()),
     "benchmarks": flat,
 }
+
+# Observability overhead: instrumented vs uninstrumented steady state
+# (budget: ratio <= 1.02, DESIGN.md §7). Uses the median across the
+# interleaved repetitions; single runs fall back to the flat numbers.
+def median_time(data, name):
+    for b in data.get("benchmarks", []):
+        if b.get("name") == f"{name}_median":
+            return b.get("real_time")
+    return flat.get(name, {}).get("real_time_ns")
+
+instr = median_time(raw["micro_obs"], "BM_SteadyStateInstrumented")
+plain = median_time(raw["micro_obs"], "BM_SteadyStateUninstrumented")
+if instr is None or plain is None or not plain:
+    sys.exit("error: micro_obs steady-state benchmarks missing from output")
+result["obs_overhead"] = {
+    "instrumented_ns": instr,
+    "uninstrumented_ns": plain,
+    "ratio": round(instr / plain, 4),
+}
+
+with open(f"{tmpdir}/metrics.json") as f:
+    result["metrics_snapshot"] = json.load(f)
 
 if baseline_path:
     with open(baseline_path) as f:
@@ -86,6 +141,7 @@ with open(out_path, "w") as f:
     json.dump(result, f, indent=1)
     f.write("\n")
 print(f"wrote {out_path} ({len(flat)} benchmarks)")
+print(f"  obs overhead ratio: {result['obs_overhead']['ratio']}x")
 for name, x in sorted(result.get("speedup", {}).items()):
     print(f"  {name}: {x}x")
 EOF

@@ -21,6 +21,8 @@
 #include "engine/runtime.h"
 #include "net/flow_generator.h"
 #include "net/trace_generator.h"
+#include "obs/metrics.h"
+#include "obs/trace_ring.h"
 #include "query/query.h"
 
 using namespace streamop;
@@ -40,7 +42,13 @@ void Usage(const char* argv0) {
       "  --trace <path>        replay a saved trace instead of a feed\n"
       "  --save-trace <path>   write the generated trace and exit\n"
       "  --limit <n>           max rows to print (default 20)\n"
-      "  --stats               print per-window operator statistics\n",
+      "  --stats               print per-window operator statistics\n"
+      "  --metrics-json <path> write a JSON metrics snapshot after the run\n"
+      "  --metrics-prom <path> write Prometheus text exposition after the "
+      "run\n"
+      "  --trace-json <path>   write chrome://tracing JSON (window flushes,\n"
+      "                        cleaning phases, subset-sum z adjustments)\n"
+      "  (all options also accept --flag=value)\n",
       argv0);
 }
 
@@ -54,12 +62,24 @@ struct Args {
   std::string save_trace;
   size_t limit = 20;
   bool stats = false;
+  std::string metrics_json;
+  std::string metrics_prom;
+  std::string trace_json;
 };
 
 bool ParseArgs(int argc, char** argv, Args* out) {
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
+    // Accept both "--flag value" and "--flag=value".
+    std::string inline_value;
+    bool has_inline = false;
+    if (size_t eq = a.find('='); eq != std::string::npos && a.rfind("--", 0) == 0) {
+      inline_value = a.substr(eq + 1);
+      a = a.substr(0, eq);
+      has_inline = true;
+    }
     auto next = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     if (a == "--query") {
@@ -96,6 +116,18 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       out->limit = static_cast<size_t>(std::atoll(v));
     } else if (a == "--stats") {
       out->stats = true;
+    } else if (a == "--metrics-json") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->metrics_json = v;
+    } else if (a == "--metrics-prom") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->metrics_prom = v;
+    } else if (a == "--trace-json") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->trace_json = v;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
       return false;
@@ -118,6 +150,18 @@ Trace MakeFeed(const Args& args) {
     return GenerateFlowTrace(cfg);
   }
   return TraceGenerator::MakeResearchFeed(args.duration, args.seed);
+}
+
+bool WriteFile(const std::string& path, const std::string& contents,
+               const char* what) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s to %s\n", what, path.c_str());
+    return false;
+  }
+  out << contents;
+  std::fprintf(stderr, "%s written to %s\n", what, path.c_str());
+  return true;
 }
 
 }  // namespace
@@ -177,7 +221,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", cq.status().ToString().c_str());
     return 1;
   }
-  Result<SingleRunResult> run = RunQueryOverTrace(*cq, trace);
+
+  // Metrics land in the process-wide default registry so operator-internal
+  // instrumentation (e.g. subset-sum z adjustments) shows up in the same
+  // snapshot. Tracing is off unless a sink was requested.
+  obs::MetricRegistry& registry = obs::MetricRegistry::Default();
+  if (!args.trace_json.empty()) obs::TraceRing::Default().set_enabled(true);
+
+  Result<SingleRunResult> run =
+      RunQueryOverTrace(*cq, trace, "query", &registry);
   if (!run.ok()) {
     std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
     return 1;
@@ -215,5 +267,19 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(ws.groups_output));
     }
   }
-  return 0;
+
+  bool io_ok = true;
+  if (!args.metrics_json.empty()) {
+    io_ok &= WriteFile(args.metrics_json, registry.ToJson(), "metrics JSON");
+  }
+  if (!args.metrics_prom.empty()) {
+    io_ok &= WriteFile(args.metrics_prom, registry.ToPrometheus(),
+                       "Prometheus metrics");
+  }
+  if (!args.trace_json.empty()) {
+    io_ok &= WriteFile(args.trace_json,
+                       obs::TraceRing::Default().ToChromeTraceJson(),
+                       "trace JSON");
+  }
+  return io_ok ? 0 : 1;
 }

@@ -86,6 +86,23 @@ void SamplingOperator::AggFinalsInto(const GroupEntry& g,
 }
 
 Status SamplingOperator::Process(const Tuple& input) {
+  // Observability: one plain increment per tuple; the admission-path timer
+  // and the batched flush of pending counts into the registry's atomics
+  // both ride the same 1-in-256 tick, so the steady state pays no clock
+  // reads and no atomic RMWs (§7 of DESIGN.md). All of this folds away
+  // under STREAMOP_NO_STATS.
+  const bool obs_on = metrics_.enabled();
+  uint64_t admit_t0 = 0;
+  bool time_this_tuple = false;
+  if (obs_on) {
+    ++pending_tuples_;
+    time_this_tuple = ((++admission_sample_tick_ & 0xFFu) == 0);
+    if (time_this_tuple) {
+      admit_t0 = obs::NowNanos();
+      FlushPendingMetrics();
+    }
+  }
+
   // 1. Compute every group-by variable into the scratch key. The key's
   // hash folds in incrementally, and its vector capacity is reused, so the
   // steady-state path performs no allocation here.
@@ -145,13 +162,21 @@ Status SamplingOperator::Process(const Tuple& input) {
     ctx.superaggs = &scratch_superagg_finals_;
     ctx.sfun_states = sg.states.data();
     ctx.num_sfun_states = sg.states.size();
+    ctx.sfun_calls = &pending_sfun_calls_;
     STREAMOP_ASSIGN_OR_RETURN(bool admitted,
                               EvaluatePredicate(plan_->where.get(), ctx));
-    if (!admitted) return Status::OK();
+    if (!admitted) {
+      if (time_this_tuple) {
+        metrics_.admission_ns->Record(obs::NowNanos() - admit_t0);
+      }
+      return Status::OK();
+    }
   }
   ++live_stats_.tuples_admitted;
+  if (obs_on) ++pending_admitted_;
 
   // 5. Tuple-level superaggregate updates (sum$/count$/first$).
+  uint64_t superagg_updates = 0;
   for (size_t i = 0; i < plan_->superaggs.size(); ++i) {
     const SuperAggSpec& spec = plan_->superaggs[i];
     if (spec.kind == SuperAggKind::kSum || spec.kind == SuperAggKind::kCount ||
@@ -163,11 +188,14 @@ Status SamplingOperator::Process(const Tuple& input) {
         ctx.group_key = &scratch_gk_;
         ctx.sfun_states = sg.states.data();
         ctx.num_sfun_states = sg.states.size();
+        ctx.sfun_calls = &pending_sfun_calls_;
         STREAMOP_ASSIGN_OR_RETURN(v, Evaluate(*spec.arg, ctx));
       }
       sg.superaggs[i].OnTuple(v);
+      ++superagg_updates;
     }
   }
+  if (obs_on) pending_superagg_updates_ += superagg_updates;
 
   // 6. Group lookup / creation + aggregate update. The lookup probes with
   // the scratch key (cached hash); a persistent copy is made only when the
@@ -186,6 +214,10 @@ Status SamplingOperator::Process(const Tuple& input) {
     if (groups_.size() > live_stats_.peak_groups) {
       live_stats_.peak_groups = groups_.size();
     }
+    if (obs_on) {
+      metrics_.groups_created->Add();
+      metrics_.peak_groups->SetMax(static_cast<double>(groups_.size()));
+    }
   }
   {
     EvalContext ctx;
@@ -193,6 +225,7 @@ Status SamplingOperator::Process(const Tuple& input) {
     ctx.group_key = &scratch_gk_;
     ctx.sfun_states = sg.states.data();
     ctx.num_sfun_states = sg.states.size();
+    ctx.sfun_calls = &pending_sfun_calls_;
     for (size_t i = 0; i < plan_->aggregates.size(); ++i) {
       const AggregateSpec& spec = plan_->aggregates[i];
       if (spec.star || spec.arg == nullptr) {
@@ -202,6 +235,10 @@ Status SamplingOperator::Process(const Tuple& input) {
         git->second.aggs[i].Update(v);
       }
     }
+  }
+
+  if (time_this_tuple) {
+    metrics_.admission_ns->Record(obs::NowNanos() - admit_t0);
   }
 
   // 7. CLEANING WHEN: the cleaning trigger, evaluated against the
@@ -214,11 +251,24 @@ Status SamplingOperator::Process(const Tuple& input) {
     ctx.superaggs = &scratch_superagg_finals_;
     ctx.sfun_states = sg.states.data();
     ctx.num_sfun_states = sg.states.size();
+    ctx.sfun_calls = &pending_sfun_calls_;
     STREAMOP_ASSIGN_OR_RETURN(bool trigger,
                               EvaluatePredicate(plan_->cleaning_when.get(), ctx));
     if (trigger) {
       ++live_stats_.cleaning_phases;
+      // Cleaning phases are rare (a handful per window), so each one is
+      // timed fully and traced.
+      const bool tracing = trace_ring_->enabled();
+      const uint64_t t0 = (obs_on || tracing) ? obs::NowNanos() : 0;
       STREAMOP_RETURN_NOT_OK(RunCleaningPhase(scratch_sk_, sg));
+      if (obs_on || tracing) {
+        const uint64_t dur = obs::NowNanos() - t0;
+        if (obs_on) {
+          metrics_.cleaning_phases->Add();
+          metrics_.cleaning_ns->Record(dur);
+        }
+        if (tracing) trace_ring_->Record("cleaning_phase", t0, dur);
+      }
     }
   }
   return Status::OK();
@@ -239,6 +289,7 @@ void SamplingOperator::RemoveGroup(const GroupKey& gk, SupergroupEntry& sg) {
   }
   groups_.erase(git);
   ++live_stats_.groups_removed;
+  if (metrics_.enabled()) metrics_.groups_removed->Add();
 }
 
 Status SamplingOperator::RunCleaningPhase(const GroupKey& sk,
@@ -264,6 +315,7 @@ Status SamplingOperator::RunCleaningPhase(const GroupKey& sk,
     ctx.superaggs = &sa_finals;
     ctx.sfun_states = sg.states.data();
     ctx.num_sfun_states = sg.states.size();
+    ctx.sfun_calls = &pending_sfun_calls_;
     STREAMOP_ASSIGN_OR_RETURN(bool keep,
                               EvaluatePredicate(plan_->cleaning_by.get(), ctx));
     if (keep) {
@@ -278,7 +330,42 @@ Status SamplingOperator::RunCleaningPhase(const GroupKey& sk,
   return Status::OK();
 }
 
+void SamplingOperator::FlushPendingMetrics() {
+  if (!metrics_.enabled()) return;
+  if (pending_tuples_ > 0) {
+    metrics_.tuples->Add(pending_tuples_);
+    pending_tuples_ = 0;
+  }
+  if (pending_admitted_ > 0) {
+    metrics_.admitted->Add(pending_admitted_);
+    pending_admitted_ = 0;
+  }
+  if (pending_superagg_updates_ > 0) {
+    metrics_.superagg_updates->Add(pending_superagg_updates_);
+    pending_superagg_updates_ = 0;
+  }
+  if (pending_sfun_calls_ > 0) {
+    metrics_.sfun_calls->Add(pending_sfun_calls_);
+    pending_sfun_calls_ = 0;
+  }
+}
+
 Status SamplingOperator::FlushWindow() {
+  // Window flushes are per-window, not per-tuple: time every one and trace
+  // it as a complete event. Pending per-tuple counts are drained first so
+  // the registry is exact at every window boundary.
+  FlushPendingMetrics();
+  const bool obs_on = metrics_.enabled();
+  const bool tracing = trace_ring_->enabled();
+  const uint64_t flush_t0 = (obs_on || tracing) ? obs::NowNanos() : 0;
+  if (obs_on && groups_.capacity() > 0) {
+    // Load factor of the group table as the window closes, before HAVING
+    // prunes groups and the table swap clears it.
+    metrics_.group_table_load_factor->Set(
+        static_cast<double>(groups_.size()) /
+        static_cast<double>(groups_.capacity()));
+  }
+
   // Signal end-of-window to every SFUN state that cares. Walked in
   // supergroup creation order (not table order) for deterministic output.
   for (const GroupKey& sk : supergroup_order_) {
@@ -315,6 +402,7 @@ Status SamplingOperator::FlushWindow() {
       ctx.superaggs = &sa_finals;
       ctx.sfun_states = sg.states.data();
       ctx.num_sfun_states = sg.states.size();
+      ctx.sfun_calls = &pending_sfun_calls_;
 
       STREAMOP_ASSIGN_OR_RETURN(bool sampled,
                                 EvaluatePredicate(plan_->having.get(), ctx));
@@ -331,10 +419,16 @@ Status SamplingOperator::FlushWindow() {
       }
       output_.emplace_back(std::move(row));
       ++live_stats_.groups_output;
+      ++live_stats_.tuples_output;
     }
   }
 
   window_stats_.push_back(live_stats_);
+
+  if (obs_on) {
+    metrics_.windows->Add();
+    metrics_.rows_out->Add(live_stats_.tuples_output);
+  }
 
   // Table swap per §6.4: clear the group and membership tables, drop the
   // old supergroup table, move new -> old. clear() keeps each table's slot
@@ -351,6 +445,12 @@ Status SamplingOperator::FlushWindow() {
   groups_.reserve(static_cast<size_t>(expected_groups));
   supergroup_groups_.reserve(expected_supergroups);
   new_supergroups_.reserve(expected_supergroups);
+
+  if (obs_on || tracing) {
+    const uint64_t dur = obs::NowNanos() - flush_t0;
+    if (obs_on) metrics_.flush_ns->Record(dur);
+    if (tracing) trace_ring_->Record("window_flush", flush_t0, dur);
+  }
   return Status::OK();
 }
 

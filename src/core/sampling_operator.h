@@ -24,6 +24,8 @@
 #include "common/flat_hash_table.h"
 #include "common/status.h"
 #include "core/superagg.h"
+#include "obs/metrics.h"
+#include "obs/trace_ring.h"
 #include "expr/aggregate.h"
 #include "expr/expr.h"
 #include "expr/stateful.h"
@@ -81,6 +83,9 @@ struct WindowStats {
   uint64_t peak_groups = 0;      // high-water mark of the group table
   uint64_t cleaning_phases = 0;  // CLEANING WHEN fired
   uint64_t groups_output = 0;    // groups surviving HAVING
+  uint64_t tuples_output = 0;    // output rows emitted (after HAVING);
+                                 // distinct from groups_output once a group
+                                 // can yield multiple rows
 };
 
 /// Executes one sampling query over a tuple stream.
@@ -108,6 +113,14 @@ class SamplingOperator {
   }
 
   const SamplingQueryPlan& plan() const { return *plan_; }
+
+  /// Attaches registry-backed metrics (obs::OperatorMetrics::Create). The
+  /// bundle is copied; the pointed-to metrics must outlive the operator
+  /// (registry-owned metrics do). Default: uninstrumented, zero overhead.
+  void set_metrics(const obs::OperatorMetrics& metrics) { metrics_ = metrics; }
+
+  /// Redirects trace events (default: the process-wide obs::TraceRing).
+  void set_trace_ring(obs::TraceRing* ring) { trace_ring_ = ring; }
 
   /// Number of live groups / supergroups (introspection for tests).
   size_t num_groups() const { return groups_.size(); }
@@ -185,6 +198,23 @@ class SamplingOperator {
   std::vector<WindowStats> window_stats_;
   std::vector<Tuple> output_;
   uint64_t supergroup_seq_ = 0;  // distinct RNG stream per supergroup
+
+  // Flushes the pending_* deltas below into the registry counters.
+  void FlushPendingMetrics();
+
+  // Observability (see DESIGN.md §7). The admission histogram is sampled
+  // 1-in-256 tuples so the steady-state hot path pays no clock reads, and
+  // per-tuple counts accumulate in the plain pending_* fields (one
+  // increment each), batched into the registry's atomics on the same
+  // 1-in-256 tick and at window boundaries — an atomic RMW per tuple would
+  // alone blow the <=2% overhead budget.
+  obs::OperatorMetrics metrics_;
+  obs::TraceRing* trace_ring_ = &obs::TraceRing::Default();
+  uint32_t admission_sample_tick_ = 0;
+  uint64_t pending_tuples_ = 0;
+  uint64_t pending_admitted_ = 0;
+  uint64_t pending_superagg_updates_ = 0;
+  uint64_t pending_sfun_calls_ = 0;
 };
 
 /// Convenience driver: runs `op` over every tuple of `source`, finishes the

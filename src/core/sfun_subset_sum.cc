@@ -4,6 +4,8 @@
 
 #include "common/hash.h"
 #include "expr/stateful.h"
+#include "obs/metrics.h"
+#include "obs/trace_ring.h"
 #include "tuple/value.h"
 
 namespace streamop {
@@ -11,6 +13,20 @@ namespace streamop {
 namespace {
 
 constexpr double kMinZ = 1e-6;
+
+// Observability hook for threshold adjustments: an instant trace event
+// carrying the new z (visible in the chrome-trace timeline between
+// cleaning phases) plus a process-wide counter. SFUN packages have no
+// per-operator channel, so both go to the process defaults.
+void TraceZAdjust(const char* site, double z_new) {
+  if constexpr (obs::kStatsEnabled) {
+    static obs::Counter* adjusts = obs::MetricRegistry::Default().GetCounter(
+        "streamop_sfun_z_adjustments_total");
+    adjusts->Add();
+    obs::TraceRing& ring = obs::TraceRing::Default();
+    if (ring.enabled()) ring.Instant(site, obs::NowNanos(), "z", z_new);
+  }
+}
 
 void SubsetSumStateInit(void* state, const void* old_state, uint64_t seed) {
   auto* s = new (state) SubsetSumSfunState();
@@ -93,6 +109,7 @@ Value SsDoClean(void* state, const Value* args, size_t nargs) {
   s->admit.ResetCounter();
   s->large_count = 0;  // re-counted by ssclean_with over survivors
   ++s->cleanings_this_window;
+  TraceZAdjust("ss_z_adjust_cleaning", z_new);
   return Value::Bool(true);
 }
 
@@ -134,6 +151,7 @@ Value SsFinalClean(void* state, const Value* args, size_t nargs) {
       s->large_count = 0;
       ++s->cleanings_this_window;
       s->final_pass_through = false;
+      TraceZAdjust("ss_z_adjust_final", z_new);
     }
   }
   if (s->final_pass_through) return Value::Bool(true);

@@ -2,10 +2,15 @@
 
 namespace streamop {
 
-QueryNode::QueryNode(std::string name, const CompiledQuery& query)
+QueryNode::QueryNode(std::string name, const CompiledQuery& query,
+                     obs::MetricRegistry* registry)
     : name_(std::move(name)) {
+  obs::MetricRegistry& reg =
+      registry != nullptr ? *registry : obs::MetricRegistry::Default();
+  metrics_ = obs::NodeMetrics::Create(reg, name_);
   if (query.kind == CompiledQueryKind::kSampling) {
     sampling_ = std::make_unique<SamplingOperator>(query.sampling);
+    sampling_->set_metrics(obs::OperatorMetrics::Create(reg, name_));
   } else {
     selection_ = std::make_unique<SelectionOperator>(query.selection);
   }
@@ -13,10 +18,14 @@ QueryNode::QueryNode(std::string name, const CompiledQuery& query)
 
 Status QueryNode::Push(const Tuple& t) {
   ++tuples_in_;
+  if (metrics_.enabled()) metrics_.tuples_in->Add();
   if (sampling_ != nullptr) {
     STREAMOP_RETURN_NOT_OK(sampling_->Process(t));
     std::vector<Tuple> rows = sampling_->DrainOutput();
     tuples_out_ += rows.size();
+    if (metrics_.enabled() && !rows.empty()) {
+      metrics_.tuples_out->Add(rows.size());
+    }
     for (Tuple& r : rows) output_.push_back(std::move(r));
     return Status::OK();
   }
@@ -24,6 +33,7 @@ Status QueryNode::Push(const Tuple& t) {
   STREAMOP_ASSIGN_OR_RETURN(bool pass, selection_->Process(t, &out));
   if (pass) {
     ++tuples_out_;
+    if (metrics_.enabled()) metrics_.tuples_out->Add();
     output_.push_back(std::move(out));
   }
   return Status::OK();
@@ -34,6 +44,9 @@ Status QueryNode::Finish() {
     STREAMOP_RETURN_NOT_OK(sampling_->FinishStream());
     std::vector<Tuple> rows = sampling_->DrainOutput();
     tuples_out_ += rows.size();
+    if (metrics_.enabled() && !rows.empty()) {
+      metrics_.tuples_out->Add(rows.size());
+    }
     for (Tuple& r : rows) output_.push_back(std::move(r));
   }
   return Status::OK();

@@ -11,6 +11,7 @@
 
 #include "common/status.h"
 #include "core/sampling_operator.h"
+#include "obs/metrics.h"
 #include "query/analyzer.h"
 #include "query/selection_operator.h"
 
@@ -18,7 +19,12 @@ namespace streamop {
 
 class QueryNode {
  public:
-  QueryNode(std::string name, const CompiledQuery& query);
+  /// `registry` backs the node's metrics (tuple/cpu totals, batch-latency
+  /// histogram) and — for sampling nodes — the operator's per-phase metrics,
+  /// labelled `node="<name>"`. nullptr uses the process-wide default
+  /// registry, so a node is always observable.
+  QueryNode(std::string name, const CompiledQuery& query,
+            obs::MetricRegistry* registry = nullptr);
 
   const std::string& name() const { return name_; }
 
@@ -35,9 +41,24 @@ class QueryNode {
   uint64_t tuples_out() const { return tuples_out_; }
 
   /// Accumulated processing time, maintained by the runtime's stopwatch
-  /// (the node itself never reads the clock).
-  void AddCpuNanos(uint64_t ns) { cpu_ns_ += ns; }
+  /// (the node itself never reads the clock). Mirrored into the registry
+  /// counter so exported snapshots carry per-node CPU.
+  void AddCpuNanos(uint64_t ns) {
+    cpu_ns_ += ns;
+    if (metrics_.enabled()) metrics_.cpu_ns->Add(ns);
+  }
   uint64_t cpu_nanos() const { return cpu_ns_; }
+
+  /// Records one consumed batch (size + processing latency) into the
+  /// registry-backed histogram; called by the runtime per drained batch.
+  void RecordBatch(uint64_t latency_ns) {
+    if (metrics_.enabled()) {
+      metrics_.batches->Add();
+      metrics_.batch_latency_ns->Record(latency_ns);
+    }
+  }
+
+  const obs::NodeMetrics& metrics() const { return metrics_; }
 
   bool is_sampling() const { return sampling_ != nullptr; }
 
@@ -49,9 +70,13 @@ class QueryNode {
   std::unique_ptr<SamplingOperator> sampling_;
   std::unique_ptr<SelectionOperator> selection_;
   std::vector<Tuple> output_;
+  // The plain counters below stay authoritative for RunReport — they must
+  // survive STREAMOP_NO_STATS builds; the registry-backed metrics_ mirror
+  // them for export.
   uint64_t tuples_in_ = 0;
   uint64_t tuples_out_ = 0;
   uint64_t cpu_ns_ = 0;
+  obs::NodeMetrics metrics_;
 };
 
 }  // namespace streamop

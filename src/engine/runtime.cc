@@ -1,21 +1,16 @@
 #include "engine/runtime.h"
 
 #include <atomic>
-#include <chrono>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "stream/stream_source.h"
 
 namespace streamop {
 
 namespace {
 
-uint64_t NowNanos() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+using obs::NowNanos;
 
 NodeReport MakeReport(const QueryNode& node, double stream_seconds) {
   NodeReport r;
@@ -34,15 +29,23 @@ TwoLevelRuntime::TwoLevelRuntime(const CompiledQuery& low,
                                  const std::vector<CompiledQuery>& high,
                                  Options options)
     : options_(options) {
-  low_ = std::make_unique<QueryNode>("low", low);
+  obs::MetricRegistry& reg = options_.registry != nullptr
+                                 ? *options_.registry
+                                 : obs::MetricRegistry::Default();
+  ring_metrics_ = obs::RingBufferMetrics::Create(reg);
+  producer_retries_ =
+      reg.GetCounter("streamop_runtime_producer_retries_total");
+  packets_dropped_ = reg.GetCounter("streamop_runtime_packets_dropped_total");
+  low_ = std::make_unique<QueryNode>("low", low, &reg);
   for (size_t i = 0; i < high.size(); ++i) {
-    high_.push_back(
-        std::make_unique<QueryNode>("high" + std::to_string(i), high[i]));
+    high_.push_back(std::make_unique<QueryNode>("high" + std::to_string(i),
+                                                high[i], &reg));
   }
 }
 
 Result<RunReport> TwoLevelRuntime::Run(const Trace& trace) {
   RingBuffer<const PacketRecord*> ring(options_.ring_capacity);
+  ring.AttachMetrics(&ring_metrics_);
   const std::vector<PacketRecord>& packets = trace.packets();
   size_t produced = 0;
 
@@ -67,7 +70,9 @@ Result<RunReport> TwoLevelRuntime::Run(const Trace& trace) {
         STREAMOP_RETURN_NOT_OK(low_->Push(PacketToTuple(*p)));
       }
       std::vector<Tuple> rows = low_->DrainOutput();
-      low_->AddCpuNanos(NowNanos() - t0);
+      uint64_t batch_ns = NowNanos() - t0;
+      low_->AddCpuNanos(batch_ns);
+      low_->RecordBatch(batch_ns);
       low_out = std::move(rows);
 
       // High-level nodes consume the low node's output.
@@ -76,7 +81,9 @@ Result<RunReport> TwoLevelRuntime::Run(const Trace& trace) {
         for (const Tuple& t : low_out) {
           STREAMOP_RETURN_NOT_OK(node->Push(t));
         }
-        node->AddCpuNanos(NowNanos() - h0);
+        uint64_t h_ns = NowNanos() - h0;
+        node->AddCpuNanos(h_ns);
+        node->RecordBatch(h_ns);
       }
     }
   }
@@ -100,6 +107,13 @@ Result<RunReport> TwoLevelRuntime::Run(const Trace& trace) {
   RunReport report;
   report.stream_seconds = trace.DurationSec();
   report.packets = packets.size();
+  report.ring_push_failures = ring_metrics_.enabled()
+                                  ? ring_metrics_.push_failures->value()
+                                  : 0;
+  report.ring_occupancy_hwm =
+      ring_metrics_.enabled()
+          ? static_cast<uint64_t>(ring_metrics_.occupancy_hwm->value())
+          : 0;
   report.low = MakeReport(*low_, report.stream_seconds);
   for (auto& node : high_) {
     report.high.push_back(MakeReport(*node, report.stream_seconds));
@@ -109,18 +123,30 @@ Result<RunReport> TwoLevelRuntime::Run(const Trace& trace) {
 
 Result<RunReport> TwoLevelRuntime::RunThreaded(const Trace& trace) {
   RingBuffer<const PacketRecord*> ring(options_.ring_capacity);
+  ring.AttachMetrics(&ring_metrics_);
   const std::vector<PacketRecord>& packets = trace.packets();
   std::atomic<bool> done{false};
   std::atomic<bool> abort{false};  // consumer error: stop producing
 
+  // Overload accounting, surfaced in the report and the registry: every
+  // failed push is either retried (deterministic default) or dropped
+  // (drop_on_overload, the paper's Gigascope behaviour).
+  uint64_t producer_retries = 0;
+  uint64_t packets_dropped = 0;
+
   uint64_t wall0 = NowNanos();
   std::thread producer([&] {
+    const bool drop = options_.drop_on_overload;
     for (const PacketRecord& p : packets) {
       while (!ring.TryPush(&p)) {
         if (abort.load(std::memory_order_acquire)) return;
-        // The consumer is behind; yield instead of dropping (the paper's
-        // Gigascope drops under overload, but reproducible results matter
-        // more here than overload semantics).
+        if (drop) {
+          ++packets_dropped;
+          break;  // overload: shed this packet, move on
+        }
+        // The consumer is behind; yield instead of dropping (reproducible
+        // results matter more here than overload semantics).
+        ++producer_retries;
         std::this_thread::yield();
       }
     }
@@ -141,14 +167,20 @@ Result<RunReport> TwoLevelRuntime::RunThreaded(const Trace& trace) {
       }
       if (!status.ok()) break;
       rows = low_->DrainOutput();
-      low_->AddCpuNanos(NowNanos() - t0);
+      if (popped > 0) {
+        uint64_t batch_ns = NowNanos() - t0;
+        low_->AddCpuNanos(batch_ns);
+        low_->RecordBatch(batch_ns);
+      }
       for (auto& node : high_) {
         uint64_t h0 = NowNanos();
         for (const Tuple& t : rows) {
           status = node->Push(t);
           if (!status.ok()) break;
         }
-        node->AddCpuNanos(NowNanos() - h0);
+        uint64_t h_ns = NowNanos() - h0;
+        node->AddCpuNanos(h_ns);
+        if (!rows.empty()) node->RecordBatch(h_ns);
         if (!status.ok()) break;
       }
       if (!status.ok()) break;
@@ -161,6 +193,9 @@ Result<RunReport> TwoLevelRuntime::RunThreaded(const Trace& trace) {
   }
   producer.join();
   if (!status.ok()) return status;
+
+  producer_retries_->Add(producer_retries);
+  packets_dropped_->Add(packets_dropped);
 
   // End of stream.
   {
@@ -182,6 +217,15 @@ Result<RunReport> TwoLevelRuntime::RunThreaded(const Trace& trace) {
   report.stream_seconds = trace.DurationSec();
   report.pipeline_seconds = static_cast<double>(NowNanos() - wall0) * 1e-9;
   report.packets = packets.size();
+  report.ring_producer_retries = producer_retries;
+  report.packets_dropped = packets_dropped;
+  report.ring_push_failures = ring_metrics_.enabled()
+                                  ? ring_metrics_.push_failures->value()
+                                  : producer_retries + packets_dropped;
+  report.ring_occupancy_hwm =
+      ring_metrics_.enabled()
+          ? static_cast<uint64_t>(ring_metrics_.occupancy_hwm->value())
+          : 0;
   report.low = MakeReport(*low_, report.stream_seconds);
   for (auto& node : high_) {
     report.high.push_back(MakeReport(*node, report.stream_seconds));
@@ -191,12 +235,39 @@ Result<RunReport> TwoLevelRuntime::RunThreaded(const Trace& trace) {
 
 Result<SingleRunResult> RunQueryOverTrace(const CompiledQuery& query,
                                           const Trace& trace,
-                                          const std::string& name) {
-  QueryNode node(name, query);
-  uint64_t t0 = NowNanos();
-  for (const PacketRecord& p : trace.packets()) {
-    STREAMOP_RETURN_NOT_OK(node.Push(PacketToTuple(p)));
+                                          const std::string& name,
+                                          obs::MetricRegistry* registry) {
+  obs::MetricRegistry& reg =
+      registry != nullptr ? *registry : obs::MetricRegistry::Default();
+  QueryNode node(name, query, &reg);
+
+  // Feed through an instrumented ring in batches — the same data path the
+  // two-level runtime uses — so single-query runs (the CLI, the figure
+  // benchmarks) surface ring occupancy and batch-latency metrics too.
+  const obs::RingBufferMetrics ring_metrics =
+      obs::RingBufferMetrics::Create(reg);
+  RingBuffer<const PacketRecord*> ring(1 << 16);
+  ring.AttachMetrics(&ring_metrics);
+  constexpr size_t kBatch = 512;
+
+  const std::vector<PacketRecord>& packets = trace.packets();
+  size_t produced = 0;
+  while (produced < packets.size()) {
+    while (produced < packets.size() && ring.TryPush(&packets[produced])) {
+      ++produced;
+    }
+    while (!ring.empty()) {
+      uint64_t t0 = NowNanos();
+      const PacketRecord* p = nullptr;
+      for (size_t i = 0; i < kBatch && ring.TryPop(&p); ++i) {
+        STREAMOP_RETURN_NOT_OK(node.Push(PacketToTuple(*p)));
+      }
+      uint64_t batch_ns = NowNanos() - t0;
+      node.AddCpuNanos(batch_ns);
+      node.RecordBatch(batch_ns);
+    }
   }
+  uint64_t t0 = NowNanos();
   STREAMOP_RETURN_NOT_OK(node.Finish());
   node.AddCpuNanos(NowNanos() - t0);
 

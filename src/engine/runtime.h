@@ -18,6 +18,7 @@
 #include "common/status.h"
 #include "engine/query_node.h"
 #include "net/trace_generator.h"
+#include "obs/metrics.h"
 #include "query/analyzer.h"
 #include "stream/ring_buffer.h"
 
@@ -36,6 +37,16 @@ struct RunReport {
   double stream_seconds = 0.0;    // the trace's wall-clock span
   double pipeline_seconds = 0.0;  // RunThreaded: end-to-end wall time
   uint64_t packets = 0;
+
+  // Ring-buffer overload accounting (RunThreaded). A full ring makes the
+  // producer either retry (default: yield until space, deterministic) or
+  // drop the packet (drop_on_overload — Gigascope's behaviour). Either
+  // way the overload is now visible instead of silent.
+  uint64_t ring_push_failures = 0;   // TryPush calls that found the ring full
+  uint64_t ring_producer_retries = 0;  // producer yield-and-retry rounds
+  uint64_t packets_dropped = 0;        // only with drop_on_overload
+  uint64_t ring_occupancy_hwm = 0;     // high-water mark of ring occupancy
+
   NodeReport low;
   std::vector<NodeReport> high;
 };
@@ -44,6 +55,13 @@ struct RunReport {
 struct RuntimeOptions {
   size_t ring_capacity = 1 << 16;
   size_t batch_size = 512;
+  /// RunThreaded only: drop packets when the ring is full instead of
+  /// spinning the producer (the paper's Gigascope drops under overload).
+  /// Off by default — dropping makes results depend on thread timing.
+  bool drop_on_overload = false;
+  /// Registry backing all runtime/node/operator metrics; nullptr uses the
+  /// process-wide default registry.
+  obs::MetricRegistry* registry = nullptr;
 };
 
 /// One low-level query feeding any number of high-level queries.
@@ -78,9 +96,15 @@ class TwoLevelRuntime {
   Options options_;
   std::unique_ptr<QueryNode> low_;
   std::vector<std::unique_ptr<QueryNode>> high_;
+  obs::RingBufferMetrics ring_metrics_;   // outlives the per-run rings
+  obs::Counter* producer_retries_ = nullptr;
+  obs::Counter* packets_dropped_ = nullptr;
 };
 
 /// Single-node convenience: run one query over a trace and report stats.
+/// The trace is fed through an instrumented ring buffer in batches (the
+/// same data path the two-level runtime uses), so ring occupancy and
+/// batch-latency metrics land in `registry` (nullptr = default registry).
 struct SingleRunResult {
   NodeReport report;
   std::vector<Tuple> output;
@@ -88,7 +112,9 @@ struct SingleRunResult {
 };
 Result<SingleRunResult> RunQueryOverTrace(const CompiledQuery& query,
                                           const Trace& trace,
-                                          const std::string& name = "query");
+                                          const std::string& name = "query",
+                                          obs::MetricRegistry* registry =
+                                              nullptr);
 
 }  // namespace streamop
 

@@ -240,6 +240,9 @@ Result<Value> Evaluate(const Expr& expr, const EvalContext& ctx) {
         args[i] = std::move(v);
       }
       void* state = ctx.sfun_states[expr.sfun_state_slot];
+      if (obs::kStatsEnabled && ctx.sfun_calls != nullptr) {
+        ++*ctx.sfun_calls;
+      }
       return expr.sfun->call(state, args, expr.children.size());
     }
 

@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "expr/expr.h"
+#include "obs/metrics.h"
 #include "tuple/tuple.h"
 
 namespace streamop {
@@ -25,6 +26,9 @@ struct EvalContext {
   const std::vector<Value>* superaggs = nullptr;    // superaggregate finals
   void* const* sfun_states = nullptr;        // state blobs by sfun_state_slot
   size_t num_sfun_states = 0;
+  uint64_t* sfun_calls = nullptr;            // counts stateful-fn invocations
+                                             // (plain; owner batches into the
+                                             // registry counter)
 };
 
 /// Evaluates an analyzed expression. Errors indicate bugs in analysis

@@ -1,0 +1,312 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace streamop {
+namespace obs {
+
+namespace {
+
+// Escapes `"` and `\` so metric keys like `name{node="low"}` embed safely
+// in JSON string position.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 4);
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string FullName(const std::string& name, const std::string& labels) {
+  if (labels.empty()) return name;
+  return name + "{" + labels + "}";
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void AppendUInt(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+}  // namespace
+
+uint64_t Histogram::ValueAtQuantile(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  auto target = static_cast<uint64_t>(q * static_cast<double>(total) + 0.5);
+  if (target < 1) target = 1;
+  if (target > total) target = total;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cum += bucket_count(i);
+    if (cum >= target) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+MetricRegistry& MetricRegistry::Default() {
+  static MetricRegistry* reg = new MetricRegistry();
+  return *reg;
+}
+
+MetricRegistry::Entry* MetricRegistry::Find(const std::string& name,
+                                            const std::string& labels) {
+  for (Entry& e : entries_) {
+    if (e.name == name && e.labels == labels) return &e;
+  }
+  return nullptr;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name,
+                                    const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = Find(name, labels)) {
+    return e->kind == Kind::kCounter ? e->counter : nullptr;
+  }
+  counters_.emplace_back();
+  Entry e;
+  e.name = name;
+  e.labels = labels;
+  e.kind = Kind::kCounter;
+  e.counter = &counters_.back();
+  entries_.push_back(e);
+  return e.counter;
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name,
+                                const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = Find(name, labels)) {
+    return e->kind == Kind::kGauge ? e->gauge : nullptr;
+  }
+  gauges_.emplace_back();
+  Entry e;
+  e.name = name;
+  e.labels = labels;
+  e.kind = Kind::kGauge;
+  e.gauge = &gauges_.back();
+  entries_.push_back(e);
+  return e.gauge;
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = Find(name, labels)) {
+    return e->kind == Kind::kHistogram ? e->histogram : nullptr;
+  }
+  histograms_.emplace_back();
+  Entry e;
+  e.name = name;
+  e.labels = labels;
+  e.kind = Kind::kHistogram;
+  e.histogram = &histograms_.back();
+  entries_.push_back(e);
+  return e.histogram;
+}
+
+size_t MetricRegistry::num_metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::string MetricRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n \"counters\": {";
+  bool first = true;
+  for (const Entry& e : entries_) {
+    if (e.kind != Kind::kCounter) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\n  \"" + JsonEscape(FullName(e.name, e.labels)) + "\": ";
+    AppendUInt(&out, e.counter->value());
+  }
+  out += "\n },\n \"gauges\": {";
+  first = true;
+  for (const Entry& e : entries_) {
+    if (e.kind != Kind::kGauge) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\n  \"" + JsonEscape(FullName(e.name, e.labels)) + "\": ";
+    AppendDouble(&out, e.gauge->value());
+  }
+  out += "\n },\n \"histograms\": {";
+  first = true;
+  for (const Entry& e : entries_) {
+    if (e.kind != Kind::kHistogram) continue;
+    const Histogram& h = *e.histogram;
+    if (!first) out += ",";
+    first = false;
+    out += "\n  \"" + JsonEscape(FullName(e.name, e.labels)) + "\": {";
+    out += "\"count\": ";
+    AppendUInt(&out, h.count());
+    out += ", \"sum\": ";
+    AppendUInt(&out, h.sum());
+    out += ", \"max\": ";
+    AppendUInt(&out, h.max());
+    out += ", \"mean\": ";
+    AppendDouble(&out, h.mean());
+    out += ", \"p50\": ";
+    AppendUInt(&out, h.ValueAtQuantile(0.50));
+    out += ", \"p90\": ";
+    AppendUInt(&out, h.ValueAtQuantile(0.90));
+    out += ", \"p99\": ";
+    AppendUInt(&out, h.ValueAtQuantile(0.99));
+    out += ", \"buckets\": [";
+    bool bfirst = true;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      uint64_t c = h.bucket_count(i);
+      if (c == 0) continue;  // sparse: only occupied buckets
+      if (!bfirst) out += ", ";
+      bfirst = false;
+      out += "[";
+      AppendUInt(&out, Histogram::BucketUpperBound(i));
+      out += ", ";
+      AppendUInt(&out, c);
+      out += "]";
+    }
+    out += "]}";
+  }
+  out += "\n }\n}\n";
+  return out;
+}
+
+std::string MetricRegistry::ToPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Group all samples of a family (same metric name) under one # TYPE
+  // line, as the exposition format requires.
+  std::vector<std::string> families;
+  for (const Entry& e : entries_) {
+    if (std::find(families.begin(), families.end(), e.name) ==
+        families.end()) {
+      families.push_back(e.name);
+    }
+  }
+
+  std::string out;
+  for (const std::string& family : families) {
+    const char* type = nullptr;
+    for (const Entry& e : entries_) {
+      if (e.name != family) continue;
+      if (type == nullptr) {
+        type = e.kind == Kind::kCounter
+                   ? "counter"
+                   : e.kind == Kind::kGauge ? "gauge" : "histogram";
+        out += "# TYPE " + family + " " + type + "\n";
+      }
+      const std::string label_block =
+          e.labels.empty() ? "" : "{" + e.labels + "}";
+      switch (e.kind) {
+        case Kind::kCounter:
+          out += family + label_block + " ";
+          AppendUInt(&out, e.counter->value());
+          out += "\n";
+          break;
+        case Kind::kGauge:
+          out += family + label_block + " ";
+          AppendDouble(&out, e.gauge->value());
+          out += "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *e.histogram;
+          const std::string sep = e.labels.empty() ? "" : ",";
+          uint64_t cum = 0;
+          for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+            uint64_t c = h.bucket_count(i);
+            if (c == 0) continue;  // cumulative counts stay correct
+            cum += c;
+            out += family + "_bucket{" + e.labels + sep + "le=\"";
+            AppendUInt(&out, Histogram::BucketUpperBound(i));
+            out += "\"} ";
+            AppendUInt(&out, cum);
+            out += "\n";
+          }
+          out += family + "_bucket{" + e.labels + sep + "le=\"+Inf\"} ";
+          AppendUInt(&out, h.count());
+          out += "\n";
+          out += family + "_sum" + label_block + " ";
+          AppendUInt(&out, h.sum());
+          out += "\n";
+          out += family + "_count" + label_block + " ";
+          AppendUInt(&out, h.count());
+          out += "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+RingBufferMetrics RingBufferMetrics::Create(MetricRegistry& reg,
+                                            const std::string& labels) {
+  RingBufferMetrics m;
+  m.pushes = reg.GetCounter("streamop_ring_pushes_total", labels);
+  m.push_failures = reg.GetCounter("streamop_ring_push_failures_total", labels);
+  m.pops = reg.GetCounter("streamop_ring_pops_total", labels);
+  m.occupancy_hwm = reg.GetGauge("streamop_ring_occupancy_hwm", labels);
+  return m;
+}
+
+NodeMetrics NodeMetrics::Create(MetricRegistry& reg,
+                                const std::string& node_name) {
+  const std::string labels = "node=\"" + node_name + "\"";
+  NodeMetrics m;
+  m.tuples_in = reg.GetCounter("streamop_node_tuples_in_total", labels);
+  m.tuples_out = reg.GetCounter("streamop_node_tuples_out_total", labels);
+  m.cpu_ns = reg.GetCounter("streamop_node_cpu_ns_total", labels);
+  m.batches = reg.GetCounter("streamop_node_batches_total", labels);
+  m.batch_latency_ns =
+      reg.GetHistogram("streamop_node_batch_latency_ns", labels);
+  return m;
+}
+
+OperatorMetrics OperatorMetrics::Create(MetricRegistry& reg,
+                                        const std::string& node_name) {
+  const std::string labels = "node=\"" + node_name + "\"";
+  OperatorMetrics m;
+  m.tuples = reg.GetCounter("streamop_operator_tuples_total", labels);
+  m.admitted = reg.GetCounter("streamop_operator_admitted_total", labels);
+  m.groups_created =
+      reg.GetCounter("streamop_operator_groups_created_total", labels);
+  m.groups_removed =
+      reg.GetCounter("streamop_operator_groups_removed_total", labels);
+  m.cleaning_phases =
+      reg.GetCounter("streamop_operator_cleaning_phases_total", labels);
+  m.windows = reg.GetCounter("streamop_operator_windows_total", labels);
+  m.rows_out = reg.GetCounter("streamop_operator_rows_out_total", labels);
+  m.superagg_updates =
+      reg.GetCounter("streamop_operator_superagg_updates_total", labels);
+  m.sfun_calls = reg.GetCounter("streamop_operator_sfun_calls_total", labels);
+  m.admission_ns =
+      reg.GetHistogram("streamop_operator_admission_ns", labels);
+  m.cleaning_ns = reg.GetHistogram("streamop_operator_cleaning_ns", labels);
+  m.flush_ns = reg.GetHistogram("streamop_operator_flush_ns", labels);
+  m.group_table_load_factor =
+      reg.GetGauge("streamop_operator_group_table_load_factor", labels);
+  m.peak_groups = reg.GetGauge("streamop_operator_peak_groups", labels);
+  return m;
+}
+
+SourceMetrics SourceMetrics::Create(MetricRegistry& reg,
+                                    const std::string& source_name) {
+  const std::string labels = "source=\"" + source_name + "\"";
+  SourceMetrics m;
+  m.tuples = reg.GetCounter("streamop_source_tuples_total", labels);
+  return m;
+}
+
+}  // namespace obs
+}  // namespace streamop

@@ -1,0 +1,66 @@
+#include "obs/trace_ring.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace streamop {
+namespace obs {
+
+TraceRing& TraceRing::Default() {
+  static TraceRing* ring = new TraceRing();
+  return *ring;
+}
+
+TraceRing::TraceRing(size_t capacity) {
+  if (capacity < 1) capacity = 1;
+  slots_.resize(capacity);
+}
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  const uint64_t seq = seq_.load(std::memory_order_relaxed);
+  const size_t n = static_cast<size_t>(
+      std::min<uint64_t>(seq, static_cast<uint64_t>(slots_.size())));
+  std::vector<TraceEvent> out(slots_.begin(), slots_.begin() + n);
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_ns < b.ts_ns;
+            });
+  return out;
+}
+
+std::string TraceRing::ToChromeTraceJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  const uint64_t base = events.empty() ? 0 : events.front().ts_ns;
+  std::string out = "{\"traceEvents\": [";
+  char buf[256];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    const double ts_us = static_cast<double>(e.ts_ns - base) / 1000.0;
+    if (i > 0) out += ",";
+    if (e.instant) {
+      std::snprintf(buf, sizeof(buf),
+                    "\n {\"name\": \"%s\", \"ph\": \"i\", \"s\": \"g\", "
+                    "\"ts\": %.3f, \"pid\": 1, \"tid\": 1",
+                    e.name, ts_us);
+      out += buf;
+      if (e.arg_name != nullptr) {
+        std::snprintf(buf, sizeof(buf), ", \"args\": {\"%s\": %.17g}",
+                      e.arg_name, e.arg);
+        out += buf;
+      }
+      out += "}";
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "\n {\"name\": \"%s\", \"ph\": \"X\", \"ts\": %.3f, "
+                    "\"dur\": %.3f, \"pid\": 1, \"tid\": 1}",
+                    e.name, ts_us,
+                    static_cast<double>(e.dur_ns) / 1000.0);
+      out += buf;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace streamop

@@ -23,8 +23,11 @@ void GkQuantileSketch::Insert(double v) {
     // New minimum or maximum: exact rank (delta = 0).
     entry.delta = 0;
   } else {
-    entry.delta =
+    // Interior insert: delta = floor(2 eps n) - 1 (GK §2.1), so the new
+    // tuple's own g + delta stays within the invariant.
+    const uint64_t band =
         static_cast<uint64_t>(std::floor(2.0 * eps_ * static_cast<double>(n_)));
+    entry.delta = band > 0 ? band - 1 : 0;
   }
   tuples_.insert(it, entry);
   ++n_;
@@ -64,21 +67,25 @@ double GkQuantileSketch::Query(double phi) const {
   if (phi < 0.0) phi = 0.0;
   if (phi > 1.0) phi = 1.0;
   const double target = phi * static_cast<double>(n_);
-  const double slack = eps_ * static_cast<double>(n_);
+  // Return the entry whose rank-interval midpoint is closest to the target:
+  // with the invariant g + delta <= 2 eps n this answers within eps * n,
+  // and it degrades gracefully (nearest candidate) rather than returning a
+  // merely-intersecting entry whose true rank may be slack + delta away.
   uint64_t rmin = 0;
+  double best_v = tuples_.front().v;
+  double best_dist = -1.0;
   for (size_t i = 0; i < tuples_.size(); ++i) {
     rmin += tuples_[i].g;
-    const double rmax = static_cast<double>(rmin + tuples_[i].delta);
-    if (rmax >= target - slack &&
-        static_cast<double>(rmin) <= target + slack) {
-      return tuples_[i].v;
+    const double mid =
+        static_cast<double>(rmin) + static_cast<double>(tuples_[i].delta) / 2.0;
+    const double dist = std::abs(mid - target);
+    if (best_dist < 0.0 || dist < best_dist) {
+      best_dist = dist;
+      best_v = tuples_[i].v;
     }
-    if (static_cast<double>(rmin) > target + slack) {
-      // Overshot: the previous entry was the best candidate.
-      return tuples_[i > 0 ? i - 1 : 0].v;
-    }
+    if (static_cast<double>(rmin) > target && dist > best_dist) break;
   }
-  return tuples_.back().v;
+  return best_v;
 }
 
 }  // namespace streamop

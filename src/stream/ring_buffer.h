@@ -15,6 +15,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace streamop {
 
 template <typename T>
@@ -34,6 +36,13 @@ class RingBuffer {
 
   size_t capacity() const { return buf_.size() - 1; }
 
+  /// Attaches data-path metrics (push/pop totals, push failures, occupancy
+  /// high-water mark). The bundle must outlive the buffer; pass nullptr to
+  /// detach. The hwm gauge is written by the producer thread only.
+  void AttachMetrics(const obs::RingBufferMetrics* metrics) {
+    metrics_ = metrics;
+  }
+
   bool empty() const {
     return head_.load(std::memory_order_acquire) ==
            tail_.load(std::memory_order_acquire);
@@ -50,9 +59,20 @@ class RingBuffer {
   bool TryPush(const T& item) {
     size_t t = tail_.load(std::memory_order_relaxed);
     size_t next = (t + 1) & mask_;
-    if (next == head_.load(std::memory_order_acquire)) return false;
+    size_t h = head_.load(std::memory_order_acquire);
+    if (next == h) {
+      if (obs::kStatsEnabled && metrics_ != nullptr) {
+        metrics_->push_failures->Add();
+      }
+      return false;
+    }
     buf_[t] = item;
     tail_.store(next, std::memory_order_release);
+    if (obs::kStatsEnabled && metrics_ != nullptr) {
+      metrics_->pushes->Add();
+      metrics_->occupancy_hwm->SetMax(
+          static_cast<double>((next - h) & mask_));
+    }
     return true;
   }
 
@@ -69,6 +89,7 @@ class RingBuffer {
     if (h == tail_.load(std::memory_order_acquire)) return false;
     *out = buf_[h];
     head_.store((h + 1) & mask_, std::memory_order_release);
+    if (obs::kStatsEnabled && metrics_ != nullptr) metrics_->pops->Add();
     return true;
   }
 
@@ -81,6 +102,7 @@ class RingBuffer {
 
  private:
   std::vector<T> buf_;
+  const obs::RingBufferMetrics* metrics_ = nullptr;
   size_t mask_ = 0;
   std::atomic<size_t> head_{0};
   std::atomic<size_t> tail_{0};

@@ -9,6 +9,7 @@
 
 #include "net/packet.h"
 #include "net/trace_generator.h"
+#include "obs/metrics.h"
 #include "tuple/schema.h"
 #include "tuple/tuple.h"
 
@@ -26,6 +27,18 @@ class StreamSource {
 
   /// Rewinds to the beginning if the source is replayable (traces are).
   virtual void Reset() {}
+
+  /// Attaches production metrics (obs::SourceMetrics::Create); the bundle's
+  /// metrics must outlive the source. Subclasses report via CountTuple().
+  void AttachMetrics(const obs::SourceMetrics& metrics) { metrics_ = metrics; }
+
+ protected:
+  void CountTuple() {
+    if (metrics_.enabled()) metrics_.tuples->Add();
+  }
+
+ private:
+  obs::SourceMetrics metrics_;
 };
 
 /// Converts a PacketRecord into a tuple matching MakePacketSchema():
@@ -44,6 +57,7 @@ class TraceTupleSource : public StreamSource {
   bool Next(Tuple* out) override {
     if (pos_ >= trace_->size()) return false;
     *out = PacketToTuple(trace_->at(pos_++));
+    CountTuple();
     return true;
   }
 
@@ -66,6 +80,7 @@ class VectorTupleSource : public StreamSource {
   bool Next(Tuple* out) override {
     if (pos_ >= tuples_.size()) return false;
     *out = tuples_[pos_++];
+    CountTuple();
     return true;
   }
 

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "core/sampling_operator.h"
+#include "obs/metrics.h"
+#include "obs/trace_ring.h"
 #include "query/query.h"
 #include "tuple/tuple.h"
 #include "tuple/value.h"
@@ -81,12 +83,21 @@ std::vector<Tuple> SteadyStateTuples(size_t count, uint64_t num_src,
   return tuples;
 }
 
-uint64_t SteadyStateAllocationDelta(const std::string& sql) {
+uint64_t SteadyStateAllocationDelta(const std::string& sql,
+                                    bool with_metrics = false) {
   Catalog catalog = Catalog::Default();
   Result<CompiledQuery> cq = CompileQuery(sql, catalog, {.seed = 3});
   EXPECT_TRUE(cq.ok()) << cq.status().ToString();
   EXPECT_EQ(cq->kind, CompiledQueryKind::kSampling);
   SamplingOperator op(cq->sampling);
+  if (with_metrics) {
+    // Registry + trace ring allocate at registration time, never after —
+    // everything below happens before the measured burst.
+    op.set_metrics(obs::OperatorMetrics::Create(
+        obs::MetricRegistry::Default(), "hotpath"));
+    obs::TraceRing::Default().set_enabled(true);
+    op.set_trace_ring(&obs::TraceRing::Default());
+  }
   std::vector<Tuple> tuples = SteadyStateTuples(2048, 32, 16);
   // Warm-up: create every group (and let scratch buffers reach capacity).
   size_t failures = 0;
@@ -123,6 +134,31 @@ TEST(HotPathAllocTest, GroupedSamplingSteadyStateAllocatesNothing) {
       CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
       CLEANING BY ssclean_with(sum(len)) = TRUE
   )"),
+            0u);
+}
+
+// The same invariant must hold with the full observability layer attached:
+// counters, sampled phase timers and the trace ring are all fixed-size and
+// heap-free after registration (the tentpole's hot-path criterion).
+TEST(HotPathAllocTest, InstrumentedSteadyStateAllocatesNothing) {
+  EXPECT_EQ(SteadyStateAllocationDelta(
+                "SELECT tb, srcIP, destIP, sum(len), count(*) FROM PKTS "
+                "GROUP BY time/20 as tb, srcIP, destIP",
+                /*with_metrics=*/true),
+            0u);
+}
+
+TEST(HotPathAllocTest, InstrumentedSamplingSteadyStateAllocatesNothing) {
+  EXPECT_EQ(SteadyStateAllocationDelta(R"(
+      SELECT tb, srcIP, destIP, UMAX(sum(len), ssthreshold())
+      FROM PKTS
+      WHERE ssample(len, 1000000000, 2, 10, 0.5) = TRUE
+      GROUP BY time/20 as tb, srcIP, destIP
+      HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE
+      CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
+      CLEANING BY ssclean_with(sum(len)) = TRUE
+  )",
+                                       /*with_metrics=*/true),
             0u);
 }
 

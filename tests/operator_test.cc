@@ -117,6 +117,24 @@ TEST(SamplingOperatorTest, HavingPrunesGroups) {
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0][1].AsUInt(), 2u);
   EXPECT_EQ(op.window_stats()[0].groups_output, 1u);
+  EXPECT_EQ(op.window_stats()[0].tuples_output, 1u);  // HAVING pruned k=1
+}
+
+TEST(SamplingOperatorTest, WindowStatsCountTuplesOutput) {
+  SamplingOperator op(MakeAggregationPlan());
+  // Window 0: three groups -> three output rows; window 1: one group.
+  ASSERT_TRUE(op.Process(Row(1, 1, 1)).ok());
+  ASSERT_TRUE(op.Process(Row(2, 2, 1)).ok());
+  ASSERT_TRUE(op.Process(Row(3, 3, 1)).ok());
+  ASSERT_TRUE(op.Process(Row(11, 1, 1)).ok());  // flushes window 0
+  ASSERT_TRUE(op.FinishStream().ok());
+  ASSERT_EQ(op.window_stats().size(), 2u);
+  EXPECT_EQ(op.window_stats()[0].tuples_output, 3u);
+  EXPECT_EQ(op.window_stats()[1].tuples_output, 1u);
+  // Without HAVING, every surviving group emits exactly one row.
+  EXPECT_EQ(op.window_stats()[0].tuples_output,
+            op.window_stats()[0].groups_output);
+  EXPECT_EQ(op.DrainOutput().size(), 4u);
 }
 
 // Adds count_distinct$ over the default (ALL) supergroup plus a cleaning

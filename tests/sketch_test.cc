@@ -113,6 +113,111 @@ TEST(GkQuantileTest, EpsilonClamped) {
   EXPECT_LE(bad2.eps(), 0.5);
 }
 
+// Adversarial insertion orders: the same multiset arriving in orders that
+// stress the summary differently (new minima/maxima force border entries;
+// converging extremes churn the interior) must all satisfy the rank bound.
+TEST(GkQuantileTest, ZigzagExtremesStream) {
+  // 0, n-1, 1, n-2, ... — every insert lands at the current border of the
+  // summary, alternating ends.
+  std::vector<double> data;
+  const int n = 30000;
+  for (int i = 0; i < n / 2; ++i) {
+    data.push_back(static_cast<double>(i));
+    data.push_back(static_cast<double>(n - 1 - i));
+  }
+  CheckRankErrors(data, 0.01);
+}
+
+TEST(GkQuantileTest, OrganPipeStream) {
+  // Ascending then descending: the descending half replays values into a
+  // summary already compressed for the ascending prefix.
+  std::vector<double> data;
+  const int n = 15000;
+  for (int i = 0; i < n; ++i) data.push_back(static_cast<double>(i));
+  for (int i = n - 1; i >= 0; --i) data.push_back(static_cast<double>(i));
+  CheckRankErrors(data, 0.01);
+}
+
+TEST(GkQuantileTest, SawtoothStream) {
+  // Repeated short ascending runs: every run re-inserts small values below
+  // most of the summary, stressing interior insertion + merge.
+  std::vector<double> data;
+  for (int rep = 0; rep < 300; ++rep) {
+    for (int i = 0; i < 100; ++i) data.push_back(static_cast<double>(i));
+  }
+  CheckRankErrors(data, 0.01);
+}
+
+TEST(GkQuantileTest, InsertionOrderDoesNotBreakTheBound) {
+  // The identical multiset in four different orders: all queries stay
+  // within the rank-error bound regardless of arrival order.
+  Pcg64 rng(13);
+  std::vector<double> base;
+  for (int i = 0; i < 20000; ++i) base.push_back(rng.NextPareto(1.5, 1.0));
+
+  std::vector<double> sorted = base;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> reversed = sorted;
+  std::reverse(reversed.begin(), reversed.end());
+  std::vector<double> outside_in;  // max, min, 2nd max, 2nd min, ...
+  for (size_t i = 0; i < sorted.size() / 2; ++i) {
+    outside_in.push_back(sorted[sorted.size() - 1 - i]);
+    outside_in.push_back(sorted[i]);
+  }
+  CheckRankErrors(base, 0.01);
+  CheckRankErrors(sorted, 0.01);
+  CheckRankErrors(reversed, 0.01);
+  CheckRankErrors(outside_in, 0.01);
+}
+
+// Compress-path coverage: the merges must actually fire (sublinear
+// summary) and must never lose the stream extremes.
+TEST(GkQuantileTest, CompressFiresOnAdversarialOrdersAndKeepsExtremes) {
+  const int n = 100000;
+  struct Case {
+    const char* name;
+    double (*value)(int i, int n);
+  } cases[] = {
+      {"ascending", [](int i, int) { return static_cast<double>(i); }},
+      {"descending", [](int i, int nn) { return static_cast<double>(nn - i); }},
+      {"zigzag",
+       [](int i, int nn) {
+         return static_cast<double>(i % 2 == 0 ? i / 2 : nn - 1 - i / 2);
+       }},
+  };
+  for (const Case& c : cases) {
+    GkQuantileSketch sk(0.01);
+    for (int i = 0; i < n; ++i) sk.Insert(c.value(i, n));
+    EXPECT_EQ(sk.count(), static_cast<uint64_t>(n)) << c.name;
+    // Without Compress the summary would hold all n entries.
+    EXPECT_LT(sk.summary_size(), static_cast<size_t>(n) / 20) << c.name;
+    // phi=0 / phi=1 must return the true extremes: compression merges
+    // interior entries only.
+    double lo = 1e300, hi = -1e300;
+    for (int i = 0; i < n; ++i) {
+      lo = std::min(lo, c.value(i, n));
+      hi = std::max(hi, c.value(i, n));
+    }
+    EXPECT_DOUBLE_EQ(sk.Query(0.0), lo) << c.name;
+    EXPECT_DOUBLE_EQ(sk.Query(1.0), hi) << c.name;
+  }
+}
+
+TEST(GkQuantileTest, CompressKeepsSpaceBoundedUnderContinuousInsertion) {
+  // The invariant g + delta <= 2*eps*n must keep space O((1/eps) log(eps n))
+  // as n grows 100x; track the high-water mark between checkpoints.
+  GkQuantileSketch sk(0.02);
+  Pcg64 rng(17);
+  size_t hwm = 0;
+  for (int i = 1; i <= 500000; ++i) {
+    sk.Insert(rng.NextDouble() * 1e9);
+    if (i % 1000 == 0) hwm = std::max(hwm, sk.summary_size());
+  }
+  // At eps=0.02 a few hundred entries suffice; 1/eps * log2(eps*n) ~ 660.
+  EXPECT_LT(hwm, 1500u);
+  EXPECT_GT(sk.summary_size(), 10u);  // sanity: not trivially collapsed
+}
+
 // ---------- DistinctSampler ----------
 
 TEST(DistinctSamplerTest, ExactBelowCapacity) {
