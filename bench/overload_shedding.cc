@@ -1,0 +1,123 @@
+// Overload experiment — adaptive load shedding on a bursty feed.
+//
+// A deliberately slow consumer (a per-batch stall hook standing in for an
+// expensive high-level query) is fed a bursty research feed through a small
+// ring buffer, so the producer sustainedly outruns the consumer. We compare
+// the three overload policies on identical input:
+//
+//   retry — the producer backs off and retries (lossless, but the pipeline
+//           runs at consumer speed: unbounded producer latency);
+//   drop  — Gigascope's policy: the producer drops packets when the ring is
+//           full; aggregates are silently biased low;
+//   shed  — the AIMD controller lowers the Bernoulli admission probability
+//           p at the consumer and reweights survivors by 1/p, keeping
+//           sum(len)/count(*) unbiased while occupancy stays bounded.
+//
+// For each policy we report wall time, packets lost/shed, and the worst
+// per-window relative error of sum(len) against trace ground truth.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "stream/fault_injection.h"
+
+using namespace streamop;
+using namespace streamop::bench;
+
+namespace {
+
+constexpr char kPassThroughLow[] =
+    "SELECT time, ts_ns, srcIP, destIP, srcPort, destPort, proto, len "
+    "FROM PKT";
+
+constexpr char kWindowAggHigh[] =
+    "SELECT tb, sum(len), count(*) FROM PKT GROUP BY time/20 as tb";
+
+struct PolicyResult {
+  double wall_seconds = 0.0;
+  uint64_t lost = 0;          // dropped (drop) or shed (shed)
+  double shed_p_min = 1.0;
+  uint64_t backoff_sleeps = 0;
+  double worst_rel_err = 0.0;
+  uint64_t ring_hwm = 0;
+};
+
+PolicyResult RunPolicy(const Trace& trace, const char* policy) {
+  CompiledQuery low = MustCompile(kPassThroughLow, 41);
+  CompiledQuery high = MustCompile(kWindowAggHigh, 42);
+
+  RuntimeOptions opt;
+  opt.ring_capacity = 1024;
+  opt.batch_size = 256;
+  ConsumerStallSpec stall;
+  stall.stall_at_batch = 0;
+  stall.per_batch_ms = 1;  // the "expensive consumer"
+  opt.consumer_stall_hook = MakeConsumerStallHook(stall);
+  if (std::string(policy) == "drop") {
+    opt.drop_on_overload = true;
+  } else if (std::string(policy) == "shed") {
+    opt.shed.enabled = true;
+    opt.shed.seed = 13;
+    opt.shed.min_probability = 0.1;
+  }
+
+  TwoLevelRuntime rt(low, {high}, opt);
+  Result<RunReport> report = rt.RunThreaded(trace);
+  if (!report.ok()) {
+    std::fprintf(stderr, "run failed (%s): %s\n", policy,
+                 report.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  PolicyResult out;
+  out.wall_seconds = report->pipeline_seconds;
+  out.lost = report->packets_dropped + report->tuples_shed;
+  out.shed_p_min = report->shed_p_min;
+  out.backoff_sleeps = report->producer_backoff_sleeps;
+  out.ring_hwm = report->ring_occupancy_hwm;
+
+  std::vector<uint64_t> truth = trace.BytesPerWindow(20);
+  std::map<uint64_t, double> est;
+  for (const Tuple& t : rt.high_node(0).DrainOutput()) {
+    est[t[0].AsUInt()] += t[1].AsDouble();
+  }
+  for (size_t w = 0; w + 1 < truth.size(); ++w) {  // full windows only
+    if (truth[w] == 0) continue;
+    double rel = std::fabs(est[w] - static_cast<double>(truth[w])) /
+                 static_cast<double>(truth[w]);
+    out.worst_rel_err = std::max(out.worst_rel_err, rel);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const double kDurationSec = 41.0;
+  Trace trace = TraceGenerator::MakeResearchFeed(kDurationSec, /*seed=*/74);
+
+  PrintHeader("Overload: retry vs drop vs AIMD shedding");
+  std::printf("trace: %zu packets over %.0f s; ring 1024, consumer stalled "
+              "1 ms / 256-packet batch\n\n",
+              trace.size(), kDurationSec);
+  std::printf("%-6s | %9s %12s %8s %10s %12s %10s\n", "policy", "wall(s)",
+              "lost/shed", "p_min", "backoffs", "ring hwm", "worst err");
+
+  for (const char* policy : {"retry", "drop", "shed"}) {
+    PolicyResult r = RunPolicy(trace, policy);
+    std::printf("%-6s | %9.2f %12llu %8.2f %10llu %12llu %9.2f%%\n", policy,
+                r.wall_seconds, static_cast<unsigned long long>(r.lost),
+                r.shed_p_min, static_cast<unsigned long long>(r.backoff_sleeps),
+                static_cast<unsigned long long>(r.ring_hwm),
+                100.0 * r.worst_rel_err);
+  }
+
+  std::printf(
+      "\nexpectation: retry is lossless only because replay can be "
+      "backpressured (live capture cannot); drop races ahead but biases "
+      "sums ~ -99%%; shed admits ~p of the feed yet stays within ~1%% of "
+      "ground truth thanks to 1/p reweighting\n");
+  return 0;
+}

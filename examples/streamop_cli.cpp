@@ -24,6 +24,7 @@
 #include "obs/metrics.h"
 #include "obs/trace_ring.h"
 #include "query/query.h"
+#include "stream/fault_injection.h"
 
 using namespace streamop;
 
@@ -48,6 +49,19 @@ void Usage(const char* argv0) {
       "run\n"
       "  --trace-json <path>   write chrome://tracing JSON (window flushes,\n"
       "                        cleaning phases, subset-sum z adjustments)\n"
+      "  --shed                run threaded with adaptive load shedding and\n"
+      "                        print a degradation summary\n"
+      "  --shed-high-watermark <f>  occupancy above which p decreases "
+      "(default 0.75)\n"
+      "  --shed-low-watermark <f>   occupancy below which p recovers "
+      "(default 0.40)\n"
+      "  --shed-min-p <f>      admission probability floor (default 0.1)\n"
+      "  --stall-timeout-ms <n>  watchdog timeout for hung pipelines "
+      "(default 10000; 0 = off)\n"
+      "  --fault-seed <n>      inject seeded faults into the trace "
+      "(duplicates,\n"
+      "                        reordering, truncation, timestamp "
+      "regressions)\n"
       "  (all options also accept --flag=value)\n",
       argv0);
 }
@@ -65,6 +79,12 @@ struct Args {
   std::string metrics_json;
   std::string metrics_prom;
   std::string trace_json;
+  bool shed = false;
+  double shed_high_watermark = 0.75;
+  double shed_low_watermark = 0.40;
+  double shed_min_p = 0.1;
+  uint64_t stall_timeout_ms = 10000;
+  uint64_t fault_seed = 0;  // 0 = no fault injection
 };
 
 bool ParseArgs(int argc, char** argv, Args* out) {
@@ -128,6 +148,28 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       const char* v = next();
       if (v == nullptr) return false;
       out->trace_json = v;
+    } else if (a == "--shed") {
+      out->shed = true;
+    } else if (a == "--shed-high-watermark") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->shed_high_watermark = std::atof(v);
+    } else if (a == "--shed-low-watermark") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->shed_low_watermark = std::atof(v);
+    } else if (a == "--shed-min-p") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->shed_min_p = std::atof(v);
+    } else if (a == "--stall-timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->stall_timeout_ms = std::strtoull(v, nullptr, 10);
+    } else if (a == "--fault-seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->fault_seed = std::strtoull(v, nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
       return false;
@@ -185,6 +227,18 @@ int main(int argc, char** argv) {
   } else {
     trace = MakeFeed(args);
   }
+  if (args.fault_seed != 0) {
+    FaultInjectionConfig fcfg;
+    fcfg.seed = args.fault_seed;
+    fcfg.p_duplicate = 0.02;
+    fcfg.p_reorder = 0.02;
+    fcfg.p_truncate = 0.01;
+    fcfg.p_ts_backwards = 0.005;
+    fcfg.p_burst_start = 0.0005;
+    trace = InjectFaults(trace, fcfg);
+    std::fprintf(stderr, "fault injection: seed %llu\n",
+                 static_cast<unsigned long long>(args.fault_seed));
+  }
   std::fprintf(stderr, "trace: %s packets over %.1f s\n",
                FormatWithCommas(trace.size()).c_str(), trace.DurationSec());
 
@@ -228,43 +282,90 @@ int main(int argc, char** argv) {
   obs::MetricRegistry& registry = obs::MetricRegistry::Default();
   if (!args.trace_json.empty()) obs::TraceRing::Default().set_enabled(true);
 
-  Result<SingleRunResult> run =
-      RunQueryOverTrace(*cq, trace, "query", &registry);
-  if (!run.ok()) {
-    std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
-    return 1;
-  }
-
-  // Header + rows.
+  // Header helper shared by both execution paths.
   SchemaPtr out_schema = cq->output_schema();
-  for (size_t i = 0; i < out_schema->num_fields(); ++i) {
-    std::printf("%s%s", i > 0 ? "\t" : "", out_schema->field(i).name.c_str());
-  }
-  std::printf("\n");
-  size_t shown = 0;
-  for (const Tuple& t : run->output) {
-    if (args.limit > 0 && shown++ >= args.limit) break;
-    for (size_t i = 0; i < t.size(); ++i) {
-      std::printf("%s%s", i > 0 ? "\t" : "", t[i].ToString().c_str());
+  auto print_rows = [&](const std::vector<Tuple>& rows) {
+    for (size_t i = 0; i < out_schema->num_fields(); ++i) {
+      std::printf("%s%s", i > 0 ? "\t" : "", out_schema->field(i).name.c_str());
     }
     std::printf("\n");
-  }
-  std::fprintf(stderr, "%zu row(s); %.2f%% CPU at stream rate\n",
-               run->output.size(), run->report.cpu_percent);
+    size_t shown = 0;
+    for (const Tuple& t : rows) {
+      if (args.limit > 0 && shown++ >= args.limit) break;
+      for (size_t i = 0; i < t.size(); ++i) {
+        std::printf("%s%s", i > 0 ? "\t" : "", t[i].ToString().c_str());
+      }
+      std::printf("\n");
+    }
+  };
 
-  if (args.stats) {
-    for (size_t w = 0; w < run->windows.size(); ++w) {
-      const WindowStats& ws = run->windows[w];
-      std::fprintf(stderr,
-                   "window %zu: in=%llu admitted=%llu groups=%llu peak=%llu "
-                   "cleanings=%llu removed=%llu out=%llu\n",
-                   w, static_cast<unsigned long long>(ws.tuples_in),
-                   static_cast<unsigned long long>(ws.tuples_admitted),
-                   static_cast<unsigned long long>(ws.groups_created),
-                   static_cast<unsigned long long>(ws.peak_groups),
-                   static_cast<unsigned long long>(ws.cleaning_phases),
-                   static_cast<unsigned long long>(ws.groups_removed),
-                   static_cast<unsigned long long>(ws.groups_output));
+  if (args.shed) {
+    // Threaded two-level pipeline: a pass-through low node feeds the user's
+    // query, with the AIMD shedding gate at the ring drain. Admitted tuples
+    // are reweighted by 1/p, so sums and counts remain unbiased estimates.
+    static constexpr char kPassThroughLow[] =
+        "SELECT time, ts_ns, srcIP, destIP, srcPort, destPort, proto, len "
+        "FROM PKT";
+    Result<CompiledQuery> low =
+        CompileQuery(kPassThroughLow, catalog, {.seed = args.seed});
+    if (!low.ok()) {
+      std::fprintf(stderr, "%s\n", low.status().ToString().c_str());
+      return 1;
+    }
+    RuntimeOptions opt;
+    opt.shed.enabled = true;
+    opt.shed.seed = args.seed;
+    opt.shed.high_watermark = args.shed_high_watermark;
+    opt.shed.low_watermark = args.shed_low_watermark;
+    opt.shed.min_probability = args.shed_min_p;
+    opt.stall_timeout_ms = args.stall_timeout_ms;
+    TwoLevelRuntime rt(*low, {*cq}, opt);
+    Result<RunReport> report = rt.RunThreaded(trace);
+    const RunReport& r = report.ok() ? *report : rt.last_report();
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    } else {
+      print_rows(rt.high_node(0).DrainOutput());
+    }
+    std::fprintf(
+        stderr,
+        "degradation summary: offered=%s shed=%s (%.2f%%) p=[%.3f, %.3f] "
+        "late=%llu malformed=%llu backoff_sleeps=%llu (%.3f s) "
+        "watchdog=%s\n",
+        FormatWithCommas(r.tuples_offered).c_str(),
+        FormatWithCommas(r.tuples_shed).c_str(), 100.0 * r.shed_fraction,
+        r.shed_p_min, r.shed_p_max,
+        static_cast<unsigned long long>(r.late_tuples),
+        static_cast<unsigned long long>(r.packets_malformed),
+        static_cast<unsigned long long>(r.producer_backoff_sleeps),
+        r.producer_backoff_seconds, r.watchdog_fired ? "FIRED" : "ok");
+    if (!report.ok()) return 1;
+  } else {
+    Result<SingleRunResult> run =
+        RunQueryOverTrace(*cq, trace, "query", &registry);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    print_rows(run->output);
+    std::fprintf(stderr, "%zu row(s); %.2f%% CPU at stream rate\n",
+                 run->output.size(), run->report.cpu_percent);
+
+    if (args.stats) {
+      for (size_t w = 0; w < run->windows.size(); ++w) {
+        const WindowStats& ws = run->windows[w];
+        std::fprintf(stderr,
+                     "window %zu: in=%llu admitted=%llu late=%llu groups=%llu "
+                     "peak=%llu cleanings=%llu removed=%llu out=%llu\n",
+                     w, static_cast<unsigned long long>(ws.tuples_in),
+                     static_cast<unsigned long long>(ws.tuples_admitted),
+                     static_cast<unsigned long long>(ws.late_tuples),
+                     static_cast<unsigned long long>(ws.groups_created),
+                     static_cast<unsigned long long>(ws.peak_groups),
+                     static_cast<unsigned long long>(ws.cleaning_phases),
+                     static_cast<unsigned long long>(ws.groups_removed),
+                     static_cast<unsigned long long>(ws.groups_output));
+      }
     }
   }
 

@@ -85,7 +85,7 @@ void SamplingOperator::AggFinalsInto(const GroupEntry& g,
   for (const AggregateAccumulator& a : g.aggs) out->push_back(a.Final());
 }
 
-Status SamplingOperator::Process(const Tuple& input) {
+Status SamplingOperator::Process(const Tuple& input, double weight) {
   // Observability: one plain increment per tuple; the admission-path timer
   // and the batched flush of pending counts into the registry's atomics
   // both ride the same 1-in-256 tick, so the steady state pays no clock
@@ -115,23 +115,56 @@ Status SamplingOperator::Process(const Tuple& input) {
       scratch_gk_.Append(std::move(v));
     }
   }
-  const std::vector<Value>& gb_values = scratch_gk_.values();
-
-  // 2. Window boundary: any ordered group-by variable changed value.
-  // Compared in place; the window-id vector is only rebuilt on a boundary.
+  // 2. Window placement: lexicographic three-way compare of the ordered
+  // group-by variables against the current window id. Greater → window
+  // boundary (advance). Smaller → a *late* tuple: its window already closed
+  // and was emitted, so instead of corrupting the boundary sequence by
+  // reopening it, the tuple is clamped into the current window (ordered
+  // slots overwritten with the current window's values) and counted in the
+  // late_tuples metric. Equal → same window.
   bool boundary = !window_open_;
+  bool late = false;
   if (window_open_) {
+    const std::vector<Value>& gbv = scratch_gk_.values();
     size_t oi = 0;
-    for (size_t i = 0; i < gb_values.size(); ++i) {
+    for (size_t i = 0; i < gbv.size(); ++i) {
       if (!plan_->group_by_ordered[i]) continue;
-      if (oi >= current_window_id_.size() ||
-          !(gb_values[i] == current_window_id_[oi])) {
+      if (oi >= current_window_id_.size()) {
         boundary = true;
+        break;
+      }
+      if (ValueLess(current_window_id_[oi], gbv[i])) {
+        boundary = true;
+        break;
+      }
+      if (ValueLess(gbv[i], current_window_id_[oi])) {
+        late = true;
         break;
       }
       ++oi;
     }
   }
+  if (late) {
+    // Rare path: rebuild the scratch key with the ordered slots clamped to
+    // the current window. The clamped-values vector reuses capacity, but
+    // Value copies may allocate — acceptable off the steady-state path.
+    scratch_clamped_.assign(scratch_gk_.values().begin(),
+                            scratch_gk_.values().end());
+    size_t oi = 0;
+    for (size_t i = 0; i < scratch_clamped_.size(); ++i) {
+      if (!plan_->group_by_ordered[i]) continue;
+      scratch_clamped_[i] = current_window_id_[oi];
+      ++oi;
+    }
+    scratch_gk_.Clear();
+    for (Value& v : scratch_clamped_) scratch_gk_.Append(std::move(v));
+    ++live_stats_.late_tuples;
+    ++late_tuples_total_;
+    if (obs_on && metrics_.late_tuples != nullptr) {
+      metrics_.late_tuples->Add();  // rare: direct atomic is fine
+    }
+  }
+  const std::vector<Value>& gb_values = scratch_gk_.values();
   if (boundary) {
     if (window_open_) {
       STREAMOP_RETURN_NOT_OK(FlushWindow());
@@ -191,7 +224,7 @@ Status SamplingOperator::Process(const Tuple& input) {
         ctx.sfun_calls = &pending_sfun_calls_;
         STREAMOP_ASSIGN_OR_RETURN(v, Evaluate(*spec.arg, ctx));
       }
-      sg.superaggs[i].OnTuple(v);
+      sg.superaggs[i].OnTuple(v, weight);
       ++superagg_updates;
     }
   }
@@ -229,10 +262,10 @@ Status SamplingOperator::Process(const Tuple& input) {
     for (size_t i = 0; i < plan_->aggregates.size(); ++i) {
       const AggregateSpec& spec = plan_->aggregates[i];
       if (spec.star || spec.arg == nullptr) {
-        git->second.aggs[i].Update(Value::Null());
+        git->second.aggs[i].Update(Value::Null(), weight);
       } else {
         STREAMOP_ASSIGN_OR_RETURN(Value v, Evaluate(*spec.arg, ctx));
-        git->second.aggs[i].Update(v);
+        git->second.aggs[i].Update(v, weight);
       }
     }
   }

@@ -86,6 +86,8 @@ struct WindowStats {
   uint64_t tuples_output = 0;    // output rows emitted (after HAVING);
                                  // distinct from groups_output once a group
                                  // can yield multiple rows
+  uint64_t late_tuples = 0;      // arrived after their window closed and
+                                 // were clamped into this window
 };
 
 /// Executes one sampling query over a tuple stream.
@@ -99,7 +101,13 @@ class SamplingOperator {
 
   /// Processes one input tuple; output rows of any window it closes become
   /// available via DrainOutput().
-  Status Process(const Tuple& input);
+  Status Process(const Tuple& input) { return Process(input, 1.0); }
+
+  /// Weighted variant for load shedding: the tuple was admitted upstream
+  /// with probability 1/weight, so every sum/count/avg (and sum$/count$)
+  /// contribution is scaled by `weight` (Horvitz–Thompson). Weight 1.0 is
+  /// bit-identical to the unweighted path.
+  Status Process(const Tuple& input, double weight);
 
   /// Closes the final window at end-of-stream.
   Status FinishStream();
@@ -111,6 +119,10 @@ class SamplingOperator {
   const std::vector<WindowStats>& window_stats() const {
     return window_stats_;
   }
+
+  /// Total tuples that arrived after their window had closed and were
+  /// clamped into the then-current window (non-monotonic timestamps).
+  uint64_t late_tuples() const { return late_tuples_total_; }
 
   const SamplingQueryPlan& plan() const { return *plan_; }
 
@@ -190,9 +202,11 @@ class SamplingOperator {
   GroupKey scratch_sk_;
   std::vector<Value> scratch_superagg_finals_;
   std::vector<Value> scratch_agg_finals_;
+  std::vector<Value> scratch_clamped_;  // late-tuple key rebuild (rare path)
 
   bool window_open_ = false;
   std::vector<Value> current_window_id_;
+  uint64_t late_tuples_total_ = 0;
 
   WindowStats live_stats_;
   std::vector<WindowStats> window_stats_;

@@ -34,13 +34,15 @@ bool LookupSuperAggKind(const std::string& name, SuperAggKind* kind) {
   return false;
 }
 
-void SuperAggState::OnTuple(const Value& v) {
+void SuperAggState::OnTuple(const Value& v, double weight) {
+  if (weight != 1.0) weighted_ = true;
   switch (spec_->kind) {
     case SuperAggKind::kSum:
-      acc_.Update(v);
+      acc_.Update(v, weight);
       break;
     case SuperAggKind::kCount:
       ++tuple_count_;
+      weighted_count_ += weight;
       break;
     case SuperAggKind::kFirst:
       if (!has_first_) {
@@ -95,6 +97,10 @@ void SuperAggState::OnGroupRemoved(const GroupKey& key,
       if (!shadow_value.is_null()) {
         uint64_t c = shadow_value.AsUInt();
         tuple_count_ = tuple_count_ >= c ? tuple_count_ - c : 0;
+        // The shadow count aggregate carries the same weights, so its final
+        // value is the weighted contribution of the removed group.
+        double wc = shadow_value.AsDouble();
+        weighted_count_ = weighted_count_ >= wc ? weighted_count_ - wc : 0.0;
       }
       break;
     case SuperAggKind::kFirst:
@@ -125,6 +131,7 @@ Value SuperAggState::Final() const {
     case SuperAggKind::kSum:
       return acc_.Final();
     case SuperAggKind::kCount:
+      if (weighted_) return Value::Double(weighted_count_);
       return Value::UInt(tuple_count_);
     case SuperAggKind::kFirst:
       return has_first_ ? first_ : Value::Null();

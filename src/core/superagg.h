@@ -57,7 +57,11 @@ class SuperAggState {
   explicit SuperAggState(const SuperAggSpec* spec) : spec_(spec) {}
 
   /// A qualifying tuple contributed `v` (kSum/kCount/kFirst only).
-  void OnTuple(const Value& v);
+  void OnTuple(const Value& v) { OnTuple(v, 1.0); }
+
+  /// Weighted variant: under load shedding every admitted tuple carries its
+  /// Horvitz–Thompson weight 1/p so sum$/count$ remain unbiased totals.
+  void OnTuple(const Value& v, double weight);
 
   /// A new group was created with the given key.
   void OnGroupCreated(const GroupKey& key);
@@ -78,6 +82,10 @@ class SuperAggState {
   uint64_t group_count_ = 0;
   AggregateAccumulator acc_{AggregateKind::kSum};
   uint64_t tuple_count_ = 0;
+  // count$ Horvitz–Thompson state: weighted_count_ tracks sum(1/p_i) and
+  // becomes authoritative once any tuple arrived with weight != 1.0.
+  double weighted_count_ = 0.0;
+  bool weighted_ = false;
   Value first_;
   bool has_first_ = false;
   // kKthSmallest: multiset of the tracked group-by values over live groups.

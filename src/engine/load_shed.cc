@@ -1,0 +1,53 @@
+#include "engine/load_shed.h"
+
+#include <algorithm>
+
+namespace streamop {
+
+LoadShedController::LoadShedController(const LoadShedConfig& config,
+                                       obs::MetricRegistry* registry)
+    : config_(config), rng_(config.seed, 0x10ad5edULL) {
+  // Clamp the configuration into a sane region instead of asserting: the
+  // controller must keep a malformed CLI invocation from crashing a run.
+  config_.high_watermark = std::clamp(config_.high_watermark, 0.0, 1.0);
+  config_.low_watermark =
+      std::clamp(config_.low_watermark, 0.0, config_.high_watermark);
+  config_.decrease_factor = std::clamp(config_.decrease_factor, 0.01, 0.99);
+  config_.increase_step = std::clamp(config_.increase_step, 0.0, 1.0);
+  config_.min_probability = std::clamp(config_.min_probability, 1e-6, 1.0);
+  if (registry != nullptr && obs::kStatsEnabled) {
+    probability_gauge_ = registry->GetGauge("streamop_shed_probability");
+    decreases_ = registry->GetCounter("streamop_shed_decreases");
+    increases_ = registry->GetCounter("streamop_shed_increases");
+    probability_gauge_->Set(p_);
+  }
+}
+
+void LoadShedController::Tick(size_t ring_size, size_t ring_capacity,
+                              uint64_t push_failures_delta) {
+  ++ticks_;
+  double occupancy =
+      ring_capacity == 0 ? 0.0
+                         : static_cast<double>(ring_size) /
+                               static_cast<double>(ring_capacity);
+  if (config_.enabled) {
+    if (occupancy >= config_.high_watermark || push_failures_delta > 0) {
+      double next = p_ * config_.decrease_factor;
+      p_ = std::max(next, config_.min_probability);
+      if (decreases_ != nullptr) decreases_->Add();
+    } else if (occupancy <= config_.low_watermark && p_ < 1.0) {
+      p_ = std::min(p_ + config_.increase_step, 1.0);
+      if (increases_ != nullptr) increases_->Add();
+    }
+    // Between the watermarks p holds (hysteresis band).
+    p_min_seen_ = std::min(p_min_seen_, p_);
+    p_max_seen_ = std::max(p_max_seen_, p_);
+    if (probability_gauge_ != nullptr) probability_gauge_->Set(p_);
+  }
+  if (config_.max_history == 0 || history_.size() < config_.max_history) {
+    history_.push_back(
+        {occupancy, push_failures_delta, p_, offered_, admitted_});
+  }
+}
+
+}  // namespace streamop

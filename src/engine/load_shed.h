@@ -1,0 +1,119 @@
+// Adaptive load shedding (Gigascope §1/§5 in spirit): when the ring buffer
+// between the packet source and the low-level node runs hot, the consumer
+// pre-samples packets with a Bernoulli probability `p` driven by an AIMD
+// controller, and every admitted tuple carries the Horvitz–Thompson weight
+// 1/p so downstream sum/count/sum$/count$ estimates stay unbiased.
+//
+// Controller (DESIGN.md §8): occupancy >= high watermark, or any push
+// failure since the last tick, multiplies p by `decrease_factor`
+// (multiplicative decrease, floored at `min_probability`); occupancy <= low
+// watermark adds `increase_step` (additive recovery, capped at 1.0); in
+// between — the hysteresis band — p holds, which keeps the weight sequence
+// piecewise-constant and the estimator variance low.
+//
+// The controller is deliberately pure and clock-free: callers decide when
+// to Tick() (the runtime rate-limits ticks to `tick_interval_us`), so unit
+// tests can drive it deterministically.
+
+#ifndef STREAMOP_ENGINE_LOAD_SHED_H_
+#define STREAMOP_ENGINE_LOAD_SHED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "obs/metrics.h"
+
+namespace streamop {
+
+struct LoadShedConfig {
+  bool enabled = false;
+  /// Ring occupancy fraction at/above which p decreases multiplicatively.
+  double high_watermark = 0.75;
+  /// Ring occupancy fraction at/below which p recovers additively.
+  double low_watermark = 0.40;
+  /// Multiplicative decrease factor in (0, 1).
+  double decrease_factor = 0.7;
+  /// Additive recovery step per tick.
+  double increase_step = 0.05;
+  /// Floor for p: bounds the worst-case weight 1/p (and thus estimator
+  /// variance) even under a sustained burst.
+  double min_probability = 0.1;
+  /// Seed for the Bernoulli admission draws (deterministic runs).
+  uint64_t seed = 0x5eedb007ULL;
+  /// Minimum spacing between controller ticks, enforced by the caller.
+  uint64_t tick_interval_us = 500;
+  /// Cap on the per-tick history kept for reporting (0 = unbounded).
+  size_t max_history = 4096;
+};
+
+/// One controller tick's observation and decision, for reports and tests.
+struct ShedTickRecord {
+  double occupancy = 0.0;       // ring fill fraction seen at the tick
+  uint64_t push_failures = 0;   // producer push failures since last tick
+  double p = 1.0;               // admission probability after the tick
+  uint64_t offered = 0;         // cumulative tuples offered so far
+  uint64_t admitted = 0;        // cumulative tuples admitted so far
+};
+
+class LoadShedController {
+ public:
+  explicit LoadShedController(const LoadShedConfig& config,
+                              obs::MetricRegistry* registry = nullptr);
+
+  /// Re-evaluates p from the ring state. `push_failures_delta` is the
+  /// number of producer TryPush failures since the previous tick.
+  void Tick(size_t ring_size, size_t ring_capacity,
+            uint64_t push_failures_delta);
+
+  /// Bernoulli admission test at the current p. Skips the RNG draw entirely
+  /// while p == 1.0 so an idle controller costs one branch per packet.
+  bool Admit() {
+    ++offered_;
+    if (p_ >= 1.0) {
+      ++admitted_;
+      return true;
+    }
+    if (rng_.NextDouble() < p_) {
+      ++admitted_;
+      return true;
+    }
+    return false;
+  }
+
+  double probability() const { return p_; }
+  /// Horvitz–Thompson weight for tuples admitted at the current p.
+  double weight() const { return 1.0 / p_; }
+
+  double min_probability_seen() const { return p_min_seen_; }
+  double max_probability_seen() const { return p_max_seen_; }
+  uint64_t offered() const { return offered_; }
+  uint64_t admitted() const { return admitted_; }
+  uint64_t shed() const { return offered_ - admitted_; }
+  double shed_fraction() const {
+    return offered_ == 0
+               ? 0.0
+               : static_cast<double>(shed()) / static_cast<double>(offered_);
+  }
+  uint64_t ticks() const { return ticks_; }
+  const std::vector<ShedTickRecord>& history() const { return history_; }
+  const LoadShedConfig& config() const { return config_; }
+
+ private:
+  LoadShedConfig config_;
+  Pcg64 rng_;
+  double p_ = 1.0;
+  double p_min_seen_ = 1.0;
+  double p_max_seen_ = 1.0;
+  uint64_t offered_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t ticks_ = 0;
+  std::vector<ShedTickRecord> history_;
+  obs::Gauge* probability_gauge_ = nullptr;
+  obs::Counter* decreases_ = nullptr;
+  obs::Counter* increases_ = nullptr;
+};
+
+}  // namespace streamop
+
+#endif  // STREAMOP_ENGINE_LOAD_SHED_H_

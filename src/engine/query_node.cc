@@ -16,11 +16,11 @@ QueryNode::QueryNode(std::string name, const CompiledQuery& query,
   }
 }
 
-Status QueryNode::Push(const Tuple& t) {
+Status QueryNode::Push(const Tuple& t, double weight) {
   ++tuples_in_;
   if (metrics_.enabled()) metrics_.tuples_in->Add();
   if (sampling_ != nullptr) {
-    STREAMOP_RETURN_NOT_OK(sampling_->Process(t));
+    STREAMOP_RETURN_NOT_OK(sampling_->Process(t, weight));
     std::vector<Tuple> rows = sampling_->DrainOutput();
     tuples_out_ += rows.size();
     if (metrics_.enabled() && !rows.empty()) {
@@ -61,6 +61,10 @@ std::vector<Tuple> QueryNode::DrainOutput() {
 const std::vector<WindowStats>& QueryNode::window_stats() const {
   static const std::vector<WindowStats> kEmpty;
   return sampling_ != nullptr ? sampling_->window_stats() : kEmpty;
+}
+
+uint64_t QueryNode::late_tuples() const {
+  return sampling_ != nullptr ? sampling_->late_tuples() : 0;
 }
 
 }  // namespace streamop

@@ -29,7 +29,12 @@ class QueryNode {
   const std::string& name() const { return name_; }
 
   /// Feeds one tuple; any resulting output rows accumulate internally.
-  Status Push(const Tuple& t);
+  Status Push(const Tuple& t) { return Push(t, 1.0); }
+
+  /// Weighted variant: under load shedding the runtime passes the
+  /// Horvitz–Thompson weight 1/p of the admitted tuple so sampling-node
+  /// aggregates stay unbiased. Selection nodes ignore the weight.
+  Status Push(const Tuple& t, double weight);
 
   /// End-of-stream: close the final window (sampling nodes).
   Status Finish();
@@ -64,6 +69,9 @@ class QueryNode {
 
   /// Window statistics (sampling nodes only; empty otherwise).
   const std::vector<WindowStats>& window_stats() const;
+
+  /// Late (clamped non-monotonic) tuples seen (sampling nodes only).
+  uint64_t late_tuples() const;
 
  private:
   std::string name_;

@@ -1,6 +1,8 @@
 #include "engine/runtime.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "obs/metrics.h"
@@ -11,6 +13,17 @@ namespace streamop {
 namespace {
 
 using obs::NowNanos;
+
+// A packet whose length is below the 20-byte IPv4 header minimum is
+// malformed (fault injection truncates below this); both run modes reject
+// it at the ring instead of feeding garbage to the query nodes.
+constexpr uint16_t kMinPacketLen = 20;
+
+// Producer backoff ladder: this many plain yields before sleeping, then
+// exponentially growing sleeps between these bounds.
+constexpr int kBackoffYields = 32;
+constexpr uint64_t kBackoffMinSleepNs = 1000;     // 1 us
+constexpr uint64_t kBackoffMaxSleepNs = 1000000;  // 1 ms
 
 NodeReport MakeReport(const QueryNode& node, double stream_seconds) {
   NodeReport r;
@@ -48,6 +61,7 @@ Result<RunReport> TwoLevelRuntime::Run(const Trace& trace) {
   ring.AttachMetrics(&ring_metrics_);
   const std::vector<PacketRecord>& packets = trace.packets();
   size_t produced = 0;
+  uint64_t packets_malformed = 0;
 
   std::vector<Tuple> low_out;
   low_out.reserve(options_.batch_size);
@@ -67,6 +81,10 @@ Result<RunReport> TwoLevelRuntime::Run(const Trace& trace) {
       uint64_t t0 = NowNanos();
       const PacketRecord* p = nullptr;
       for (size_t i = 0; i < options_.batch_size && ring.TryPop(&p); ++i) {
+        if (p->len < kMinPacketLen) {
+          ++packets_malformed;  // truncated/garbage header: reject, don't feed
+          continue;
+        }
         STREAMOP_RETURN_NOT_OK(low_->Push(PacketToTuple(*p)));
       }
       std::vector<Tuple> rows = low_->DrainOutput();
@@ -107,6 +125,7 @@ Result<RunReport> TwoLevelRuntime::Run(const Trace& trace) {
   RunReport report;
   report.stream_seconds = trace.DurationSec();
   report.packets = packets.size();
+  report.packets_malformed = packets_malformed;
   report.ring_push_failures = ring_metrics_.enabled()
                                   ? ring_metrics_.push_failures->value()
                                   : 0;
@@ -114,10 +133,13 @@ Result<RunReport> TwoLevelRuntime::Run(const Trace& trace) {
       ring_metrics_.enabled()
           ? static_cast<uint64_t>(ring_metrics_.occupancy_hwm->value())
           : 0;
+  report.late_tuples = low_->late_tuples();
   report.low = MakeReport(*low_, report.stream_seconds);
   for (auto& node : high_) {
+    report.late_tuples += node->late_tuples();
     report.high.push_back(MakeReport(*node, report.stream_seconds));
   }
+  last_report_ = report;
   return report;
 }
 
@@ -125,44 +147,109 @@ Result<RunReport> TwoLevelRuntime::RunThreaded(const Trace& trace) {
   RingBuffer<const PacketRecord*> ring(options_.ring_capacity);
   ring.AttachMetrics(&ring_metrics_);
   const std::vector<PacketRecord>& packets = trace.packets();
-  std::atomic<bool> done{false};
-  std::atomic<bool> abort{false};  // consumer error: stop producing
+  obs::MetricRegistry& reg = options_.registry != nullptr
+                                 ? *options_.registry
+                                 : obs::MetricRegistry::Default();
+  LoadShedController shed(options_.shed, &reg);
+
+  std::atomic<bool> abort{false};         // any party: stop everything
+  std::atomic<bool> consumer_done{false};
+  // Progress heartbeat for the watchdog: bumped on every push, pop and
+  // drop. If it freezes for stall_timeout_ms the run is declared stuck.
+  std::atomic<uint64_t> progress{0};
+  // Producer->controller feedback, independent of the (compile-out-able)
+  // obs counters: TryPush failures since the controller's last tick.
+  std::atomic<uint64_t> push_failures{0};
 
   // Overload accounting, surfaced in the report and the registry: every
-  // failed push is either retried (deterministic default) or dropped
-  // (drop_on_overload, the paper's Gigascope behaviour).
+  // failed push is either retried (bounded backoff, deterministic default)
+  // or dropped (drop_on_overload, the paper's Gigascope behaviour).
   uint64_t producer_retries = 0;
   uint64_t packets_dropped = 0;
+  uint64_t backoff_sleeps = 0;
+  uint64_t backoff_ns = 0;
 
   uint64_t wall0 = NowNanos();
   std::thread producer([&] {
     const bool drop = options_.drop_on_overload;
+    int yields = 0;
+    uint64_t sleep_ns = kBackoffMinSleepNs;
     for (const PacketRecord& p : packets) {
       while (!ring.TryPush(&p)) {
-        if (abort.load(std::memory_order_acquire)) return;
+        if (abort.load(std::memory_order_acquire) || ring.poisoned()) {
+          return;  // aborted runs leave the ring poisoned, not closed
+        }
+        push_failures.fetch_add(1, std::memory_order_relaxed);
         if (drop) {
           ++packets_dropped;
+          progress.fetch_add(1, std::memory_order_relaxed);
           break;  // overload: shed this packet, move on
         }
-        // The consumer is behind; yield instead of dropping (reproducible
-        // results matter more here than overload semantics).
+        // Bounded backoff ladder: a burst of yields, then exponentially
+        // growing sleeps capped at 1 ms — the producer never busy-spins
+        // unboundedly against a slow consumer.
         ++producer_retries;
-        std::this_thread::yield();
+        if (yields < kBackoffYields) {
+          ++yields;
+          std::this_thread::yield();
+        } else {
+          ++backoff_sleeps;
+          backoff_ns += sleep_ns;
+          std::this_thread::sleep_for(std::chrono::nanoseconds(sleep_ns));
+          sleep_ns = std::min(sleep_ns * 2, kBackoffMaxSleepNs);
+        }
       }
+      // Ladder resets after any successful push.
+      yields = 0;
+      sleep_ns = kBackoffMinSleepNs;
+      progress.fetch_add(1, std::memory_order_relaxed);
     }
-    done.store(true, std::memory_order_release);
+    ring.Close();  // end of stream: consumer drains and exits
   });
 
   Status status;
-  {
+  uint64_t consumer_malformed = 0;
+  std::thread consumer([&] {
     const PacketRecord* p = nullptr;
+    const bool shed_on = options_.shed.enabled;
+    const uint64_t tick_ns = options_.shed.tick_interval_us * 1000;
+    uint64_t last_tick_ns = 0;
+    uint64_t last_failures = 0;
+    uint64_t batch_index = 0;
+    std::vector<Tuple> rows;
     for (;;) {
+      if (abort.load(std::memory_order_acquire)) break;
+      if (options_.consumer_stall_hook) {
+        options_.consumer_stall_hook(batch_index, abort);
+        if (abort.load(std::memory_order_acquire)) break;
+      }
+      ++batch_index;
+
+      // Controller tick, rate-limited here so the controller itself stays
+      // pure (unit tests drive Tick directly). The post-tick p is constant
+      // across the batch, so one weight applies to every admitted tuple.
+      if (shed_on) {
+        const uint64_t now = NowNanos();
+        if (last_tick_ns == 0 || now - last_tick_ns >= tick_ns) {
+          const uint64_t f = push_failures.load(std::memory_order_relaxed);
+          shed.Tick(ring.size(), ring.capacity(), f - last_failures);
+          last_failures = f;
+          last_tick_ns = now;
+        }
+      }
+      const double weight = shed_on ? shed.weight() : 1.0;
+
       size_t popped = 0;
       uint64_t t0 = NowNanos();
-      std::vector<Tuple> rows;
       for (size_t i = 0; i < options_.batch_size && ring.TryPop(&p); ++i) {
         ++popped;
-        status = low_->Push(PacketToTuple(*p));
+        progress.fetch_add(1, std::memory_order_relaxed);
+        if (p->len < kMinPacketLen) {
+          ++consumer_malformed;  // truncated/garbage header: reject
+          continue;
+        }
+        if (shed_on && !shed.Admit()) continue;  // Bernoulli pre-sample
+        status = low_->Push(PacketToTuple(*p), weight);
         if (!status.ok()) break;
       }
       if (!status.ok()) break;
@@ -175,7 +262,7 @@ Result<RunReport> TwoLevelRuntime::RunThreaded(const Trace& trace) {
       for (auto& node : high_) {
         uint64_t h0 = NowNanos();
         for (const Tuple& t : rows) {
-          status = node->Push(t);
+          status = node->Push(t, weight);
           if (!status.ok()) break;
         }
         uint64_t h_ns = NowNanos() - h0;
@@ -185,51 +272,113 @@ Result<RunReport> TwoLevelRuntime::RunThreaded(const Trace& trace) {
       }
       if (!status.ok()) break;
       if (popped == 0) {
-        if (done.load(std::memory_order_acquire) && ring.empty()) break;
+        if (ring.closed() && ring.empty()) break;  // clean end of stream
         std::this_thread::yield();
       }
     }
-    if (!status.ok()) abort.store(true, std::memory_order_release);
+    if (!status.ok()) {
+      // Consumer failed: poison the ring so the producer's retry loop (and
+      // any pending pushes) unstick immediately instead of live-locking.
+      abort.store(true, std::memory_order_release);
+      ring.Poison();
+    }
+    consumer_done.store(true, std::memory_order_release);
+    progress.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  // Watchdog: the main thread supervises both workers. If the progress
+  // heartbeat freezes for stall_timeout_ms — a hung consumer, a deadlocked
+  // hook — it aborts and poisons the ring; both threads exit cooperatively
+  // and the run reports ResourceExhausted instead of hanging forever.
+  bool watchdog_fired = false;
+  {
+    const uint64_t timeout_ns = options_.stall_timeout_ms * 1000000ull;
+    uint64_t last_progress = progress.load(std::memory_order_relaxed);
+    uint64_t last_change_ns = NowNanos();
+    while (!consumer_done.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      const uint64_t now_progress = progress.load(std::memory_order_relaxed);
+      if (now_progress != last_progress) {
+        last_progress = now_progress;
+        last_change_ns = NowNanos();
+        continue;
+      }
+      if (timeout_ns > 0 && NowNanos() - last_change_ns >= timeout_ns) {
+        watchdog_fired = true;
+        abort.store(true, std::memory_order_release);
+        ring.Poison();
+        break;
+      }
+    }
   }
   producer.join();
-  if (!status.ok()) return status;
+  consumer.join();
 
   producer_retries_->Add(producer_retries);
   packets_dropped_->Add(packets_dropped);
 
-  // End of stream.
-  {
+  // End of stream (only on a clean run: an aborted pipeline must not emit
+  // partial windows as if they were complete).
+  if (status.ok() && !watchdog_fired) {
     uint64_t t0 = NowNanos();
-    STREAMOP_RETURN_NOT_OK(low_->Finish());
-    std::vector<Tuple> rows = low_->DrainOutput();
-    low_->AddCpuNanos(NowNanos() - t0);
-    for (auto& node : high_) {
-      uint64_t h0 = NowNanos();
-      for (const Tuple& t : rows) {
-        STREAMOP_RETURN_NOT_OK(node->Push(t));
+    status = low_->Finish();
+    if (status.ok()) {
+      std::vector<Tuple> rows = low_->DrainOutput();
+      low_->AddCpuNanos(NowNanos() - t0);
+      const double weight = options_.shed.enabled ? shed.weight() : 1.0;
+      for (auto& node : high_) {
+        uint64_t h0 = NowNanos();
+        for (const Tuple& t : rows) {
+          status = node->Push(t, weight);
+          if (!status.ok()) break;
+        }
+        if (status.ok()) status = node->Finish();
+        node->AddCpuNanos(NowNanos() - h0);
+        if (!status.ok()) break;
       }
-      STREAMOP_RETURN_NOT_OK(node->Finish());
-      node->AddCpuNanos(NowNanos() - h0);
     }
   }
 
+  // The report — including the degradation summary — is built even for
+  // failed runs and kept in last_report() for post-mortems.
   RunReport report;
   report.stream_seconds = trace.DurationSec();
   report.pipeline_seconds = static_cast<double>(NowNanos() - wall0) * 1e-9;
   report.packets = packets.size();
   report.ring_producer_retries = producer_retries;
   report.packets_dropped = packets_dropped;
+  report.producer_backoff_sleeps = backoff_sleeps;
+  report.producer_backoff_seconds = static_cast<double>(backoff_ns) * 1e-9;
+  report.packets_malformed = consumer_malformed;
+  report.watchdog_fired = watchdog_fired;
+  report.shedding_enabled = options_.shed.enabled;
+  report.tuples_offered = shed.offered();
+  report.tuples_shed = shed.shed();
+  report.shed_fraction = shed.shed_fraction();
+  report.shed_p_min = shed.min_probability_seen();
+  report.shed_p_max = shed.max_probability_seen();
   report.ring_push_failures = ring_metrics_.enabled()
                                   ? ring_metrics_.push_failures->value()
-                                  : producer_retries + packets_dropped;
+                                  : push_failures.load();
   report.ring_occupancy_hwm =
       ring_metrics_.enabled()
           ? static_cast<uint64_t>(ring_metrics_.occupancy_hwm->value())
           : 0;
+  report.late_tuples = low_->late_tuples();
   report.low = MakeReport(*low_, report.stream_seconds);
   for (auto& node : high_) {
+    report.late_tuples += node->late_tuples();
     report.high.push_back(MakeReport(*node, report.stream_seconds));
   }
+  last_report_ = report;
+
+  if (watchdog_fired) {
+    return Status::ResourceExhausted(
+        "pipeline stalled: no progress for " +
+        std::to_string(options_.stall_timeout_ms) +
+        " ms (watchdog); see last_report() for the degradation summary");
+  }
+  if (!status.ok()) return status;
   return report;
 }
 

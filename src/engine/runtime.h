@@ -11,11 +11,14 @@
 #ifndef STREAMOP_ENGINE_RUNTIME_H_
 #define STREAMOP_ENGINE_RUNTIME_H_
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "engine/load_shed.h"
 #include "engine/query_node.h"
 #include "net/trace_generator.h"
 #include "obs/metrics.h"
@@ -47,6 +50,28 @@ struct RunReport {
   uint64_t packets_dropped = 0;        // only with drop_on_overload
   uint64_t ring_occupancy_hwm = 0;     // high-water mark of ring occupancy
 
+  // Producer backoff ladder (RunThreaded): after a burst of yields the
+  // producer sleeps with exponentially growing intervals instead of
+  // spinning; total sleep time quantifies how long the pipeline ran
+  // producer-bound.
+  uint64_t producer_backoff_sleeps = 0;
+  double producer_backoff_seconds = 0.0;
+
+  // Degradation summary (RunThreaded). With shedding enabled, `tuples_shed`
+  // of `tuples_offered` packets were dropped at the consumer's Bernoulli
+  // gate and the survivors reweighted by 1/p; shed_p_min/max bracket the
+  // admission probability over the run.
+  bool shedding_enabled = false;
+  uint64_t tuples_offered = 0;
+  uint64_t tuples_shed = 0;
+  double shed_fraction = 0.0;
+  double shed_p_min = 1.0;
+  double shed_p_max = 1.0;
+
+  uint64_t late_tuples = 0;        // clamped non-monotonic arrivals (nodes)
+  uint64_t packets_malformed = 0;  // len below the 20-byte IP header minimum
+  bool watchdog_fired = false;     // run terminated by the stall watchdog
+
   NodeReport low;
   std::vector<NodeReport> high;
 };
@@ -62,6 +87,22 @@ struct RuntimeOptions {
   /// Registry backing all runtime/node/operator metrics; nullptr uses the
   /// process-wide default registry.
   obs::MetricRegistry* registry = nullptr;
+
+  /// Adaptive load shedding (RunThreaded only): when enabled, the consumer
+  /// pre-samples packets with the AIMD-controlled probability p and tags
+  /// admitted tuples with weight 1/p (see engine/load_shed.h).
+  LoadShedConfig shed;
+
+  /// Stall watchdog (RunThreaded): if neither thread makes progress for
+  /// this long, the run aborts with Status::ResourceExhausted instead of
+  /// hanging. 0 disables the watchdog.
+  uint64_t stall_timeout_ms = 10000;
+
+  /// Test hook: invoked by the consumer before each batch with the batch
+  /// index and the runtime's abort flag. Fault-injection tests install
+  /// cooperative stalls here (stream/fault_injection.h); the hook MUST
+  /// return promptly once the abort flag is set.
+  std::function<void(uint64_t, const std::atomic<bool>&)> consumer_stall_hook;
 };
 
 /// One low-level query feeding any number of high-level queries.
@@ -92,8 +133,14 @@ class TwoLevelRuntime {
   QueryNode& high_node(size_t i) { return *high_[i]; }
   size_t num_high_nodes() const { return high_.size(); }
 
+  /// Report of the most recent run, including runs that returned an error
+  /// Status — the degradation summary (shed fraction, late tuples, watchdog
+  /// verdict) survives an aborted run for post-mortems.
+  const RunReport& last_report() const { return last_report_; }
+
  private:
   Options options_;
+  RunReport last_report_;
   std::unique_ptr<QueryNode> low_;
   std::vector<std::unique_ptr<QueryNode>> high_;
   obs::RingBufferMetrics ring_metrics_;   // outlives the per-run rings

@@ -38,19 +38,21 @@ bool ValueLess(const Value& v1, const Value& v2) {
   return v1.AsDouble() < v2.AsDouble();
 }
 
-void AggregateAccumulator::Update(const Value& v) {
+void AggregateAccumulator::Update(const Value& v, double weight) {
   ++count_;
+  weight_sum_ += weight;
+  if (weight != 1.0) weighted_ = true;
   switch (kind_) {
     case AggregateKind::kCount:
       break;
     case AggregateKind::kSum:
     case AggregateKind::kAvg:
-      if (v.type() == FieldType::kUInt) {
+      if (v.type() == FieldType::kUInt && !weighted_) {
         sum_u_ += v.uint_value();
       } else {
         all_uint_ = false;
       }
-      sum_d_ += v.AsDouble();
+      sum_d_ += weight * v.AsDouble();
       break;
     case AggregateKind::kMin:
       if (!has_value_ || ValueLess(v, extremum_)) extremum_ = v;
@@ -81,11 +83,13 @@ Status AggregateAccumulator::Subtract(const Value& v) {
   switch (kind_) {
     case AggregateKind::kCount:
       if (count_ > 0) --count_;
+      // Weighted removal: the caller hands the (weighted) shadow total.
+      if (weighted_) weight_sum_ -= v.AsDouble();
       return Status::OK();
     case AggregateKind::kSum:
     case AggregateKind::kAvg:
       if (count_ > 0) --count_;
-      if (v.type() == FieldType::kUInt) {
+      if (v.type() == FieldType::kUInt && !weighted_) {
         sum_u_ -= v.uint_value();
       } else {
         all_uint_ = false;
@@ -99,6 +103,8 @@ Status AggregateAccumulator::Subtract(const Value& v) {
 }
 
 void AggregateAccumulator::Merge(const AggregateAccumulator& other) {
+  weight_sum_ += other.weight_sum_;
+  weighted_ = weighted_ || other.weighted_;
   switch (kind_) {
     case AggregateKind::kCount:
       count_ += other.count_;
@@ -109,6 +115,7 @@ void AggregateAccumulator::Merge(const AggregateAccumulator& other) {
       sum_u_ += other.sum_u_;
       sum_d_ += other.sum_d_;
       all_uint_ = all_uint_ && other.all_uint_;
+      if (weighted_) all_uint_ = false;
       break;
     case AggregateKind::kMin:
       if (other.has_value_ &&
@@ -150,12 +157,18 @@ void AggregateAccumulator::Merge(const AggregateAccumulator& other) {
 Value AggregateAccumulator::Final() const {
   switch (kind_) {
     case AggregateKind::kCount:
+      // Weighted count is the Horvitz–Thompson estimate sum(1/p_i); it is a
+      // real number, so it reports as Double once any weight != 1.0.
+      if (weighted_) return Value::Double(weight_sum_);
       return Value::UInt(count_);
     case AggregateKind::kSum:
       if (count_ == 0) return Value::UInt(0);
       return all_uint_ ? Value::UInt(sum_u_) : Value::Double(sum_d_);
     case AggregateKind::kAvg:
       if (count_ == 0) return Value::Double(0.0);
+      if (weighted_ && weight_sum_ > 0.0) {
+        return Value::Double(sum_d_ / weight_sum_);
+      }
       return Value::Double(sum_d_ / static_cast<double>(count_));
     case AggregateKind::kMin:
     case AggregateKind::kMax:

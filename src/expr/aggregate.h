@@ -52,7 +52,15 @@ class AggregateAccumulator {
   AggregateAccumulator& operator=(AggregateAccumulator&&) = default;
 
   /// Folds in one input value (ignored payload for count(*)).
-  void Update(const Value& v);
+  void Update(const Value& v) { Update(v, 1.0); }
+
+  /// Folds in one value with a Horvitz–Thompson weight: a tuple admitted
+  /// with probability p contributes with weight 1/p, so sum/count/avg stay
+  /// unbiased under load shedding. Weight 1.0 is the exact unweighted path
+  /// (integer sums remain integers); any other weight moves sum/count/avg
+  /// into double-space estimates. min/max/first/last/quantile ignore the
+  /// weight (they are order statistics of the observed subsample).
+  void Update(const Value& v, double weight);
 
   /// Removes one previously-added value. Only sum/count/avg support
   /// subtraction; min/max/first/last return Unimplemented.
@@ -68,6 +76,10 @@ class AggregateAccumulator {
   AggregateKind kind() const { return kind_; }
   uint64_t count() const { return count_; }
 
+  /// True once any update carried a weight != 1.0; Final() then reports
+  /// double-space Horvitz–Thompson estimates for count/avg.
+  bool weighted() const { return weighted_; }
+
  private:
   AggregateKind kind_;
   uint64_t count_ = 0;
@@ -76,6 +88,11 @@ class AggregateAccumulator {
   uint64_t sum_u_ = 0;
   double sum_d_ = 0.0;
   bool all_uint_ = true;
+  // Horvitz–Thompson state: sum of admission weights. Equals count_ while
+  // every update had weight 1.0 (weighted_ == false), in which case the
+  // exact integer paths above stay authoritative.
+  double weight_sum_ = 0.0;
+  bool weighted_ = false;
   Value extremum_;  // min/max/first/last payload
   bool has_value_ = false;
   double param_ = 0.0;

@@ -290,6 +290,8 @@ OperatorMetrics OperatorMetrics::Create(MetricRegistry& reg,
   m.superagg_updates =
       reg.GetCounter("streamop_operator_superagg_updates_total", labels);
   m.sfun_calls = reg.GetCounter("streamop_operator_sfun_calls_total", labels);
+  m.late_tuples =
+      reg.GetCounter("streamop_operator_late_tuples_total", labels);
   m.admission_ns =
       reg.GetHistogram("streamop_operator_admission_ns", labels);
   m.cleaning_ns = reg.GetHistogram("streamop_operator_cleaning_ns", labels);

@@ -252,6 +252,7 @@ struct OperatorMetrics {
   Counter* rows_out = nullptr;          // output rows emitted
   Counter* superagg_updates = nullptr;  // SuperAggState::OnTuple calls
   Counter* sfun_calls = nullptr;        // stateful-function invocations
+  Counter* late_tuples = nullptr;       // clamped non-monotonic arrivals
   Histogram* admission_ns = nullptr;    // per-tuple path, sampled 1/256
   Histogram* cleaning_ns = nullptr;     // per cleaning phase
   Histogram* flush_ns = nullptr;        // per window flush

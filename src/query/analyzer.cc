@@ -335,6 +335,12 @@ class Analyzer {
           return Status::AnalysisError(
               "the phi of quantile(x, phi) must be a literal");
         }
+        const FieldType phi_type = e->children[1]->literal.type();
+        if (phi_type != FieldType::kDouble && phi_type != FieldType::kUInt &&
+            phi_type != FieldType::kInt) {
+          return Status::AnalysisError(
+              "the phi of quantile(x, phi) must be a numeric literal");
+        }
         param = e->children[1]->literal.AsDouble();
         if (param < 0.0 || param > 1.0) {
           return Status::AnalysisError("quantile phi must be in [0, 1]");
@@ -410,6 +416,10 @@ class Analyzer {
         if (e->children[1]->kind != ExprKind::kLiteral) {
           return Status::AnalysisError(
               "the k of kth_smallest_value$ must be a literal");
+        }
+        if (e->children[1]->literal.type() != FieldType::kUInt) {
+          return Status::AnalysisError(
+              "the k of kth_smallest_value$ must be an integer literal");
         }
         spec.k = e->children[1]->literal.AsUInt();
         if (spec.k == 0) {

@@ -113,8 +113,27 @@ class Parser {
     return items;
   }
 
+  // Recursion-depth guard: a pathological input like "((((((…" or
+  // "NOT NOT NOT …" recurses once per token, and with no bound that is a
+  // stack overflow (a crash, not a Status). 256 levels is far beyond any
+  // legitimate query while keeping worst-case stack use small.
+  static constexpr int kMaxExprDepth = 256;
+
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth(depth) { ++*depth; }
+    ~DepthGuard() { --*depth; }
+    int* depth;
+  };
+
   // Precedence climbing: OR < AND < NOT < comparison < add < mul < unary.
-  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+  Result<ExprPtr> ParseExpr() {
+    if (depth_ >= kMaxExprDepth) {
+      return Status::ParseError("expression nests deeper than " +
+                                std::to_string(kMaxExprDepth) + " levels");
+    }
+    DepthGuard guard(&depth_);
+    return ParseOr();
+  }
 
   Result<ExprPtr> ParseOr() {
     STREAMOP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
@@ -136,6 +155,11 @@ class Parser {
 
   Result<ExprPtr> ParseNot() {
     if (Accept(TokenKind::kNot)) {
+      if (depth_ >= kMaxExprDepth) {
+        return Status::ParseError("expression nests deeper than " +
+                                  std::to_string(kMaxExprDepth) + " levels");
+      }
+      DepthGuard guard(&depth_);
       STREAMOP_ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
       return Expr::Unary(UnaryOp::kNot, std::move(e));
     }
@@ -210,6 +234,11 @@ class Parser {
 
   Result<ExprPtr> ParseUnary() {
     if (Accept(TokenKind::kMinus)) {
+      if (depth_ >= kMaxExprDepth) {
+        return Status::ParseError("expression nests deeper than " +
+                                  std::to_string(kMaxExprDepth) + " levels");
+      }
+      DepthGuard guard(&depth_);
       STREAMOP_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
       return Expr::Unary(UnaryOp::kNeg, std::move(e));
     }
@@ -277,6 +306,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

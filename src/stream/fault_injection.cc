@@ -1,0 +1,103 @@
+#include "stream/fault_injection.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace streamop {
+
+Trace InjectFaults(const Trace& trace, const FaultInjectionConfig& config) {
+  Pcg64 rng(config.seed, 0xfa017ULL);
+  std::vector<PacketRecord> out;
+  out.reserve(trace.size() + trace.size() / 8);
+
+  // Pass 1: per-packet faults in arrival order. Burst compression rewrites
+  // timestamps relative to the burst start so gaps shrink by the
+  // compression factor while order within the burst is preserved.
+  size_t burst_left = 0;
+  uint64_t burst_anchor_ns = 0;  // timestamp the burst compresses toward
+  uint64_t prev_original_ns = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    PacketRecord p = trace.at(i);
+    const uint64_t original_ns = p.ts_ns;
+
+    if (burst_left == 0 && config.p_burst_start > 0.0 &&
+        rng.NextBernoulli(config.p_burst_start)) {
+      burst_left = config.burst_packets;
+      burst_anchor_ns = p.ts_ns;
+    }
+    if (burst_left > 0) {
+      const double comp = std::max(config.burst_compression, 1.0);
+      const uint64_t gap = original_ns - std::min(original_ns, burst_anchor_ns);
+      p.ts_ns = burst_anchor_ns + static_cast<uint64_t>(
+                                      static_cast<double>(gap) / comp);
+      --burst_left;
+    }
+
+    if (config.p_ts_backwards > 0.0 &&
+        rng.NextBernoulli(config.p_ts_backwards)) {
+      const uint64_t max_back = static_cast<uint64_t>(
+          config.ts_backwards_max_sec * 1e9);
+      const uint64_t back = rng.NextBounded(max_back + 1);
+      p.ts_ns = p.ts_ns >= back ? p.ts_ns - back : 0;
+    }
+
+    if (config.p_truncate > 0.0 && rng.NextBernoulli(config.p_truncate)) {
+      p.len = static_cast<uint16_t>(rng.NextBounded(20));  // below IP header
+    }
+
+    if (config.p_corrupt > 0.0 && rng.NextBernoulli(config.p_corrupt)) {
+      p.src_ip = rng.Next32();
+      p.dst_ip = rng.Next32();
+      p.src_port = static_cast<uint16_t>(rng.Next32());
+      p.dst_port = static_cast<uint16_t>(rng.Next32());
+      p.proto = static_cast<uint8_t>(rng.Next32());
+      p.len = static_cast<uint16_t>(rng.NextBounded(65536));
+    }
+
+    out.push_back(p);
+    if (config.p_duplicate > 0.0 && rng.NextBernoulli(config.p_duplicate)) {
+      out.push_back(p);
+    }
+    prev_original_ns = original_ns;
+  }
+  (void)prev_original_ns;
+
+  // Pass 2: positional reordering — swap a packet forward by a bounded
+  // offset, which puts its (earlier) timestamp after later ones.
+  if (config.p_reorder > 0.0 && config.reorder_window > 0) {
+    for (size_t i = 0; i < out.size(); ++i) {
+      if (!rng.NextBernoulli(config.p_reorder)) continue;
+      const size_t span = std::min(config.reorder_window, out.size() - 1 - i);
+      if (span == 0) continue;
+      const size_t j = i + 1 + rng.NextBounded(span);
+      std::swap(out[i], out[j]);
+    }
+  }
+
+  return Trace(std::move(out));
+}
+
+std::function<void(uint64_t, const std::atomic<bool>&)> MakeConsumerStallHook(
+    const ConsumerStallSpec& spec) {
+  return [spec](uint64_t batch_index, const std::atomic<bool>& abort) {
+    uint64_t ms = 0;
+    if (batch_index == spec.stall_at_batch) {
+      ms = spec.stall_ms;
+    } else if (batch_index > spec.stall_at_batch) {
+      ms = spec.per_batch_ms;
+    }
+    if (ms == 0) return;
+    const bool forever = ms == UINT64_MAX;
+    uint64_t slept = 0;
+    // Sleep in 1 ms slices so an abort (watchdog or producer error) always
+    // unsticks the "hung" consumer promptly.
+    while ((forever || slept < ms) &&
+           !abort.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++slept;
+    }
+  };
+}
+
+}  // namespace streamop

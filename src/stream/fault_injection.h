@@ -1,0 +1,105 @@
+// Deterministic fault injection for chaos-testing the pipeline: given a
+// clean trace and a seed, produce a faulty trace (duplicates, reordering,
+// timestamp regressions, truncated/corrupted packets, compressed bursts)
+// that is bit-identical across runs — so every chaos test failure is
+// replayable from its seed.
+//
+// Consumer-side faults (a high-level node that stalls or hangs) are
+// modelled by a cooperative stall hook installed into RuntimeOptions; the
+// hook sleeps in small increments while watching the runtime's abort flag,
+// so the watchdog can always unstick the run.
+
+#ifndef STREAMOP_STREAM_FAULT_INJECTION_H_
+#define STREAMOP_STREAM_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "common/random.h"
+#include "net/trace_generator.h"
+#include "stream/stream_source.h"
+
+namespace streamop {
+
+struct FaultInjectionConfig {
+  uint64_t seed = 1;
+
+  /// Per-packet probability of emitting a duplicate right after the packet.
+  double p_duplicate = 0.0;
+
+  /// Per-packet probability of swapping the packet forward by up to
+  /// `reorder_window` positions (creates out-of-order timestamps).
+  double p_reorder = 0.0;
+  size_t reorder_window = 8;
+
+  /// Per-packet probability of truncating `len` below the 20-byte minimum
+  /// IP header (a malformed packet the consumer must reject, not crash on).
+  double p_truncate = 0.0;
+
+  /// Per-packet probability of corrupting header fields with random bytes.
+  double p_corrupt = 0.0;
+
+  /// Per-packet probability of a timestamp regression: ts_ns jumps
+  /// backwards by up to `ts_backwards_max_sec` (late tuples downstream).
+  double p_ts_backwards = 0.0;
+  double ts_backwards_max_sec = 2.0;
+
+  /// Per-packet probability of *starting* a burst: the next
+  /// `burst_packets` packets have their inter-arrival gaps compressed by
+  /// `burst_compression` (timestamps squeezed together → overload).
+  double p_burst_start = 0.0;
+  size_t burst_packets = 2048;
+  double burst_compression = 50.0;
+};
+
+/// Applies the configured faults to a copy of `trace`. Deterministic: the
+/// same (trace, config) pair always yields the same faulty trace.
+Trace InjectFaults(const Trace& trace, const FaultInjectionConfig& config);
+
+/// StreamSource wrapper applying the same fault model on the fly to the
+/// tuple pull path (single-threaded Run / RunQueryOverTrace). Owns a faulty
+/// copy of the trace so replays (Reset) are deterministic too.
+class FaultyStreamSource : public StreamSource {
+ public:
+  FaultyStreamSource(const Trace* trace, const FaultInjectionConfig& config)
+      : faulty_(InjectFaults(*trace, config)), inner_(&faulty_) {}
+
+  SchemaPtr schema() const override { return inner_.schema(); }
+  bool Next(Tuple* out) override {
+    if (!inner_.Next(out)) return false;
+    CountTuple();
+    return true;
+  }
+  void Reset() override { inner_.Reset(); }
+
+  const Trace& faulty_trace() const { return faulty_; }
+
+ private:
+  Trace faulty_;
+  TraceTupleSource inner_;
+};
+
+/// Consumer-stall fault: what a hook built by MakeConsumerStallHook does.
+struct ConsumerStallSpec {
+  /// Batch index at which the stall begins.
+  uint64_t stall_at_batch = 0;
+  /// How long the consumer stalls, in milliseconds. A value of UINT64_MAX
+  /// means "hang forever" — the hook then sleeps until the runtime's abort
+  /// flag is raised (only the watchdog can end the run).
+  uint64_t stall_ms = 0;
+  /// If > 0, also stall this many milliseconds on *every* batch from
+  /// `stall_at_batch` on (a persistently slow consumer rather than a
+  /// one-shot hiccup).
+  uint64_t per_batch_ms = 0;
+};
+
+/// Builds a cooperative stall hook for RuntimeOptions::consumer_stall_hook.
+/// The hook sleeps in 1 ms slices and re-checks `abort` between slices, so
+/// a watchdog-initiated abort always terminates it promptly.
+std::function<void(uint64_t, const std::atomic<bool>&)> MakeConsumerStallHook(
+    const ConsumerStallSpec& spec);
+
+}  // namespace streamop
+
+#endif  // STREAMOP_STREAM_FAULT_INJECTION_H_

@@ -36,6 +36,21 @@ class RingBuffer {
 
   size_t capacity() const { return buf_.size() - 1; }
 
+  /// Producer-side end-of-stream: after Close() every TryPush fails (not
+  /// counted as an overload failure) while the consumer keeps draining what
+  /// is already buffered. `closed() && empty()` is the consumer's EOS test.
+  void Close() { closed_.store(true, std::memory_order_release); }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Hard abort from either side: poisons the channel so both TryPush and
+  /// TryPop fail immediately, unsticking whichever thread is still looping.
+  /// Buffered items are abandoned. Poison implies Close.
+  void Poison() {
+    poisoned_.store(true, std::memory_order_release);
+    closed_.store(true, std::memory_order_release);
+  }
+  bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
+
   /// Attaches data-path metrics (push/pop totals, push failures, occupancy
   /// high-water mark). The bundle must outlive the buffer; pass nullptr to
   /// detach. The hwm gauge is written by the producer thread only.
@@ -57,6 +72,7 @@ class RingBuffer {
   /// Producer side. Returns false if the buffer is full (the caller decides
   /// whether to drop or retry; Gigascope drops under overload).
   bool TryPush(const T& item) {
+    if (closed()) return false;  // EOS / poisoned: reject without counting
     size_t t = tail_.load(std::memory_order_relaxed);
     size_t next = (t + 1) & mask_;
     size_t h = head_.load(std::memory_order_acquire);
@@ -85,6 +101,7 @@ class RingBuffer {
 
   /// Consumer side. Returns false if the buffer is empty.
   bool TryPop(T* out) {
+    if (poisoned()) return false;  // hard abort: abandon buffered items
     size_t h = head_.load(std::memory_order_relaxed);
     if (h == tail_.load(std::memory_order_acquire)) return false;
     *out = buf_[h];
@@ -106,6 +123,8 @@ class RingBuffer {
   size_t mask_ = 0;
   std::atomic<size_t> head_{0};
   std::atomic<size_t> tail_{0};
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> poisoned_{false};
 };
 
 }  // namespace streamop

@@ -1,0 +1,190 @@
+// Parser/analyzer hardening: hostile and randomly mutated query texts must
+// come back as error Statuses — never a crash, hang, or stack overflow.
+// Runs under the ASan preset in CI, so any out-of-bounds access or leak on
+// an error path fails loudly here.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "query/query.h"
+
+namespace streamop {
+namespace {
+
+Catalog TestCatalog() { return Catalog::Default(); }
+
+// Compiling must always produce either a query or an error Status. The
+// assertion is simply that we get *here* — no crash — plus, for inputs we
+// know are invalid, that the result is an error rather than silent success.
+void ExpectRejected(const std::string& sql) {
+  auto cq = CompileQuery(sql, TestCatalog());
+  EXPECT_FALSE(cq.ok()) << "accepted malformed query: " << sql;
+}
+
+TEST(QueryFuzzTest, DeeplyNestedParensReturnParseErrorNotStackOverflow) {
+  // Well-formed but pathologically deep: 100k nesting levels would blow the
+  // stack without the parser's depth guard.
+  std::string sql = "SELECT ";
+  sql.append(100000, '(');
+  sql += "len";
+  sql.append(100000, ')');
+  sql += " FROM PKT";
+  ExpectRejected(sql);
+
+  // Unbalanced variant: deep opens, no closes.
+  std::string open_only = "SELECT ";
+  open_only.append(100000, '(');
+  open_only += "len FROM PKT";
+  ExpectRejected(open_only);
+}
+
+TEST(QueryFuzzTest, DeepUnaryChainsReturnParseError) {
+  std::string nots = "SELECT len FROM PKT WHERE ";
+  for (int i = 0; i < 100000; ++i) nots += "NOT ";
+  nots += "len = 0";
+  ExpectRejected(nots);
+
+  std::string minuses = "SELECT ";
+  minuses.append(100000, '-');
+  minuses += "1 FROM PKT";
+  ExpectRejected(minuses);
+}
+
+TEST(QueryFuzzTest, ModestNestingStillParses) {
+  // The depth guard must not reject realistic queries.
+  std::string sql = "SELECT ";
+  sql.append(50, '(');
+  sql += "len";
+  sql.append(50, ')');
+  sql += " FROM PKT";
+  auto cq = CompileQuery(sql, TestCatalog());
+  EXPECT_TRUE(cq.ok()) << cq.status().ToString();
+}
+
+TEST(QueryFuzzTest, TruncatedAndGarbageQueriesReturnErrors) {
+  const char* cases[] = {
+      "",
+      ";",
+      "SELECT",
+      "SELECT FROM",
+      "SELECT len",
+      "SELECT len FROM",
+      "SELECT len FROM PKT WHERE",
+      "SELECT len FROM PKT GROUP BY",
+      "SELECT len FROM PKT GROUP BY time/20 as tb HAVING",
+      "SELECT len FROM PKT CLEANING",
+      "SELECT len FROM PKT CLEANING WHEN",
+      "FROM PKT SELECT len",
+      "SELECT * FROM PKT",     // bare * outside an aggregate call
+      "SELECT len FROM PKT )",
+      "SELECT len, FROM PKT",
+      "SELECT len FROM PKT WHERE len = ",
+      "SELECT len FROM PKT WHERE = len",
+      "SELECT len$ FROM PKT",  // $ outside a superaggregate call
+      "SELECT len FROM NOT_A_STREAM",
+      "SELECT no_such_column FROM PKT",
+      "SELECT count(*) FROM PKT GROUP BY",
+      "\0\0\0",
+      "\xff\xfe garbage \x01",
+      "SELECT 'unterminated FROM PKT",
+      "SELECT \"len\" FROM PKT",
+      "SELECT len FROM PKT;;;; SELECT len FROM PKT",
+      "SELECT len/0e FROM PKT",
+      "SELECT ((len) FROM PKT",
+      "SELECT len)) FROM PKT",
+  };
+  for (const char* sql : cases) ExpectRejected(sql);
+}
+
+TEST(QueryFuzzTest, BadAggregateArgumentsReturnAnalysisErrors) {
+  const char* cases[] = {
+      // quantile's phi must be a numeric literal.
+      "SELECT tb, quantile(len, 'half') FROM PKT GROUP BY time/20 as tb",
+      "SELECT tb, quantile(len, srcIP) FROM PKT GROUP BY time/20 as tb",
+      "SELECT tb, quantile(len) FROM PKT GROUP BY time/20 as tb",
+      "SELECT tb, quantile(len, 1.5) FROM PKT GROUP BY time/20 as tb",
+      // kth_smallest's k must be an integer literal.
+      "SELECT tb, kth_smallest(len, 'first') FROM PKT GROUP BY time/20 as tb",
+      "SELECT tb, kth_smallest(len, 0.5) FROM PKT GROUP BY time/20 as tb",
+      "SELECT tb, kth_smallest(len, len) FROM PKT GROUP BY time/20 as tb",
+      "SELECT tb, kth_smallest(len, 0) FROM PKT GROUP BY time/20 as tb",
+      // Wrong arities and star misuse.
+      "SELECT tb, sum(*) FROM PKT GROUP BY time/20 as tb",
+      "SELECT tb, sum() FROM PKT GROUP BY time/20 as tb",
+      "SELECT tb, sum(len, len) FROM PKT GROUP BY time/20 as tb",
+      "SELECT tb, count(len, len) FROM PKT GROUP BY time/20 as tb",
+      "SELECT tb, no_such_fn(len) FROM PKT GROUP BY time/20 as tb",
+      // Aggregates in illegal positions.
+      "SELECT len FROM PKT WHERE sum(len) > 10",
+      "SELECT tb FROM PKT GROUP BY sum(len) as tb",
+  };
+  for (const char* sql : cases) ExpectRejected(sql);
+}
+
+// Seeded random mutation fuzzing: start from valid queries and apply byte
+// edits. Mutants may or may not compile — the only contract is that the
+// compiler returns instead of crashing.
+TEST(QueryFuzzTest, RandomByteMutationsNeverCrashTheCompiler) {
+  const std::vector<std::string> seeds = {
+      "SELECT time, srcIP, destIP, len FROM PKT WHERE len > 100",
+      "SELECT tb, srcIP, count(*), sum$(len), count$(*) FROM PKT "
+      "GROUP BY time/60 as tb, srcIP "
+      "CLEANING WHEN count(*) % 100 = 0 CLEANING BY count(*) < 2",
+      "SELECT tb, quantile(len, 0.5), kth_smallest(len, 3) FROM PKT "
+      "GROUP BY time/20 as tb HAVING count(*) > 1",
+      "SELECT tb, sum(len) FROM PKT WHERE proto = 6 AND NOT (srcPort = 80 "
+      "OR destPort = 80) GROUP BY time/20 as tb SUPERGROUP BY tb",
+  };
+  Pcg64 rng(0xf022ULL, 0xbadc0deULL);
+  const char kBytes[] =
+      " \t\n()*$,;'\"=<>!%/+-0123456789abcXYZ_\x00\x7f\xff";
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::string sql = seeds[rng.NextBounded(seeds.size())];
+    int edits = 1 + static_cast<int>(rng.NextBounded(8));
+    for (int e = 0; e < edits && !sql.empty(); ++e) {
+      size_t pos = rng.NextBounded(sql.size());
+      switch (rng.NextBounded(3)) {
+        case 0:  // replace
+          sql[pos] = kBytes[rng.NextBounded(sizeof(kBytes) - 1)];
+          break;
+        case 1:  // insert
+          sql.insert(pos, 1, kBytes[rng.NextBounded(sizeof(kBytes) - 1)]);
+          break;
+        default:  // delete a span
+          sql.erase(pos, 1 + rng.NextBounded(4));
+          break;
+      }
+    }
+    auto cq = CompileQuery(sql, TestCatalog());
+    // Reaching this line is the assertion; use the result so it can't be
+    // optimized away.
+    (void)cq.ok();
+  }
+}
+
+TEST(QueryFuzzTest, RandomTokenSoupNeverCrashesTheCompiler) {
+  const std::vector<std::string> tokens = {
+      "SELECT", "FROM",  "WHERE",  "GROUP",  "BY",    "HAVING", "CLEANING",
+      "WHEN",   "AND",   "OR",     "NOT",    "AS",    "PKT",    "len",
+      "srcIP",  "time",  "count",  "sum",    "min",   "max",    "(",
+      ")",      "*",     ",",      "/",      "+",     "-",      "=",
+      "<",      ">",     "'str'",  "0.5",    "42",    "$",      ";",
+  };
+  Pcg64 rng(0xf055ULL, 0x50abULL);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string sql;
+    int n = 1 + static_cast<int>(rng.NextBounded(24));
+    for (int i = 0; i < n; ++i) {
+      sql += tokens[rng.NextBounded(tokens.size())];
+      sql += ' ';
+    }
+    auto cq = CompileQuery(sql, TestCatalog());
+    (void)cq.ok();
+  }
+}
+
+}  // namespace
+}  // namespace streamop
