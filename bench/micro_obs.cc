@@ -9,9 +9,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
 #include "bench/bench_util.h"
 #include "core/sampling_operator.h"
+#include "obs/http_server.h"
 #include "obs/metrics.h"
+#include "obs/quality.h"
 #include "obs/trace_ring.h"
 
 namespace streamop {
@@ -161,6 +168,130 @@ void BM_SteadyStateInstrumented(benchmark::State& state) {
   RunSteadyState(state, /*instrumented=*/true);
 }
 BENCHMARK(BM_SteadyStateInstrumented);
+
+// ---------- windowed steady state: quality reports + live HTTP scrapes ----
+
+// Windows actually close during the timed loop here (time advances every
+// kTuplesPerWindow tuples), so the quality-report build runs at its real
+// cadence — and in the full-observability variant an HTTP poller hammers
+// all five introspection endpoints concurrently. The ratio vs the plain
+// variant is the "serving overhead" criterion (budget: <= 2%).
+constexpr uint64_t kTuplesPerWindow = 16384;
+
+void RunWindowedSteadyState(benchmark::State& state, bool full_obs) {
+  Catalog catalog = Catalog::Default();
+  Result<CompiledQuery> cq =
+      CompileQuery(kAggregationSql, catalog, {.seed = 3});
+  if (!cq.ok() || cq->kind != CompiledQueryKind::kSampling) {
+    state.SkipWithError(cq.ok() ? "not a sampling query"
+                                : cq.status().ToString().c_str());
+    return;
+  }
+  SamplingOperator op(cq->sampling);
+  obs::QualityRing ring(512);
+  op.set_quality(&ring, "micro_obs_q");  // disabled ring in the plain case
+  std::unique_ptr<obs::HttpServer> server;
+  std::thread poller;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> http_ok{0};
+  if (full_obs) {
+    op.set_metrics(obs::OperatorMetrics::Create(
+        obs::MetricRegistry::Default(), "micro_obs_q"));
+    ring.set_enabled(true);
+    obs::HttpServerOptions hopt;
+    hopt.port = 0;
+    hopt.quality_ring = &ring;
+    server = std::make_unique<obs::HttpServer>(hopt);
+    Status started = server->Start();
+    if (!started.ok()) {
+      state.SkipWithError(started.ToString().c_str());
+      return;
+    }
+    const int port = server->port();
+    poller = std::thread([port, &stop, this_ok = &http_ok] {
+      // Scrape all five endpoints round-robin at a cadence far above any
+      // real scraper's (Prometheus defaults to 15s intervals).
+      const char* kPaths[] = {"/metrics", "/metrics.json", "/traces",
+                              "/windows", "/healthz"};
+      size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        Result<std::string> r = obs::HttpGet(port, kPaths[i % 5], 2000);
+        if (r.ok()) this_ok->fetch_add(1, std::memory_order_relaxed);
+        ++i;
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
+    });
+  }
+
+  std::vector<Tuple> tuples = SteadyStateTuples(4096, 64, 16);
+  for (const Tuple& t : tuples) {
+    Status s = op.Process(t);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+  }
+  uint64_t i = 0;
+  uint64_t tick = 0;
+  uint64_t now = 100;
+  for (auto _ : state) {
+    if (++tick == kTuplesPerWindow) {
+      tick = 0;
+      now += 20;  // next time/20 bucket: the window closes mid-loop
+    }
+    Tuple& t = tuples[i & 4095];
+    t.at(0) = Value::UInt(now);
+    Status s = op.Process(t);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    ++i;
+  }
+  if (full_obs) {
+    // Authoritative liveness sweep, outside the timed region: on a
+    // single-CPU host the spinning loop above starves the poller (its
+    // in-flight scrapes time out), so verify from this thread that every
+    // endpoint answers against the still-live operator state. Blocking in
+    // HttpGet yields the CPU to the serving thread.
+    for (const char* path : {"/metrics", "/metrics.json", "/traces",
+                             "/windows", "/healthz"}) {
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        Result<std::string> r = obs::HttpGet(server->port(), path, 2000);
+        if (r.ok()) {
+          http_ok.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+      }
+    }
+    stop.store(true, std::memory_order_relaxed);
+    if (poller.joinable()) poller.join();
+    server->Stop();
+    state.counters["quality_reports"] =
+        benchmark::Counter(static_cast<double>(ring.reports_recorded()));
+    state.counters["http_requests"] =
+        benchmark::Counter(static_cast<double>(server->requests_served()));
+    state.counters["http_ok"] =
+        benchmark::Counter(static_cast<double>(
+            http_ok.load(std::memory_order_relaxed)));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["tuples_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+
+void BM_WindowedSteadyStatePlain(benchmark::State& state) {
+  RunWindowedSteadyState(state, /*full_obs=*/false);
+}
+BENCHMARK(BM_WindowedSteadyStatePlain);
+
+// Quality ring enabled, metrics attached, and an HTTP client scraping all
+// five endpoints every ~2ms while the operator runs at full rate.
+void BM_WindowedSteadyStateServing(benchmark::State& state) {
+  RunWindowedSteadyState(state, /*full_obs=*/true);
+}
+BENCHMARK(BM_WindowedSteadyStateServing);
 
 }  // namespace
 }  // namespace streamop

@@ -10,6 +10,9 @@
 #     "benchmarks": { "<name>": {"real_time_ns": ..., "items_per_second": ...} },
 #     "obs_overhead": { "instrumented_ns": ..., "uninstrumented_ns": ...,
 #                       "ratio": ... },            # budget: ratio <= 1.02
+#     "serving_overhead": { "serving_ns": ..., "plain_ns": ..., "ratio": ...,
+#                           "http_requests": ..., "single_cpu": ... },
+#     "quality_summary": { ... },                  # per-window error bounds
 #     "metrics_snapshot": { ... },                 # registry JSON from a CLI run
 #     "baseline":   { "<name>": {...} },           # when BENCH_BASELINE is set
 #     "speedup":    { "<name>": <x faster> },      # optimized vs baseline
@@ -72,8 +75,19 @@ if ! "$CLI" --feed datacenter --duration 2 --seed 7 \
 fi
 [[ -s "$TMPDIR_BENCH/metrics.json" ]] || fail "CLI produced no metrics JSON"
 
+# A subset-sum sampling run so per-window quality reports (HT variance,
+# confidence intervals, threshold) ride along too. Single quotes: the
+# query contains $(...) which the shell must not expand.
+if ! "$CLI" --feed datacenter --duration 4 --seed 7 \
+        --query 'SELECT tb, srcIP, destIP, UMAX(sum(len), ssthreshold()), sum$(len) FROM PKT WHERE ssample(len, 100, 2, 100, 10.0) = TRUE GROUP BY time as tb, srcIP, destIP HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE CLEANING BY ssclean_with(sum(len)) = TRUE' \
+        --limit 0 --quality-json="$TMPDIR_BENCH/quality.json" \
+        > /dev/null; then
+  fail "streamop_cli quality run failed"
+fi
+[[ -s "$TMPDIR_BENCH/quality.json" ]] || fail "CLI produced no quality JSON"
+
 python3 - "$TMPDIR_BENCH" "$OUT" "${BENCH_BASELINE:-}" <<'EOF'
-import json, sys, time
+import json, os, sys, time
 
 tmpdir, out_path, baseline_path = sys.argv[1], sys.argv[2], sys.argv[3]
 
@@ -121,6 +135,62 @@ result["obs_overhead"] = {
     "ratio": round(instr / plain, 4),
 }
 
+# Serving overhead: windows closing mid-loop with an HTTP scraper hitting
+# all five endpoints vs the same loop with everything detached. On a
+# single-CPU host the scraper time-shares with the operator, so the ratio
+# includes scheduler contention, not just instrumentation — record the
+# core count so CI judges the <= 1.02 budget on multi-core hardware only.
+serving = median_time(raw["micro_obs"], "BM_WindowedSteadyStateServing")
+wplain = median_time(raw["micro_obs"], "BM_WindowedSteadyStatePlain")
+if serving is None or wplain is None or not wplain:
+    sys.exit("error: micro_obs windowed benchmarks missing from output")
+
+def counter(data, name, key):
+    vals = [b.get(key) for b in data.get("benchmarks", [])
+            if b.get("name", "").startswith(name) and b.get(key) is not None]
+    return max(vals) if vals else None
+
+result["serving_overhead"] = {
+    "serving_ns": serving,
+    "plain_ns": wplain,
+    "ratio": round(serving / wplain, 4),
+    "http_requests": counter(raw["micro_obs"],
+                             "BM_WindowedSteadyStateServing", "http_requests"),
+    "http_ok": counter(raw["micro_obs"],
+                       "BM_WindowedSteadyStateServing", "http_ok"),
+    "single_cpu": (os.cpu_count() or 1) == 1,
+}
+if not result["serving_overhead"]["http_ok"]:
+    sys.exit("error: serving benchmark completed no HTTP scrapes")
+
+# Quality summary: compress the per-window reports from the subset-sum CLI
+# run into the headline error-bound numbers.
+with open(f"{tmpdir}/quality.json") as f:
+    quality = json.load(f)
+reports = quality.get("reports", [])
+ests = [e for r in reports for e in r.get("estimators", [])]
+sums = [e for e in ests if e.get("kind") == "sum_ht"]
+rel_ci = [e["ci95"] / e["estimate"] for e in sums
+          if e.get("estimate") and e.get("ci95") is not None]
+admitted = [r["tuples_admitted"] / r["tuples_in"]
+            for r in reports if r.get("tuples_in")]
+result["quality_summary"] = {
+    "windows": quality.get("recorded", 0),
+    "estimators": len(ests),
+    "sum_ht_estimators": len(sums),
+    "mean_admitted_fraction":
+        round(sum(admitted) / len(admitted), 4) if admitted else None,
+    "mean_rel_ci95":
+        round(sum(rel_ci) / len(rel_ci), 4) if rel_ci else None,
+    "max_threshold_z":
+        max((e["threshold_z"] for e in ests if e.get("threshold_z")),
+            default=None),
+    "min_shed_p": min((r["shed_p_min"] for r in reports
+                       if r.get("shed_p_min") is not None), default=None),
+}
+if not reports:
+    sys.exit("error: quality run recorded no window reports")
+
 with open(f"{tmpdir}/metrics.json") as f:
     result["metrics_snapshot"] = json.load(f)
 
@@ -142,6 +212,11 @@ with open(out_path, "w") as f:
     f.write("\n")
 print(f"wrote {out_path} ({len(flat)} benchmarks)")
 print(f"  obs overhead ratio: {result['obs_overhead']['ratio']}x")
+print(f"  serving overhead ratio: {result['serving_overhead']['ratio']}x "
+      f"(http_ok={result['serving_overhead']['http_ok']}, "
+      f"single_cpu={result['serving_overhead']['single_cpu']})")
+print(f"  quality: {result['quality_summary']['windows']} windows, "
+      f"mean rel ci95 {result['quality_summary']['mean_rel_ci95']}")
 for name, x in sorted(result.get("speedup", {}).items()):
     print(f"  {name}: {x}x")
 EOF

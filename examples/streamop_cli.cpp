@@ -10,18 +10,25 @@
 // Feeds: research (bursty 0.7k-15k pkt/s), datacenter (steady 100k pkt/s),
 // ddos (flow-structured with a single-packet-flow flood).
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "common/string_util.h"
 #include "engine/runtime.h"
 #include "net/flow_generator.h"
 #include "net/trace_generator.h"
+#include "obs/http_server.h"
 #include "obs/metrics.h"
+#include "obs/quality.h"
 #include "obs/trace_ring.h"
 #include "query/query.h"
 #include "stream/fault_injection.h"
@@ -49,6 +56,14 @@ void Usage(const char* argv0) {
       "run\n"
       "  --trace-json <path>   write chrome://tracing JSON (window flushes,\n"
       "                        cleaning phases, subset-sum z adjustments)\n"
+      "  --quality-json <path> write per-window sample-quality reports\n"
+      "                        (error bounds, CIs) as JSON after the run\n"
+      "  --http-port <n>       serve /metrics, /metrics.json, /traces,\n"
+      "                        /windows, /healthz on loopback (0 = ephemeral)\n"
+      "  --serve-ms <n>        keep the HTTP server up for n ms after the\n"
+      "                        run finishes (for scraping; default 0)\n"
+      "  --metrics-interval-ms <n>  rewrite --metrics-json/--metrics-prom\n"
+      "                        files every n ms during the run\n"
       "  --shed                run threaded with adaptive load shedding and\n"
       "                        print a degradation summary\n"
       "  --shed-high-watermark <f>  occupancy above which p decreases "
@@ -79,6 +94,10 @@ struct Args {
   std::string metrics_json;
   std::string metrics_prom;
   std::string trace_json;
+  std::string quality_json;
+  int http_port = -1;  // -1 = off, 0 = ephemeral
+  uint64_t serve_ms = 0;
+  uint64_t metrics_interval_ms = 0;
   bool shed = false;
   double shed_high_watermark = 0.75;
   double shed_low_watermark = 0.40;
@@ -148,6 +167,22 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       const char* v = next();
       if (v == nullptr) return false;
       out->trace_json = v;
+    } else if (a == "--quality-json") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->quality_json = v;
+    } else if (a == "--http-port") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->http_port = std::atoi(v);
+    } else if (a == "--serve-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->serve_ms = std::strtoull(v, nullptr, 10);
+    } else if (a == "--metrics-interval-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->metrics_interval_ms = std::strtoull(v, nullptr, 10);
     } else if (a == "--shed") {
       out->shed = true;
     } else if (a == "--shed-high-watermark") {
@@ -205,6 +240,69 @@ bool WriteFile(const std::string& path, const std::string& contents,
   std::fprintf(stderr, "%s written to %s\n", what, path.c_str());
   return true;
 }
+
+// Rewrites the --metrics-json / --metrics-prom files every interval while a
+// run executes, so long runs are observable from the filesystem without
+// waiting for the final snapshot. Inert when the interval is 0 or neither
+// path was given; the destructor stops the refresh thread.
+class MetricsFileRefresher {
+ public:
+  MetricsFileRefresher(obs::MetricRegistry& registry, std::string json_path,
+                       std::string prom_path, uint64_t interval_ms)
+      : registry_(registry),
+        json_path_(std::move(json_path)),
+        prom_path_(std::move(prom_path)),
+        interval_ms_(interval_ms) {
+    if (interval_ms_ == 0 || (json_path_.empty() && prom_path_.empty())) {
+      return;
+    }
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~MetricsFileRefresher() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                       [this] { return stop_; })) {
+        break;
+      }
+      lock.unlock();
+      WriteOnce();
+      lock.lock();
+    }
+  }
+
+  void WriteOnce() {
+    if (!json_path_.empty()) {
+      std::ofstream out(json_path_);
+      if (out) out << registry_.ToJson();
+    }
+    if (!prom_path_.empty()) {
+      std::ofstream out(prom_path_);
+      if (out) out << registry_.ToPrometheus();
+    }
+  }
+
+  obs::MetricRegistry& registry_;
+  std::string json_path_;
+  std::string prom_path_;
+  uint64_t interval_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
 
 }  // namespace
 
@@ -278,9 +376,16 @@ int main(int argc, char** argv) {
 
   // Metrics land in the process-wide default registry so operator-internal
   // instrumentation (e.g. subset-sum z adjustments) shows up in the same
-  // snapshot. Tracing is off unless a sink was requested.
+  // snapshot. Tracing and quality reporting are off unless a sink (file or
+  // HTTP endpoint) was requested.
   obs::MetricRegistry& registry = obs::MetricRegistry::Default();
-  if (!args.trace_json.empty()) obs::TraceRing::Default().set_enabled(true);
+  const bool want_http = args.http_port >= 0;
+  if (!args.trace_json.empty() || want_http) {
+    obs::TraceRing::Default().set_enabled(true);
+  }
+  if (!args.quality_json.empty() || want_http) {
+    obs::QualityRing::Default().set_enabled(true);
+  }
 
   // Header helper shared by both execution paths.
   SchemaPtr out_schema = cq->output_schema();
@@ -296,6 +401,28 @@ int main(int argc, char** argv) {
         std::printf("%s%s", i > 0 ? "\t" : "", t[i].ToString().c_str());
       }
       std::printf("\n");
+    }
+  };
+
+  // File exports run before any --serve-ms hold so an operator killing the
+  // process while the server is being scraped still finds them on disk.
+  bool io_ok = true;
+  auto write_exports = [&] {
+    if (!args.metrics_json.empty()) {
+      io_ok &= WriteFile(args.metrics_json, registry.ToJson(), "metrics JSON");
+    }
+    if (!args.metrics_prom.empty()) {
+      io_ok &= WriteFile(args.metrics_prom, registry.ToPrometheus(),
+                         "Prometheus metrics");
+    }
+    if (!args.trace_json.empty()) {
+      io_ok &= WriteFile(args.trace_json,
+                         obs::TraceRing::Default().ToChromeTraceJson(),
+                         "trace JSON");
+    }
+    if (!args.quality_json.empty()) {
+      io_ok &= WriteFile(args.quality_json,
+                         obs::QualityRing::Default().ToJson(), "quality JSON");
     }
   };
 
@@ -319,8 +446,24 @@ int main(int argc, char** argv) {
     opt.shed.low_watermark = args.shed_low_watermark;
     opt.shed.min_probability = args.shed_min_p;
     opt.stall_timeout_ms = args.stall_timeout_ms;
+    opt.http_port = args.http_port;
     TwoLevelRuntime rt(*low, {*cq}, opt);
-    Result<RunReport> report = rt.RunThreaded(trace);
+    if (want_http) {
+      if (rt.http_server() != nullptr) {
+        std::fprintf(stderr, "introspection server on 127.0.0.1:%d\n",
+                     rt.http_server()->port());
+      } else {
+        std::fprintf(stderr, "http server failed: %s\n",
+                     rt.http_status().ToString().c_str());
+      }
+    }
+    Result<RunReport> report = Status::Internal("run not started");
+    {
+      MetricsFileRefresher refresher(registry, args.metrics_json,
+                                     args.metrics_prom,
+                                     args.metrics_interval_ms);
+      report = rt.RunThreaded(trace);
+    }
     const RunReport& r = report.ok() ? *report : rt.last_report();
     if (!report.ok()) {
       std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
@@ -340,9 +483,36 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.producer_backoff_sleeps),
         r.producer_backoff_seconds, r.watchdog_fired ? "FIRED" : "ok");
     if (!report.ok()) return 1;
+    write_exports();
+    if (args.serve_ms > 0 && rt.http_server() != nullptr) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(args.serve_ms));
+    }
   } else {
-    Result<SingleRunResult> run =
-        RunQueryOverTrace(*cq, trace, "query", &registry);
+    // Single-node path: the runtime owns no server here, so stand one up
+    // against the default registry and rings for the duration of main().
+    std::unique_ptr<obs::HttpServer> server;
+    if (want_http) {
+      obs::HttpServerOptions hopt;
+      hopt.port = args.http_port;
+      hopt.registry = &registry;
+      server = std::make_unique<obs::HttpServer>(hopt);
+      Status s = server->Start();
+      if (!s.ok()) {
+        std::fprintf(stderr, "http server failed: %s\n",
+                     s.ToString().c_str());
+        server.reset();
+      } else {
+        std::fprintf(stderr, "introspection server on 127.0.0.1:%d\n",
+                     server->port());
+      }
+    }
+    Result<SingleRunResult> run = Status::Internal("run not started");
+    {
+      MetricsFileRefresher refresher(registry, args.metrics_json,
+                                     args.metrics_prom,
+                                     args.metrics_interval_ms);
+      run = RunQueryOverTrace(*cq, trace, "query", &registry);
+    }
     if (!run.ok()) {
       std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
       return 1;
@@ -367,20 +537,11 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(ws.groups_output));
       }
     }
+    write_exports();
+    if (args.serve_ms > 0 && server != nullptr) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(args.serve_ms));
+    }
   }
 
-  bool io_ok = true;
-  if (!args.metrics_json.empty()) {
-    io_ok &= WriteFile(args.metrics_json, registry.ToJson(), "metrics JSON");
-  }
-  if (!args.metrics_prom.empty()) {
-    io_ok &= WriteFile(args.metrics_prom, registry.ToPrometheus(),
-                       "Prometheus metrics");
-  }
-  if (!args.trace_json.empty()) {
-    io_ok &= WriteFile(args.trace_json,
-                       obs::TraceRing::Default().ToChromeTraceJson(),
-                       "trace JSON");
-  }
   return io_ok ? 0 : 1;
 }

@@ -1,5 +1,9 @@
 #include "core/sampling_operator.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
 #include "common/hash.h"
 #include "expr/evaluator.h"
 
@@ -176,8 +180,12 @@ Status SamplingOperator::Process(const Tuple& input, double weight) {
     }
     live_stats_ = WindowStats{};
     live_stats_.window_id = current_window_id_;
+    live_max_weight_ = 1.0;
   }
   ++live_stats_.tuples_in;
+  if constexpr (obs::kStatsEnabled) {
+    if (weight > live_max_weight_) live_max_weight_ = weight;
+  }
 
   // 3. Supergroup lookup / creation (with previous-window state hand-off).
   scratch_sk_.Clear();
@@ -463,6 +471,14 @@ Status SamplingOperator::FlushWindow() {
     metrics_.rows_out->Add(live_stats_.tuples_output);
   }
 
+  // Quality report for the window just closed: must run before the table
+  // swap below while the supergroup states and membership are still live.
+  if constexpr (obs::kStatsEnabled) {
+    if (quality_ring_ != nullptr && quality_ring_->enabled()) {
+      RecordWindowQuality();
+    }
+  }
+
   // Table swap per §6.4: clear the group and membership tables, drop the
   // old supergroup table, move new -> old. clear() keeps each table's slot
   // array, and the fresh supergroup table is pre-sized from this window's
@@ -485,6 +501,131 @@ Status SamplingOperator::FlushWindow() {
     if (tracing) trace_ring_->Record("window_flush", flush_t0, dur);
   }
   return Status::OK();
+}
+
+void SamplingOperator::RecordWindowQuality() {
+  // Reports cover at most this many supergroups; beyond it the report is
+  // flagged truncated. High-cardinality supergroup queries (per-flow
+  // sampling) would otherwise make every report megabytes.
+  constexpr size_t kMaxSupergroupsPerReport = 16;
+
+  const WindowStats& ws = window_stats_.back();
+  obs::WindowQualityReport rep;
+  rep.node = quality_node_;
+  rep.seq = quality_seq_++;
+  for (size_t i = 0; i < ws.window_id.size(); ++i) {
+    if (i > 0) rep.window_id += ",";
+    rep.window_id += ws.window_id[i].ToString();
+  }
+  rep.tuples_in = ws.tuples_in;
+  rep.tuples_admitted = ws.tuples_admitted;
+  rep.groups_output = ws.groups_output;
+  rep.max_weight = live_max_weight_;
+  rep.shed_p_min = live_max_weight_ > 1.0 ? 1.0 / live_max_weight_ : 1.0;
+
+  uint32_t sg_index = 0;
+  for (const GroupKey& sk : supergroup_order_) {
+    auto sgit = new_supergroups_.find(sk);
+    if (sgit == new_supergroups_.end()) continue;
+    ++rep.supergroups;
+    if (sg_index >= kMaxSupergroupsPerReport) {
+      rep.truncated = true;
+      ++sg_index;
+      continue;
+    }
+    SupergroupEntry& sg = sgit->second;
+
+    obs::QualityContext qctx;
+    qctx.window_tuples = ws.tuples_admitted;
+    // Live groups of this supergroup: membership lists keep removed keys,
+    // so filter against the group table. Window-boundary work only.
+    auto mit = supergroup_groups_.find(sk);
+    if (mit != supergroup_groups_.end()) {
+      for (const GroupKey& gk : mit->second) {
+        if (groups_.find(gk) != groups_.end()) ++qctx.live_groups;
+      }
+    }
+
+    // Sampling-package states first: the subset-sum threshold doubles as
+    // the deterministic error bound of this supergroup's sum$ below.
+    double det_bound = 0.0;
+    for (size_t i = 0; i < sg.states.size(); ++i) {
+      const SfunStateDef* def = plan_->sfun_states[i];
+      if (def->quality == nullptr) continue;
+      obs::EstimatorQuality q;
+      if (!def->quality(sg.states[i], qctx, &q)) continue;
+      q.supergroup = sg_index;
+      if (std::strcmp(q.kind, "subset_sum") == 0) {
+        det_bound = std::max(det_bound, q.deterministic_bound);
+      }
+      rep.estimators.push_back(std::move(q));
+    }
+
+    // Superaggregates: HT estimate + variance for sum$/count$ (widened by
+    // the supergroup's counter-mode threshold bound, if any), KMV sample
+    // size for kth_smallest$/kth_largest$.
+    for (size_t i = 0; i < sg.superaggs.size(); ++i) {
+      const SuperAggState& st = sg.superaggs[i];
+      const SuperAggSpec& spec = plan_->superaggs[i];
+      obs::EstimatorQuality q;
+      q.supergroup = sg_index;
+      q.display = spec.display;
+      switch (spec.kind) {
+        case SuperAggKind::kSum:
+        case SuperAggKind::kCount:
+          q.kind = spec.kind == SuperAggKind::kSum ? "sum_ht" : "count_ht";
+          q.has_estimate = true;
+          q.estimate = st.Final().AsDouble();
+          q.variance = st.ht_variance();
+          q.deterministic_bound = det_bound;
+          q.ci95 = 1.96 * std::sqrt(q.variance) + det_bound;
+          break;
+        case SuperAggKind::kKthSmallest:
+        case SuperAggKind::kKthLargest:
+          q.kind = "kmv";
+          q.samples = st.tracked_values();
+          q.target = spec.k;
+          q.rel_error =
+              spec.k > 0 ? 1.0 / std::sqrt(static_cast<double>(spec.k)) : 0.0;
+          break;
+        default:
+          continue;  // count_distinct$ / first$ report via the SFUN hooks
+      }
+      rep.estimators.push_back(std::move(q));
+    }
+    ++sg_index;
+  }
+
+  // Latest-window gauges for /metrics scrapes: worst case across the
+  // report's supergroups (the full per-supergroup detail stays in the
+  // ring).
+  if (metrics_.enabled() && metrics_.quality_sum_ci95 != nullptr) {
+    double sum_ci = 0.0, z = 0.0, freq = 0.0, distinct_rel = 0.0;
+    double coverage = -1.0;
+    for (const obs::EstimatorQuality& q : rep.estimators) {
+      if (std::strcmp(q.kind, "sum_ht") == 0 ||
+          std::strcmp(q.kind, "count_ht") == 0) {
+        sum_ci = std::max(sum_ci, q.ci95);
+      } else if (std::strcmp(q.kind, "subset_sum") == 0) {
+        z = std::max(z, q.threshold_z);
+      } else if (std::strcmp(q.kind, "lossy_counting") == 0) {
+        freq = std::max(freq, q.deterministic_bound);
+      } else if (std::strcmp(q.kind, "distinct") == 0 ||
+                 std::strcmp(q.kind, "kmv") == 0) {
+        distinct_rel = std::max(distinct_rel, q.rel_error);
+      } else if (std::strcmp(q.kind, "reservoir") == 0 && q.coverage >= 0.0) {
+        coverage = coverage < 0.0 ? q.coverage : std::min(coverage, q.coverage);
+      }
+    }
+    metrics_.quality_sum_ci95->Set(sum_ci);
+    metrics_.quality_threshold_z->Set(z);
+    metrics_.quality_freq_error_bound->Set(freq);
+    metrics_.quality_distinct_rel_error->Set(distinct_rel);
+    if (coverage >= 0.0) metrics_.quality_coverage->Set(coverage);
+    metrics_.quality_shed_p_min->Set(rep.shed_p_min);
+  }
+
+  quality_ring_->Push(std::move(rep));
 }
 
 Status SamplingOperator::FinishStream() {

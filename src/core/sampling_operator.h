@@ -25,6 +25,7 @@
 #include "common/status.h"
 #include "core/superagg.h"
 #include "obs/metrics.h"
+#include "obs/quality.h"
 #include "obs/trace_ring.h"
 #include "expr/aggregate.h"
 #include "expr/expr.h"
@@ -134,6 +135,14 @@ class SamplingOperator {
   /// Redirects trace events (default: the process-wide obs::TraceRing).
   void set_trace_ring(obs::TraceRing* ring) { trace_ring_ = ring; }
 
+  /// Targets per-window quality reports at `ring`, labeled with
+  /// `node_name`. Default: the process-wide obs::QualityRing (reports are
+  /// only built while the target ring is enabled; see obs/quality.h).
+  void set_quality(obs::QualityRing* ring, std::string node_name) {
+    if (ring != nullptr) quality_ring_ = ring;
+    quality_node_ = std::move(node_name);
+  }
+
   /// Number of live groups / supergroups (introspection for tests).
   size_t num_groups() const { return groups_.size(); }
   size_t num_supergroups() const { return new_supergroups_.size(); }
@@ -180,6 +189,11 @@ class SamplingOperator {
   // Window boundary: HAVING + SELECT per group, stats, table swap.
   Status FlushWindow();
 
+  // Builds the WindowQualityReport for the window just closed (stats
+  // already pushed, tables not yet swapped — supergroup states and group
+  // membership are still live) and pushes it into quality_ring_.
+  void RecordWindowQuality();
+
   void DestroySupergroupStates(SupergroupTable& table);
 
   std::shared_ptr<const SamplingQueryPlan> plan_;
@@ -224,6 +238,14 @@ class SamplingOperator {
   // alone blow the <=2% overhead budget.
   obs::OperatorMetrics metrics_;
   obs::TraceRing* trace_ring_ = &obs::TraceRing::Default();
+  // Per-window sample-quality reporting (obs/quality.h). live_max_weight_
+  // tracks the largest Horvitz–Thompson weight of the open window — one
+  // double compare per tuple; the report itself is window-boundary work
+  // gated on quality_ring_->enabled().
+  obs::QualityRing* quality_ring_ = &obs::QualityRing::Default();
+  std::string quality_node_ = "operator";
+  uint64_t quality_seq_ = 0;
+  double live_max_weight_ = 1.0;
   uint32_t admission_sample_tick_ = 0;
   uint64_t pending_tuples_ = 0;
   uint64_t pending_admitted_ = 0;

@@ -1,5 +1,7 @@
 #include "core/sfun_distinct.h"
 
+#include <algorithm>
+#include <cmath>
 #include <new>
 
 #include "expr/stateful.h"
@@ -71,6 +73,29 @@ Value DsLevel(void* state, const Value* /*args*/, size_t /*nargs*/) {
   return Value::UInt(s->level);
 }
 
+// SfunStateDef::quality: the live groups are the distinct values whose
+// hash survives the current level, each standing in for 2^level values, so
+// the distinct count estimate is live·2^level. Gibbons-style distinct
+// sampling with k retained values has relative error ~1/√k; the variance
+// of the HT estimate is bounded by estimate·(2^level − 1).
+bool DistinctQuality(const void* state, const obs::QualityContext& ctx,
+                     obs::EstimatorQuality* out) {
+  const auto* s = static_cast<const DistinctSfunState*>(state);
+  if (s->capacity == 0) return false;  // dssample never called
+  const double scale = static_cast<double>(uint64_t{1} << s->level);
+  out->kind = "distinct";
+  out->display = "distinct_sampling_state";
+  out->samples = ctx.live_groups;
+  out->target = s->capacity;
+  out->has_estimate = true;
+  out->estimate = static_cast<double>(ctx.live_groups) * scale;
+  out->variance = out->estimate * (scale - 1.0);
+  out->ci95 = 1.96 * std::sqrt(out->variance);
+  out->rel_error =
+      1.0 / std::sqrt(static_cast<double>(std::max<uint64_t>(1, ctx.live_groups)));
+  return true;
+}
+
 }  // namespace
 
 Status RegisterDistinctSfunPackage() {
@@ -81,6 +106,7 @@ Status RegisterDistinctSfunPackage() {
   state.size = sizeof(DistinctSfunState);
   state.init = DistinctStateInit;
   state.destroy = DistinctStateDestroy;
+  state.quality = DistinctQuality;
   STREAMOP_RETURN_NOT_OK(reg.RegisterState(state));
   const SfunStateDef* sd = reg.FindState(state.name);
 

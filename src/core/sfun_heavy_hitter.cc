@@ -38,6 +38,25 @@ Value CurrentBucket(void* state, const Value* /*args*/, size_t /*nargs*/) {
   return Value::UInt(s->current_bucket);
 }
 
+// SfunStateDef::quality: lossy counting (Manku-Motwani) with bucket width
+// w undercounts any frequency by at most the number of completed buckets,
+// i.e. current_bucket − 1 ≈ ε·N for ε = 1/w. That deterministic bound is
+// the whole error story — no variance, no CI.
+bool HeavyHitterQuality(const void* state, const obs::QualityContext& ctx,
+                        obs::EstimatorQuality* out) {
+  const auto* s = static_cast<const HeavyHitterSfunState*>(state);
+  if (s->tuples_seen == 0) return false;
+  out->kind = "lossy_counting";
+  out->display = "heavy_hitter_state";
+  out->samples = ctx.live_groups;
+  out->deterministic_bound =
+      s->current_bucket > 0 ? static_cast<double>(s->current_bucket - 1) : 0.0;
+  out->ci95 = out->deterministic_bound;
+  out->rel_error = out->deterministic_bound /
+                   static_cast<double>(s->tuples_seen);  // effective epsilon
+  return true;
+}
+
 }  // namespace
 
 Status RegisterHeavyHitterSfunPackage() {
@@ -48,6 +67,7 @@ Status RegisterHeavyHitterSfunPackage() {
   state.size = sizeof(HeavyHitterSfunState);
   state.init = HeavyHitterStateInit;
   state.destroy = HeavyHitterStateDestroy;
+  state.quality = HeavyHitterQuality;
   STREAMOP_RETURN_NOT_OK(reg.RegisterState(state));
   const SfunStateDef* sd = reg.FindState(state.name);
 

@@ -1,5 +1,7 @@
 #include "core/sfun_reservoir.h"
 
+#include <algorithm>
+#include <cmath>
 #include <new>
 
 #include "expr/stateful.h"
@@ -115,6 +117,32 @@ Value RsCleanings(void* state, const Value* /*args*/, size_t /*nargs*/) {
   return Value::UInt(s->cleanings_this_window);
 }
 
+// SfunStateDef::quality: a size-n uniform sample of an N-record window
+// covers min(1, n/N) of it, and proportion estimates off the sample have
+// worst-case relative half-width ~1/√n. The skip-scheme control knows N
+// exactly; the Bernoulli-backoff variant admits at probability admit_p,
+// which *is* its expected coverage.
+bool ReservoirQuality(const void* state, const obs::QualityContext& ctx,
+                      obs::EstimatorQuality* out) {
+  const auto* s = static_cast<const ReservoirSfunState*>(state);
+  if (s->n == 0) return false;  // rsample never called
+  out->kind = "reservoir";
+  out->display = "reservoir_sampling_state";
+  out->target = s->n;
+  out->samples = std::min<uint64_t>(s->n, ctx.live_groups);
+  if (s->mode == ReservoirSfunMode::kBernoulliBackoff) {
+    out->coverage = std::min(1.0, s->admit_p);
+  } else {
+    uint64_t seen = s->control.records_seen();
+    out->coverage =
+        seen == 0 ? 1.0
+                  : std::min(1.0, static_cast<double>(s->n) /
+                                      static_cast<double>(seen));
+  }
+  out->rel_error = 1.0 / std::sqrt(static_cast<double>(s->n));
+  return true;
+}
+
 }  // namespace
 
 Status RegisterReservoirSfunPackage() {
@@ -127,6 +155,7 @@ Status RegisterReservoirSfunPackage() {
   state.size = sizeof(ReservoirSfunState);
   state.init = ReservoirStateInit;
   state.destroy = ReservoirStateDestroy;
+  state.quality = ReservoirQuality;
   STREAMOP_RETURN_NOT_OK(reg.RegisterState(state));
   const SfunStateDef* sd = reg.FindState(state.name);
 

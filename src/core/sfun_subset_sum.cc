@@ -1,5 +1,6 @@
 #include "core/sfun_subset_sum.h"
 
+#include <cmath>
 #include <new>
 
 #include "common/hash.h"
@@ -204,6 +205,35 @@ Value SsCleanings(void* state, const Value* /*args*/, size_t /*nargs*/) {
   return Value::UInt(s->cleanings_this_window);
 }
 
+// SfunStateDef::quality: accuracy of the threshold sampler at window
+// close. Counter mode (§4.4): every group's reported weight deviates from
+// its true weight by less than the final threshold z — z is the window's
+// deterministic error bound. Probabilistic (DLT) mode: a small item of
+// weight x is admitted with p = x/z, so its HT-estimate variance is
+// x(z−x) ≤ z²/4; with `samples − large` small items retained, the
+// subset-sum variance is bounded by (samples − large)·z²/4.
+bool SubsetSumQuality(const void* state, const obs::QualityContext& /*ctx*/,
+                      obs::EstimatorQuality* out) {
+  const auto* s = static_cast<const SubsetSumSfunState*>(state);
+  if (s->target == 0) return false;  // never configured: nothing sampled
+  out->kind = "subset_sum";
+  out->display = "subsetsum_sampling_state";
+  out->threshold_z = s->admit.z();
+  out->samples = s->admitted_this_window;
+  out->target = s->target;
+  if (s->mode == ThresholdMode::kCounter) {
+    out->deterministic_bound = out->threshold_z;
+  } else {
+    uint64_t small = s->admitted_this_window > s->large_count
+                         ? s->admitted_this_window - s->large_count
+                         : 0;
+    out->variance = static_cast<double>(small) * out->threshold_z *
+                    out->threshold_z / 4.0;
+  }
+  out->ci95 = 1.96 * std::sqrt(out->variance) + out->deterministic_bound;
+  return true;
+}
+
 }  // namespace
 
 Status RegisterSubsetSumSfunPackage() {
@@ -217,6 +247,7 @@ Status RegisterSubsetSumSfunPackage() {
   state.init = SubsetSumStateInit;
   state.destroy = SubsetSumStateDestroy;
   state.window_final = nullptr;
+  state.quality = SubsetSumQuality;
   STREAMOP_RETURN_NOT_OK(reg.RegisterState(state));
   const SfunStateDef* sd = reg.FindState(state.name);
 

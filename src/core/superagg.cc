@@ -39,10 +39,17 @@ void SuperAggState::OnTuple(const Value& v, double weight) {
   switch (spec_->kind) {
     case SuperAggKind::kSum:
       acc_.Update(v, weight);
+      // HT variance estimator term w(w−1)x² = x²(1−p)/p² — zero for
+      // unshed tuples, so the unweighted hot path pays one branch.
+      if (weight != 1.0) {
+        const double x = v.AsDouble();
+        ht_var_ += weight * (weight - 1.0) * x * x;
+      }
       break;
     case SuperAggKind::kCount:
       ++tuple_count_;
       weighted_count_ += weight;
+      if (weight != 1.0) ht_var_ += weight * (weight - 1.0);
       break;
     case SuperAggKind::kFirst:
       if (!has_first_) {

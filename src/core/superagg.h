@@ -75,6 +75,17 @@ class SuperAggState {
   /// everything while the sample is still filling.
   Value Final() const;
 
+  /// Horvitz–Thompson variance estimate of Final() for sum$/count$ under
+  /// Bernoulli admission (load shedding): each tuple admitted with weight
+  /// w = 1/p contributes w(w−1)x², the classic unbiased estimator — zero
+  /// when no tuple was shed. Conservative across group removals (removed
+  /// groups' contributions are kept; variance never shrinks).
+  double ht_variance() const { return ht_var_; }
+
+  /// Live sample size behind kth_smallest$/kth_largest$ (KMV quality).
+  uint64_t tracked_values() const { return values_.size(); }
+  bool weighted() const { return weighted_; }
+
   const SuperAggSpec* spec() const { return spec_; }
 
  private:
@@ -85,6 +96,7 @@ class SuperAggState {
   // count$ Horvitz–Thompson state: weighted_count_ tracks sum(1/p_i) and
   // becomes authoritative once any tuple arrived with weight != 1.0.
   double weighted_count_ = 0.0;
+  double ht_var_ = 0.0;
   bool weighted_ = false;
   Value first_;
   bool has_first_ = false;

@@ -11,6 +11,7 @@ QueryNode::QueryNode(std::string name, const CompiledQuery& query,
   if (query.kind == CompiledQueryKind::kSampling) {
     sampling_ = std::make_unique<SamplingOperator>(query.sampling);
     sampling_->set_metrics(obs::OperatorMetrics::Create(reg, name_));
+    sampling_->set_quality(nullptr, name_);  // default ring, node-labeled
   } else {
     selection_ = std::make_unique<SelectionOperator>(query.selection);
   }

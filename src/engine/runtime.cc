@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <thread>
 
 #include "obs/metrics.h"
@@ -24,6 +25,20 @@ constexpr uint16_t kMinPacketLen = 20;
 constexpr int kBackoffYields = 32;
 constexpr uint64_t kBackoffMinSleepNs = 1000;     // 1 us
 constexpr uint64_t kBackoffMaxSleepNs = 1000000;  // 1 ms
+
+// Marks the runtime as running for the duration of a Run/RunThreaded call
+// (exception- and early-return-safe), so /healthz can tell an in-flight
+// run from a completed one.
+class RunningGuard {
+ public:
+  explicit RunningGuard(std::atomic<bool>& flag) : flag_(flag) {
+    flag_.store(true, std::memory_order_relaxed);
+  }
+  ~RunningGuard() { flag_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool>& flag_;
+};
 
 NodeReport MakeReport(const QueryNode& node, double stream_seconds) {
   NodeReport r;
@@ -49,14 +64,84 @@ TwoLevelRuntime::TwoLevelRuntime(const CompiledQuery& low,
   producer_retries_ =
       reg.GetCounter("streamop_runtime_producer_retries_total");
   packets_dropped_ = reg.GetCounter("streamop_runtime_packets_dropped_total");
+  shed_fraction_gauge_ = reg.GetGauge("streamop_runtime_shed_fraction");
+  shed_p_min_gauge_ = reg.GetGauge("streamop_runtime_shed_p_min");
+  shed_p_max_gauge_ = reg.GetGauge("streamop_runtime_shed_p_max");
+  late_tuples_gauge_ = reg.GetGauge("streamop_runtime_late_tuples");
+  packets_malformed_gauge_ =
+      reg.GetGauge("streamop_runtime_packets_malformed");
+  watchdog_fired_gauge_ = reg.GetGauge("streamop_runtime_watchdog_fired");
   low_ = std::make_unique<QueryNode>("low", low, &reg);
   for (size_t i = 0; i < high.size(); ++i) {
     high_.push_back(std::make_unique<QueryNode>("high" + std::to_string(i),
                                                 high[i], &reg));
   }
+
+  if (options_.http_port >= 0) {
+    obs::HttpServerOptions http;
+    http.port = static_cast<uint16_t>(options_.http_port);
+    http.registry = &reg;
+    http.health_json = [this] { return HealthJson(); };
+    http.healthy = [this] { return healthy(); };
+    http_server_ = std::make_unique<obs::HttpServer>(std::move(http));
+    http_status_ = http_server_->Start();
+    if (!http_status_.ok()) http_server_.reset();
+  }
+}
+
+void TwoLevelRuntime::PublishReport(const RunReport& report) {
+  {
+    std::lock_guard<std::mutex> lock(report_mu_);
+    last_report_ = report;
+  }
+  shed_fraction_gauge_->Set(report.shed_fraction);
+  shed_p_min_gauge_->Set(report.shed_p_min);
+  shed_p_max_gauge_->Set(report.shed_p_max);
+  late_tuples_gauge_->Set(static_cast<double>(report.late_tuples));
+  packets_malformed_gauge_->Set(
+      static_cast<double>(report.packets_malformed));
+  watchdog_fired_gauge_->Set(report.watchdog_fired ? 1.0 : 0.0);
+}
+
+bool TwoLevelRuntime::healthy() const {
+  std::lock_guard<std::mutex> lock(report_mu_);
+  return !last_report_.watchdog_fired;
+}
+
+std::string TwoLevelRuntime::HealthJson() const {
+  RunReport r;
+  {
+    std::lock_guard<std::mutex> lock(report_mu_);
+    r = last_report_;
+  }
+  const bool is_running = running_.load(std::memory_order_relaxed);
+  const char* status = r.watchdog_fired
+                           ? "watchdog_fired"
+                           : is_running ? "running"
+                                        : (r.shedding_enabled &&
+                                           r.shed_fraction > 0.0)
+                                              ? "degraded"
+                                              : "ok";
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"status\": \"%s\", \"running\": %s, \"watchdog_fired\": %s, "
+      "\"shedding_enabled\": %s, \"shed_fraction\": %.6f, "
+      "\"shed_p_min\": %.6f, \"shed_p_max\": %.6f, "
+      "\"tuples_shed\": %llu, \"late_tuples\": %llu, "
+      "\"packets_malformed\": %llu, \"packets\": %llu}\n",
+      status, is_running ? "true" : "false",
+      r.watchdog_fired ? "true" : "false",
+      r.shedding_enabled ? "true" : "false", r.shed_fraction, r.shed_p_min,
+      r.shed_p_max, static_cast<unsigned long long>(r.tuples_shed),
+      static_cast<unsigned long long>(r.late_tuples),
+      static_cast<unsigned long long>(r.packets_malformed),
+      static_cast<unsigned long long>(r.packets));
+  return buf;
 }
 
 Result<RunReport> TwoLevelRuntime::Run(const Trace& trace) {
+  RunningGuard running(running_);
   RingBuffer<const PacketRecord*> ring(options_.ring_capacity);
   ring.AttachMetrics(&ring_metrics_);
   const std::vector<PacketRecord>& packets = trace.packets();
@@ -139,11 +224,12 @@ Result<RunReport> TwoLevelRuntime::Run(const Trace& trace) {
     report.late_tuples += node->late_tuples();
     report.high.push_back(MakeReport(*node, report.stream_seconds));
   }
-  last_report_ = report;
+  PublishReport(report);
   return report;
 }
 
 Result<RunReport> TwoLevelRuntime::RunThreaded(const Trace& trace) {
+  RunningGuard running(running_);
   RingBuffer<const PacketRecord*> ring(options_.ring_capacity);
   ring.AttachMetrics(&ring_metrics_);
   const std::vector<PacketRecord>& packets = trace.packets();
@@ -370,7 +456,7 @@ Result<RunReport> TwoLevelRuntime::RunThreaded(const Trace& trace) {
     report.late_tuples += node->late_tuples();
     report.high.push_back(MakeReport(*node, report.stream_seconds));
   }
-  last_report_ = report;
+  PublishReport(report);
 
   if (watchdog_fired) {
     return Status::ResourceExhausted(

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "engine/load_shed.h"
 #include "engine/query_node.h"
 #include "net/trace_generator.h"
+#include "obs/http_server.h"
 #include "obs/metrics.h"
 #include "query/analyzer.h"
 #include "stream/ring_buffer.h"
@@ -103,6 +105,13 @@ struct RuntimeOptions {
   /// cooperative stalls here (stream/fault_injection.h); the hook MUST
   /// return promptly once the abort flag is set.
   std::function<void(uint64_t, const std::atomic<bool>&)> consumer_stall_hook;
+
+  /// Embedded introspection server (obs/http_server.h): -1 disables it,
+  /// 0 binds an ephemeral port (read back via http_server()->port()), any
+  /// other value binds that port on loopback. The server starts with the
+  /// runtime, serves /metrics, /metrics.json, /traces, /windows and
+  /// /healthz while runs execute, and stops with the runtime's destructor.
+  int http_port = -1;
 };
 
 /// One low-level query feeding any number of high-level queries.
@@ -135,17 +144,52 @@ class TwoLevelRuntime {
 
   /// Report of the most recent run, including runs that returned an error
   /// Status — the degradation summary (shed fraction, late tuples, watchdog
-  /// verdict) survives an aborted run for post-mortems.
+  /// verdict) survives an aborted run for post-mortems. Call from the
+  /// driving thread only; concurrent readers (the /healthz endpoint) go
+  /// through HealthJson(), which copies under the report mutex.
   const RunReport& last_report() const { return last_report_; }
 
+  /// The embedded introspection server, or nullptr when http_port < 0 or
+  /// startup failed (see http_status()).
+  obs::HttpServer* http_server() { return http_server_.get(); }
+  const Status& http_status() const { return http_status_; }
+
+  /// True while Run()/RunThreaded() is executing.
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+
+  /// /healthz body: run state + the degradation summary of the most recent
+  /// (or in-flight) run as JSON. Thread-safe.
+  std::string HealthJson() const;
+
+  /// /healthz verdict: false once a run was terminated by the watchdog.
+  bool healthy() const;
+
  private:
+  // Publishes the report to last_report_ (under the mutex, for /healthz
+  // readers) and refreshes the degradation gauges in the registry.
+  void PublishReport(const RunReport& report);
+
   Options options_;
   RunReport last_report_;
+  mutable std::mutex report_mu_;
+  std::atomic<bool> running_{false};
   std::unique_ptr<QueryNode> low_;
   std::vector<std::unique_ptr<QueryNode>> high_;
   obs::RingBufferMetrics ring_metrics_;   // outlives the per-run rings
   obs::Counter* producer_retries_ = nullptr;
   obs::Counter* packets_dropped_ = nullptr;
+  // Degradation summary as gauges (satellite of the PR 3 RunReport): what
+  // /metrics scrapes see without parsing stderr or RunReport.
+  obs::Gauge* shed_fraction_gauge_ = nullptr;
+  obs::Gauge* shed_p_min_gauge_ = nullptr;
+  obs::Gauge* shed_p_max_gauge_ = nullptr;
+  obs::Gauge* late_tuples_gauge_ = nullptr;
+  obs::Gauge* packets_malformed_gauge_ = nullptr;
+  obs::Gauge* watchdog_fired_gauge_ = nullptr;
+  Status http_status_;
+  // Declared last: destroyed first, so the serving thread (whose handlers
+  // read last_report_ through HealthJson) stops before the state it reads.
+  std::unique_ptr<obs::HttpServer> http_server_;
 };
 
 /// Single-node convenience: run one query over a trace and report stats.

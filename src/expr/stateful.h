@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/quality.h"
 #include "tuple/value.h"
 
 namespace streamop {
@@ -44,6 +45,14 @@ struct SfunStateDef {
   /// Signals that the time window has finished (the paper's final_init);
   /// may be nullptr when the state does not care.
   void (*window_final)(void* state) = nullptr;
+
+  /// Reports the sampling accuracy of this state at window close (error
+  /// bound, threshold, coverage — whatever the algorithm admits). Called
+  /// by the operator while building a WindowQualityReport, before the
+  /// window tables are swapped. Returns false when the state has nothing
+  /// to report (e.g. it never sampled); may be nullptr.
+  bool (*quality)(const void* state, const obs::QualityContext& ctx,
+                  obs::EstimatorQuality* out) = nullptr;
 };
 
 /// Declaration of one stateful function (the SFUN statement).

@@ -1,0 +1,379 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace streamop {
+namespace obs {
+
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string MakeResponse(int status, const char* reason,
+                         const char* content_type, std::string body) {
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "HTTP/1.1 %d %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n"
+                "\r\n",
+                status, reason, content_type, body.size());
+  std::string out(head);
+  out += body;
+  return out;
+}
+
+std::string NotFound() {
+  return MakeResponse(404, "Not Found", "text/plain",
+                      "not found; try /metrics /metrics.json /traces "
+                      "/windows /healthz\n");
+}
+
+std::string BadRequest() {
+  return MakeResponse(400, "Bad Request", "text/plain", "bad request\n");
+}
+
+}  // namespace
+
+HttpServer::HttpServer(HttpServerOptions options)
+    : options_(std::move(options)) {
+  if (options_.registry == nullptr) options_.registry = &MetricRegistry::Default();
+  if (options_.trace_ring == nullptr) options_.trace_ring = &TraceRing::Default();
+  if (options_.quality_ring == nullptr) {
+    options_.quality_ring = &QualityRing::Default();
+  }
+  if (options_.max_connections < 1) options_.max_connections = 1;
+  if (options_.max_request_bytes < 64) options_.max_request_bytes = 64;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::AlreadyExists("http server already running");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal("socket(): " + std::string(strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st = Status::Internal("bind(" + options_.bind_address + ":" +
+                                 std::to_string(options_.port) +
+                                 "): " + strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    Status st = Status::Internal("listen(): " + std::string(strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  // Resolve the ephemeral port before the thread starts so callers can
+  // read port() immediately after Start() returns.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  }
+  if (!SetNonBlocking(listen_fd_)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("fcntl(O_NONBLOCK) failed on listen socket");
+  }
+
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread(&HttpServer::ServeLoop, this);
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.load(std::memory_order_acquire) && !thread_.joinable()) {
+    return;
+  }
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpServer::CloseAll() {
+  for (Conn& c : conns_) {
+    if (c.fd >= 0) ::close(c.fd);
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::AcceptNew(int64_t now_ms) {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;  // EAGAIN / EWOULDBLOCK: drained
+    if (!SetNonBlocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    if (conns_.size() >=
+        static_cast<size_t>(options_.max_connections)) {
+      // Over the cap: answer 503 with a best-effort single send. The
+      // socket buffer always holds this short response, so no state
+      // machine is needed for the reject path.
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      std::string resp = MakeResponse(503, "Service Unavailable",
+                                      "text/plain", "connection limit\n");
+      (void)::send(fd, resp.data(), resp.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
+    }
+    Conn c;
+    c.fd = fd;
+    c.last_activity_ms = now_ms;
+    conns_.push_back(std::move(c));
+  }
+}
+
+std::string HttpServer::HandleRequest(std::string_view head) {
+  // Request line: METHOD SP TARGET SP VERSION CRLF ...
+  size_t eol = head.find("\r\n");
+  if (eol == std::string_view::npos) eol = head.find('\n');
+  std::string_view line =
+      eol == std::string_view::npos ? head : head.substr(0, eol);
+  size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return BadRequest();
+  size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return BadRequest();
+  std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = line.substr(sp2 + 1);
+  if (version.substr(0, 5) != "HTTP/") return BadRequest();
+  if (method != "GET" && method != "HEAD") {
+    return MakeResponse(405, "Method Not Allowed", "text/plain",
+                        "only GET is supported\n");
+  }
+  // Strip any query string; the endpoints take no parameters.
+  size_t q = target.find('?');
+  if (q != std::string_view::npos) target = target.substr(0, q);
+
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  if (target == "/metrics") {
+    return MakeResponse(200, "OK",
+                        "text/plain; version=0.0.4; charset=utf-8",
+                        options_.registry->ToPrometheus());
+  }
+  if (target == "/metrics.json") {
+    return MakeResponse(200, "OK", "application/json",
+                        options_.registry->ToJson());
+  }
+  if (target == "/traces") {
+    return MakeResponse(200, "OK", "application/json",
+                        options_.trace_ring->ToChromeTraceJson());
+  }
+  if (target == "/windows") {
+    return MakeResponse(200, "OK", "application/json",
+                        options_.quality_ring->ToJson());
+  }
+  if (target == "/healthz") {
+    bool healthy = options_.healthy ? options_.healthy() : true;
+    std::string body = options_.health_json ? options_.health_json()
+                                            : "{\"status\": \"ok\"}\n";
+    return healthy
+               ? MakeResponse(200, "OK", "application/json", std::move(body))
+               : MakeResponse(503, "Service Unavailable", "application/json",
+                              std::move(body));
+  }
+  return NotFound();
+}
+
+bool HttpServer::OnReadable(Conn& c, int64_t now_ms) {
+  char buf[2048];
+  for (;;) {
+    ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      c.last_activity_ms = now_ms;
+      c.in.append(buf, static_cast<size_t>(n));
+      if (c.in.size() > options_.max_request_bytes) {
+        c.out = BadRequest();
+        c.writing = true;
+        return true;
+      }
+      continue;
+    }
+    if (n == 0) return false;  // peer closed before a full request
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;  // hard error
+  }
+  // Serve as soon as the header block is complete; request bodies are not
+  // supported (GET only).
+  size_t end = c.in.find("\r\n\r\n");
+  if (end == std::string::npos) end = c.in.find("\n\n");
+  if (end != std::string::npos) {
+    c.out = HandleRequest(std::string_view(c.in).substr(0, end));
+    c.writing = true;
+  }
+  return true;
+}
+
+bool HttpServer::OnWritable(Conn& c) {
+  while (c.out_off < c.out.size()) {
+    ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
+                       c.out.size() - c.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return false;  // fully written: Connection: close
+}
+
+void HttpServer::ServeLoop() {
+  std::vector<pollfd> pfds;
+  while (!stop_.load(std::memory_order_acquire)) {
+    pfds.clear();
+    pfds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (const Conn& c : conns_) {
+      pfds.push_back(
+          pollfd{c.fd, static_cast<short>(c.writing ? POLLOUT : POLLIN), 0});
+    }
+    // 100ms cap keeps Stop() responsive without busy-waiting.
+    int rc = ::poll(pfds.data(), pfds.size(), 100);
+    const int64_t now_ms = NowMs();
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    // Scan the connections that were actually polled, with conns_ held
+    // stable so index i stays aligned with pfds[i + 1]; dead sockets are
+    // only marked here and compacted below. Accepting happens last —
+    // erasing or accepting mid-scan would pair conns with the wrong (or
+    // nonexistent) pollfd entries.
+    const size_t npolled = conns_.size();
+    for (size_t i = 0; i < npolled; ++i) {
+      Conn& c = conns_[i];
+      const short rev = pfds[i + 1].revents;
+      bool keep = true;
+      if (rev & (POLLERR | POLLHUP | POLLNVAL)) {
+        keep = false;
+      } else if (c.writing && (rev & POLLOUT)) {
+        keep = OnWritable(c);
+      } else if (!c.writing && (rev & POLLIN)) {
+        keep = OnReadable(c, now_ms);
+      } else if (now_ms - c.last_activity_ms > options_.idle_timeout_ms) {
+        keep = false;  // reap idle sockets so slots cannot be pinned
+      }
+      if (!keep) {
+        ::close(c.fd);
+        c.fd = -1;
+      }
+    }
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const Conn& c) { return c.fd < 0; }),
+                 conns_.end());
+
+    if (pfds[0].revents & POLLIN) AcceptNew(now_ms);
+  }
+  CloseAll();
+}
+
+Result<std::string> HttpGet(uint16_t port, const std::string& path,
+                            int timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal("socket(): " + std::string(strerror(errno)));
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Status::Internal("connect(127.0.0.1:" + std::to_string(port) +
+                                 "): " + strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  std::string req = "GET " + path +
+                    " HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n";
+  size_t off = 0;
+  while (off < req.size()) {
+    ssize_t n = ::send(fd, req.data() + off, req.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      ::close(fd);
+      return Status::IOError("send() failed");
+    }
+    off += static_cast<size_t>(n);
+  }
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      resp.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      ::close(fd);
+      return Status::IOError("recv() timed out or failed");
+    }
+    break;  // EOF
+  }
+  ::close(fd);
+  if (resp.empty()) return Status::IOError("empty response");
+  return resp;
+}
+
+}  // namespace obs
+}  // namespace streamop

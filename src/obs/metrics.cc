@@ -198,12 +198,14 @@ std::string MetricRegistry::ToPrometheus() const {
   std::string out;
   for (const std::string& family : families) {
     const char* type = nullptr;
+    bool histogram_family = false;
     for (const Entry& e : entries_) {
       if (e.name != family) continue;
       if (type == nullptr) {
         type = e.kind == Kind::kCounter
                    ? "counter"
                    : e.kind == Kind::kGauge ? "gauge" : "histogram";
+        histogram_family = e.kind == Kind::kHistogram;
         out += "# TYPE " + family + " " + type + "\n";
       }
       const std::string label_block =
@@ -244,6 +246,26 @@ std::string MetricRegistry::ToPrometheus() const {
           out += "\n";
           break;
         }
+      }
+    }
+    if (!histogram_family) continue;
+    // Pre-computed quantiles as companion gauge families (family_p50 /
+    // family_p90 / family_p99): Prometheus cannot derive accurate
+    // percentiles from log-linear buckets server-side, and the JSON export
+    // already carries these (keep the two exports in parity).
+    static constexpr struct {
+      const char* suffix;
+      double q;
+    } kQuantiles[] = {{"_p50", 0.50}, {"_p90", 0.90}, {"_p99", 0.99}};
+    for (const auto& quant : kQuantiles) {
+      out += "# TYPE " + family + quant.suffix + " gauge\n";
+      for (const Entry& e : entries_) {
+        if (e.name != family || e.kind != Kind::kHistogram) continue;
+        const std::string label_block =
+            e.labels.empty() ? "" : "{" + e.labels + "}";
+        out += family + quant.suffix + label_block + " ";
+        AppendUInt(&out, e.histogram->ValueAtQuantile(quant.q));
+        out += "\n";
       }
     }
   }
@@ -299,6 +321,15 @@ OperatorMetrics OperatorMetrics::Create(MetricRegistry& reg,
   m.group_table_load_factor =
       reg.GetGauge("streamop_operator_group_table_load_factor", labels);
   m.peak_groups = reg.GetGauge("streamop_operator_peak_groups", labels);
+  m.quality_sum_ci95 = reg.GetGauge("streamop_quality_sum_ci95", labels);
+  m.quality_threshold_z =
+      reg.GetGauge("streamop_quality_threshold_z", labels);
+  m.quality_freq_error_bound =
+      reg.GetGauge("streamop_quality_freq_error_bound", labels);
+  m.quality_distinct_rel_error =
+      reg.GetGauge("streamop_quality_distinct_rel_error", labels);
+  m.quality_coverage = reg.GetGauge("streamop_quality_coverage", labels);
+  m.quality_shed_p_min = reg.GetGauge("streamop_quality_shed_p_min", labels);
   return m;
 }
 

@@ -259,6 +259,17 @@ struct OperatorMetrics {
   Gauge* group_table_load_factor = nullptr;  // at window close
   Gauge* peak_groups = nullptr;              // high-water mark of live groups
 
+  // Sample-quality gauges, refreshed once per window flush from the
+  // WindowQualityReport (the per-window history lives in the QualityRing;
+  // these expose the latest window to /metrics scrapes). Worst case across
+  // the window's supergroups is reported.
+  Gauge* quality_sum_ci95 = nullptr;          // widest sum$ 95% CI half-width
+  Gauge* quality_threshold_z = nullptr;       // largest subset-sum threshold
+  Gauge* quality_freq_error_bound = nullptr;  // lossy counting eps*N bound
+  Gauge* quality_distinct_rel_error = nullptr;  // KMV/distinct ~1/sqrt(k)
+  Gauge* quality_coverage = nullptr;          // smallest reservoir coverage
+  Gauge* quality_shed_p_min = nullptr;        // worst admission probability
+
   bool enabled() const { return kStatsEnabled && tuples != nullptr; }
   static OperatorMetrics Create(MetricRegistry& reg,
                                 const std::string& node_name);

@@ -1,0 +1,152 @@
+#include "obs/quality.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace streamop {
+namespace obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 4);
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void AppendDouble(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan; clamp to null so consumers keep parsing.
+    out->append("null");
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void AppendUInt(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+void AppendEstimator(std::string* out, const EstimatorQuality& q) {
+  *out += "{\"kind\": \"";
+  *out += q.kind;
+  *out += "\", \"display\": \"" + JsonEscape(q.display) + "\"";
+  *out += ", \"supergroup\": ";
+  AppendUInt(out, q.supergroup);
+  if (q.has_estimate) {
+    *out += ", \"estimate\": ";
+    AppendDouble(out, q.estimate);
+  }
+  *out += ", \"variance\": ";
+  AppendDouble(out, q.variance);
+  *out += ", \"ci95\": ";
+  AppendDouble(out, q.ci95);
+  *out += ", \"deterministic_bound\": ";
+  AppendDouble(out, q.deterministic_bound);
+  *out += ", \"rel_error\": ";
+  AppendDouble(out, q.rel_error);
+  if (q.coverage >= 0.0) {
+    *out += ", \"coverage\": ";
+    AppendDouble(out, q.coverage);
+  }
+  if (q.threshold_z > 0.0) {
+    *out += ", \"threshold_z\": ";
+    AppendDouble(out, q.threshold_z);
+  }
+  *out += ", \"samples\": ";
+  AppendUInt(out, q.samples);
+  if (q.target > 0) {
+    *out += ", \"target\": ";
+    AppendUInt(out, q.target);
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string WindowQualityReportToJson(const WindowQualityReport& r) {
+  std::string out;
+  out.reserve(256 + r.estimators.size() * 160);
+  out += "{\"node\": \"" + JsonEscape(r.node) + "\"";
+  out += ", \"seq\": ";
+  AppendUInt(&out, r.seq);
+  out += ", \"window_id\": \"" + JsonEscape(r.window_id) + "\"";
+  out += ", \"tuples_in\": ";
+  AppendUInt(&out, r.tuples_in);
+  out += ", \"tuples_admitted\": ";
+  AppendUInt(&out, r.tuples_admitted);
+  out += ", \"groups_output\": ";
+  AppendUInt(&out, r.groups_output);
+  out += ", \"supergroups\": ";
+  AppendUInt(&out, r.supergroups);
+  out += ", \"truncated\": ";
+  out += r.truncated ? "true" : "false";
+  out += ", \"max_weight\": ";
+  AppendDouble(&out, r.max_weight);
+  out += ", \"shed_p_min\": ";
+  AppendDouble(&out, r.shed_p_min);
+  out += ", \"estimators\": [";
+  bool first = true;
+  for (const EstimatorQuality& q : r.estimators) {
+    if (!first) out += ", ";
+    first = false;
+    AppendEstimator(&out, q);
+  }
+  out += "]}";
+  return out;
+}
+
+QualityRing& QualityRing::Default() {
+  static QualityRing* ring = new QualityRing();
+  return *ring;
+}
+
+QualityRing::QualityRing(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void QualityRing::Push(WindowQualityReport&& report) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (reports_.size() >= capacity_) reports_.pop_front();
+  reports_.push_back(std::move(report));
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<WindowQualityReport> QualityRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<WindowQualityReport>(reports_.begin(), reports_.end());
+}
+
+size_t QualityRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reports_.size();
+}
+
+std::string QualityRing::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"capacity\": ";
+  AppendUInt(&out, capacity_);
+  out += ", \"recorded\": ";
+  AppendUInt(&out, recorded_.load(std::memory_order_relaxed));
+  out += ", \"reports\": [";
+  bool first = true;
+  for (const WindowQualityReport& r : reports_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n ";
+    out += WindowQualityReportToJson(r);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace streamop

@@ -5,10 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/runtime.h"
@@ -274,6 +276,21 @@ TEST(TraceRingTest, OverwritesOldestWhenFull) {
   EXPECT_EQ(events.back().ts_ns, 109u);
 }
 
+TEST(TraceRingTest, MultipleWraparoundsRetainNewestCapacityEvents) {
+  // Wrap the ring many times over: exactly the newest `capacity` events
+  // survive, in timestamp order, with the total recorded count intact.
+  TraceRing ring(8);
+  ring.set_enabled(true);
+  constexpr uint64_t kEvents = 1000;  // 125 full wraps
+  for (uint64_t i = 0; i < kEvents; ++i) ring.Record("e", i, 1);
+  EXPECT_EQ(ring.events_recorded(), kEvents);
+  std::vector<TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].ts_ns, kEvents - 8 + i) << "slot " << i;
+  }
+}
+
 TEST(TraceRingTest, ChromeTraceJsonShape) {
   TraceRing ring(16);
   ring.set_enabled(true);
@@ -285,6 +302,69 @@ TEST(TraceRingTest, ChromeTraceJsonShape) {
   EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"z\": 42"), std::string::npos) << json;
+}
+
+// ---------- concurrency (exercised under TSan in CI) ----------
+
+TEST(ObsConcurrencyTest, ConcurrentMetricRecordingAndExport) {
+  // Producers hammer counters, gauges and histograms while readers export
+  // snapshots: no torn reads, no lost counts, no data races.
+  MetricRegistry reg;
+  Counter* c = reg.GetCounter("streamop_conc_total");
+  Gauge* g = reg.GetGauge("streamop_conc_gauge");
+  Histogram* h = reg.GetHistogram("streamop_conc_ns");
+  constexpr int kProducers = 4;
+  constexpr int kIters = 20000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)reg.ToJson();
+      (void)reg.ToPrometheus();
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kIters; ++i) {
+        c->Add();
+        g->Set(static_cast<double>(i));
+        h->Record(static_cast<uint64_t>(p * kIters + i));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(c->value(), static_cast<uint64_t>(kProducers) * kIters);
+  EXPECT_EQ(h->count(), static_cast<uint64_t>(kProducers) * kIters);
+}
+
+TEST(ObsConcurrencyTest, ConcurrentTraceRecordingAndSnapshots) {
+  TraceRing ring(128);
+  ring.set_enabled(true);
+  constexpr int kProducers = 4;
+  constexpr int kIters = 5000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)ring.Snapshot();
+      (void)ring.ToChromeTraceJson();
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kIters; ++i) {
+        ring.Record("e", static_cast<uint64_t>(p) * kIters + i, 1);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(ring.events_recorded(),
+            static_cast<uint64_t>(kProducers) * kIters);
+  EXPECT_EQ(ring.Snapshot().size(), 128u);
 }
 
 // ---------- ring buffer instrumentation ----------
