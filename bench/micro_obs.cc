@@ -117,6 +117,14 @@ constexpr char kAggregationSql[] =
     "SELECT tb, srcIP, destIP, sum(len), count(*) FROM PKTS "
     "GROUP BY time/20 as tb, srcIP, destIP";
 
+// The A/B pair drives the operator the way the runtime does since the
+// batched hot path landed (DESIGN.md §9): prebuilt 512-row TupleBatches
+// through ProcessBatch. Instrumentation on this path is amortized per
+// batch — one pending-counter flush and one admission-latency record per
+// 512 tuples — so the ratio is the overhead of exactly what production
+// pays. Items are scaled ×512 to stay a tuples/s rate.
+constexpr size_t kObsBatchRows = 512;
+
 void RunSteadyState(benchmark::State& state, bool instrumented) {
   Catalog catalog = Catalog::Default();
   Result<CompiledQuery> cq =
@@ -139,19 +147,34 @@ void RunSteadyState(benchmark::State& state, bool instrumented) {
       return;
     }
   }
-  size_t i = 0;
-  for (auto _ : state) {
-    Status s = op.Process(tuples[i]);
+  std::vector<TupleBatch> batches;
+  for (size_t i = 0; i < tuples.size(); i += kObsBatchRows) {
+    batches.emplace_back(tuples.front().size(), kObsBatchRows);
+    for (size_t j = i; j < i + kObsBatchRows; ++j) {
+      batches.back().AppendTuple(tuples[j]);
+    }
+  }
+  for (const TupleBatch& b : batches) {
+    Status s = op.ProcessBatch(b);  // columnar scratch reaches capacity
     if (!s.ok()) {
       state.SkipWithError(s.ToString().c_str());
       return;
     }
-    i = (i + 1) & 4095;
   }
-  state.SetItemsProcessed(state.iterations());
+  size_t i = 0;
+  for (auto _ : state) {
+    Status s = op.ProcessBatch(batches[i]);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    i = (i + 1) & (batches.size() - 1);
+  }
+  const double total = static_cast<double>(state.iterations()) *
+                       static_cast<double>(kObsBatchRows);
+  state.SetItemsProcessed(static_cast<int64_t>(total));
   state.counters["tuples_per_sec"] =
-      benchmark::Counter(static_cast<double>(state.iterations()),
-                         benchmark::Counter::kIsRate);
+      benchmark::Counter(total, benchmark::Counter::kIsRate);
 }
 
 // Baseline: metrics bundle detached — every record site short-circuits on
@@ -159,15 +182,17 @@ void RunSteadyState(benchmark::State& state, bool instrumented) {
 void BM_SteadyStateUninstrumented(benchmark::State& state) {
   RunSteadyState(state, /*instrumented=*/false);
 }
-BENCHMARK(BM_SteadyStateUninstrumented);
+// Longer window than the suite default: the A/B overhead ratio feeds the
+// <=1.02 budget check and needs sub-percent timing stability.
+BENCHMARK(BM_SteadyStateUninstrumented)->MinTime(2.0);
 
-// Full instrumentation: per-tuple counters, sampled (1/256) admission
-// timing, gauges at group creation. The ratio vs the benchmark above is
-// the observability overhead (budget: <= 2%).
+// Full instrumentation: batch-amortized counter flushes, per-batch
+// admission timing, gauges at group creation. The ratio vs the benchmark
+// above is the observability overhead (budget: <= 2%).
 void BM_SteadyStateInstrumented(benchmark::State& state) {
   RunSteadyState(state, /*instrumented=*/true);
 }
-BENCHMARK(BM_SteadyStateInstrumented);
+BENCHMARK(BM_SteadyStateInstrumented)->MinTime(2.0);
 
 // ---------- windowed steady state: quality reports + live HTTP scrapes ----
 

@@ -16,11 +16,20 @@
 #     "metrics_snapshot": { ... },                 # registry JSON from a CLI run
 #     "baseline":   { "<name>": {...} },           # when BENCH_BASELINE is set
 #     "speedup":    { "<name>": <x faster> },      # optimized vs baseline
+#     "regression": { "<name>": { "previous_items_per_second": ...,
+#                                 "items_per_second": ..., "change": ... } },
 #     "raw": { "micro_operator": <google-benchmark JSON>, ... }
 #   }
 #
 # Set BENCH_BASELINE to a google-benchmark JSON file from a pre-change build
 # to embed a before/after comparison.
+#
+# If the output JSON already exists (the committed BENCH_operator.json from
+# the previous PR), a regression table against it is printed and embedded:
+# every benchmark present in both runs is compared on items_per_second, and
+# any drop greater than 10% is flagged with a WARNING. Warnings do not fail
+# the script — renamed drivers and host variance need a human eye — but
+# they make an accidental slowdown impossible to miss.
 #
 # Any missing benchmark binary, benchmark crash, unparsable benchmark JSON
 # or failing CLI run aborts the script with a non-zero exit code — a silent
@@ -47,10 +56,12 @@ for exe in "${BENCHES[@]}"; do
   bin="$BUILD_DIR/bench/$exe"
   [[ -x "$bin" ]] || fail "$bin not built (cmake --build $BUILD_DIR -j)"
   echo "== $exe =="
-  # micro_obs measures a <=2% A/B delta: interleave repetitions so clock
-  # drift hits both sides equally, and compare medians.
+  # micro_obs measures a <=2% A/B delta and micro_operator carries the
+  # trajectory-gating steady-state numbers: interleave repetitions so a
+  # transient slow phase (VM steal) can't cover all reps of one benchmark,
+  # and record medians.
   extra=()
-  if [[ "$exe" == micro_obs ]]; then
+  if [[ "$exe" == micro_obs || "$exe" == micro_operator ]]; then
     extra=(--benchmark_repetitions=5 --benchmark_enable_random_interleaving=true)
   fi
   if ! "$bin" --benchmark_min_time="$MIN_TIME" \
@@ -87,20 +98,45 @@ fi
 [[ -s "$TMPDIR_BENCH/quality.json" ]] || fail "CLI produced no quality JSON"
 
 python3 - "$TMPDIR_BENCH" "$OUT" "${BENCH_BASELINE:-}" <<'EOF'
-import json, os, sys, time
+import json, os, re, sys, time
 
 tmpdir, out_path, baseline_path = sys.argv[1], sys.argv[2], sys.argv[3]
 
+# Load the previous run (the committed BENCH_operator.json) before it gets
+# overwritten, for the regression table.
+previous = {}
+if os.path.exists(out_path):
+    try:
+        with open(out_path) as f:
+            previous = json.load(f).get("benchmarks", {})
+    except (json.JSONDecodeError, OSError) as e:
+        print(f"note: could not read previous {out_path}: {e}")
+
+# Benchmarks registered with an explicit ->MinTime() get "/min_time:X"
+# appended to their reported name; strip it so recorded names stay stable
+# across min-time tuning and the regression table keys keep matching.
+def norm(name):
+    return re.sub(r"/min_time:[0-9.]+", "", name)
+
 def flatten(data):
+    # Prefer the _median aggregate when repetitions were run: the last
+    # repetition is one 0.5-2s slice of a noisy VM, the median is not.
     flat = {}
+    medians = set()
     for b in data.get("benchmarks", []):
-        if b.get("run_type") == "aggregate":
+        name = norm(b["name"])
+        is_median = b.get("run_type") == "aggregate" and name.endswith("_median")
+        if is_median:
+            name = name[: -len("_median")]
+        elif b.get("run_type") == "aggregate" or name in medians:
             continue
-        flat[b["name"]] = {
+        flat[name] = {
             "real_time_ns": b.get("real_time"),
             "cpu_time_ns": b.get("cpu_time"),
             "items_per_second": b.get("items_per_second"),
         }
+        if is_median:
+            medians.add(name)
     return flat
 
 raw = {}
@@ -121,7 +157,7 @@ result = {
 # interleaved repetitions; single runs fall back to the flat numbers.
 def median_time(data, name):
     for b in data.get("benchmarks", []):
-        if b.get("name") == f"{name}_median":
+        if norm(b.get("name", "")) == f"{name}_median":
             return b.get("real_time")
     return flat.get(name, {}).get("real_time_ns")
 
@@ -206,6 +242,26 @@ if baseline_path:
         and flat[name].get("items_per_second")
     }
 
+# Regression table vs the previous committed run: items_per_second for
+# every benchmark present in both. Drops > 10% get a WARNING line.
+regression = {}
+warned = []
+for name in sorted(previous):
+    prev_ips = (previous[name] or {}).get("items_per_second")
+    cur_ips = flat.get(name, {}).get("items_per_second")
+    if not prev_ips or not cur_ips:
+        continue
+    change = cur_ips / prev_ips - 1.0
+    regression[name] = {
+        "previous_items_per_second": prev_ips,
+        "items_per_second": cur_ips,
+        "change": round(change, 4),
+    }
+    if change < -0.10:
+        warned.append((name, change))
+if regression:
+    result["regression"] = regression
+
 result["raw"] = raw
 with open(out_path, "w") as f:
     json.dump(result, f, indent=1)
@@ -219,4 +275,15 @@ print(f"  quality: {result['quality_summary']['windows']} windows, "
       f"mean rel ci95 {result['quality_summary']['mean_rel_ci95']}")
 for name, x in sorted(result.get("speedup", {}).items()):
     print(f"  {name}: {x}x")
+if regression:
+    print(f"regression vs previous {os.path.basename(out_path)}:")
+    width = max(len(n) for n in regression)
+    for name, r in sorted(regression.items()):
+        mark = "  WARNING: >10% drop" if r["change"] < -0.10 else ""
+        print(f"  {name:<{width}}  {r['previous_items_per_second']:>14.3e}"
+              f" -> {r['items_per_second']:>14.3e}"
+              f"  {r['change']*100:+7.1f}%{mark}")
+    if warned:
+        print(f"  {len(warned)} benchmark(s) regressed more than 10% — "
+              "investigate before committing this JSON")
 EOF

@@ -161,6 +161,36 @@ class FlatHashTable {
     return FindIndex(key) == kNotFound ? 0 : 1;
   }
 
+  /// Heterogeneous probe: finds the entry whose stored key satisfies
+  /// `key_eq` among slots matching `raw_hash` (pre-normalization). Lets
+  /// the batched hot path probe with a lane hash and a column-wise key
+  /// comparison, without materializing a key object. `raw_hash` MUST equal
+  /// hasher_(k) for the key `key_eq` accepts, or the entry will be missed.
+  template <typename Pred>
+  iterator find_hashed(uint64_t raw_hash, Pred&& key_eq) {
+    if (size_ == 0) return end();
+    uint64_t h = NormHash(raw_hash);
+    size_t mask = slots_.size() - 1;
+    size_t i = static_cast<size_t>(h) & mask;
+    while (slots_[i].hash != 0) {
+      if (slots_[i].hash == h && key_eq(slots_[i].kv.first)) {
+        return iterator(slots_.data() + i, SlotsEnd());
+      }
+      i = (i + 1) & mask;
+    }
+    return end();
+  }
+
+  /// Prefetches the home slot of `raw_hash` (pre-normalization, as passed
+  /// to find_hashed). The batched hot path issues this a few lanes ahead of
+  /// the probe so the slot's cache miss overlaps per-lane work.
+  void prefetch_hashed(uint64_t raw_hash) const {
+    if (slots_.empty()) return;
+    const uint64_t h = NormHash(raw_hash);
+    __builtin_prefetch(
+        &slots_[static_cast<size_t>(h) & (slots_.size() - 1)]);
+  }
+
   /// Inserts `key` with a value constructed from `args` unless present.
   template <typename KeyArg, typename... Args>
   std::pair<iterator, bool> try_emplace(KeyArg&& key, Args&&... args) {

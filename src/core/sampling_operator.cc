@@ -16,6 +16,100 @@ SamplingOperator::SamplingOperator(
   scratch_sk_.Reserve(plan_->supergroup_slots.size());
   scratch_superagg_finals_.reserve(plan_->superaggs.size());
   scratch_agg_finals_.reserve(plan_->aggregates.size());
+  CompilePrograms();
+}
+
+void SamplingOperator::CompilePrograms() {
+  const size_t ngb = plan_->group_by_exprs.size();
+  bool ok = true;
+
+  // Group-by variables: must all compile AND be batchable (they read only
+  // the input tuple, so a compiled program always is; an uncompilable one
+  // disables the whole columnar path — every later stage needs key columns).
+  gb_progs_.reserve(ngb);
+  for (const ExprPtr& e : plan_->group_by_exprs) {
+    gb_progs_.push_back(ExprProgram::TryCompile(e.get()));
+    if (!gb_progs_.back().has_value() || !gb_progs_.back()->batchable()) {
+      ok = false;
+    }
+  }
+  for (size_t i = 0; i < plan_->group_by_ordered.size(); ++i) {
+    if (plan_->group_by_ordered[i]) ordered_gb_slots_.push_back(i);
+  }
+
+  // WHERE / CLEANING WHEN: a compiled program suffices — sfun- or
+  // superagg-reading predicates (ssample admission) run in compiled row
+  // mode on each lane rather than column-at-a-time.
+  if (plan_->where != nullptr) {
+    where_prog_ = ExprProgram::TryCompile(plan_->where.get());
+    if (!where_prog_.has_value()) ok = false;
+  }
+  if (plan_->cleaning_when != nullptr) {
+    cleaning_when_prog_ = ExprProgram::TryCompile(plan_->cleaning_when.get());
+    if (!cleaning_when_prog_.has_value()) ok = false;
+  }
+
+  agg_arg_progs_.reserve(plan_->aggregates.size());
+  for (const AggregateSpec& spec : plan_->aggregates) {
+    agg_arg_progs_.push_back(spec.star || spec.arg == nullptr
+                                 ? std::nullopt
+                                 : ExprProgram::TryCompile(spec.arg.get()));
+    if (!spec.star && spec.arg != nullptr && !agg_arg_progs_.back()) ok = false;
+  }
+  superagg_arg_progs_.reserve(plan_->superaggs.size());
+  for (const SuperAggSpec& spec : plan_->superaggs) {
+    superagg_arg_progs_.push_back(
+        spec.arg == nullptr ? std::nullopt
+                            : ExprProgram::TryCompile(spec.arg.get()));
+    const bool tuple_level = spec.kind == SuperAggKind::kSum ||
+                             spec.kind == SuperAggKind::kCount ||
+                             spec.kind == SuperAggKind::kFirst;
+    if (tuple_level && spec.arg != nullptr && !superagg_arg_progs_.back()) {
+      ok = false;
+    }
+  }
+  batched_ok_ = ok;
+
+  // Identity programs (a bare column reference, the common case for keys
+  // like srcIP and arguments like len) need no evaluation at all: their
+  // result column IS the batch's input column, so ProcessBatch aliases it.
+  gb_identity_.assign(ngb, -1);
+  for (size_t j = 0; j < ngb; ++j) {
+    if (gb_progs_[j].has_value()) {
+      gb_identity_[j] = gb_progs_[j]->identity_input_slot();
+    }
+  }
+  agg_arg_identity_.assign(plan_->aggregates.size(), -1);
+  for (size_t a = 0; a < agg_arg_progs_.size(); ++a) {
+    if (agg_arg_progs_[a].has_value()) {
+      agg_arg_identity_[a] = agg_arg_progs_[a]->identity_input_slot();
+    }
+  }
+  superagg_arg_identity_.assign(plan_->superaggs.size(), -1);
+  for (size_t s = 0; s < superagg_arg_progs_.size(); ++s) {
+    if (superagg_arg_progs_[s].has_value()) {
+      superagg_arg_identity_[s] =
+          superagg_arg_progs_[s]->identity_input_slot();
+    }
+  }
+  for (size_t s = 0; s < plan_->superaggs.size(); ++s) {
+    const SuperAggKind kind = plan_->superaggs[s].kind;
+    if (kind == SuperAggKind::kSum || kind == SuperAggKind::kCount ||
+        kind == SuperAggKind::kFirst) {
+      tuple_level_superaggs_.push_back(s);
+    }
+  }
+
+  key_cols_.resize(ngb);
+  key_col_ptrs_.resize(ngb);
+  for (size_t j = 0; j < ngb; ++j) key_col_ptrs_[j] = &key_cols_[j];
+  agg_arg_cols_.resize(plan_->aggregates.size());
+  agg_arg_ptrs_.assign(plan_->aggregates.size(), nullptr);
+  agg_arg_col_ok_.assign(plan_->aggregates.size(), 0);
+  superagg_arg_cols_.resize(plan_->superaggs.size());
+  superagg_arg_ptrs_.assign(plan_->superaggs.size(), nullptr);
+  superagg_arg_col_ok_.assign(plan_->superaggs.size(), 0);
+  row_stack_.resize(ExprProgram::kMaxRowStack);
 }
 
 SamplingOperator::~SamplingOperator() {
@@ -311,6 +405,446 @@ Status SamplingOperator::Process(const Tuple& input, double weight) {
         if (tracing) trace_ring_->Record("cleaning_phase", t0, dur);
       }
     }
+  }
+  return Status::OK();
+}
+
+Status SamplingOperator::ProcessBatchFallback(const TupleBatch& batch,
+                                              size_t first_lane,
+                                              double weight) {
+  const size_t n = batch.num_rows();
+  const uint8_t* sel = batch.selection();
+  for (size_t i = first_lane; i < n; ++i) {
+    if (!sel[i]) continue;
+    batch.MaterializeRow(i, &batch_row_);
+    STREAMOP_RETURN_NOT_OK(Process(batch_row_, weight));
+  }
+  return Status::OK();
+}
+
+Status SamplingOperator::ProcessBatch(const TupleBatch& batch, double weight) {
+  const size_t n = batch.num_rows();
+  if (n == 0) return Status::OK();
+  if (!batched_ok_) return ProcessBatchFallback(batch, 0, weight);
+
+  // ---- Columnar precompute (side-effect-free) -------------------------
+  // Everything here is a pure function of the batch, so any evaluation
+  // error can abandon the columns and replay the whole batch tuple-at-a-
+  // time: Process() then reproduces the exact per-tuple error position
+  // (and silently succeeds when the error was an artifact of evaluating a
+  // lane the per-tuple path never would have — e.g. an aggregate argument
+  // on a lane its WHERE rejects).
+  batch_scratch_.Reset();
+  const size_t ngb = plan_->group_by_exprs.size();
+  ExprProgram::BatchContext bctx;
+  bctx.batch = &batch;  // mask defaults to the batch's selection vector
+  for (size_t j = 0; j < ngb; ++j) {
+    const int id_slot = gb_identity_[j];
+    if (id_slot >= 0 && static_cast<size_t>(id_slot) < batch.num_cols()) {
+      // Identity: the key column IS the input column — alias, zero copies.
+      key_col_ptrs_[j] = &batch.col(static_cast<size_t>(id_slot));
+      continue;
+    }
+    key_col_ptrs_[j] = &key_cols_[j];
+    if (!gb_progs_[j]->EvalBatch(bctx, &batch_scratch_, &key_cols_[j]).ok()) {
+      return ProcessBatchFallback(batch, 0, weight);
+    }
+  }
+  bctx.key_cols = key_col_ptrs_.data();
+  bctx.num_key_cols = ngb;
+
+  // Per-lane key hashes, replicated column-wise: a fold of RawValueHash
+  // over the key columns starting from GroupKey::kSeed is bit-equal to the
+  // hash of the GroupKey Process() would have built, so table probes below
+  // need no materialized key.
+  lane_gk_hash_.assign(n, GroupKey::kSeed);
+  for (size_t j = 0; j < ngb; ++j) {
+    const VecCol& c = *key_col_ptrs_[j];
+    for (size_t i = 0; i < n; ++i) {
+      lane_gk_hash_[i] = HashCombine(lane_gk_hash_[i],
+                                     RawValueHash(c.type[i], c.raw[i]));
+    }
+  }
+  const size_t nsk = plan_->supergroup_slots.size();
+  if (nsk > 0) {
+    lane_sk_hash_.assign(n, GroupKey::kSeed);
+    for (size_t j = 0; j < nsk; ++j) {
+      const VecCol& c =
+          *key_col_ptrs_[static_cast<size_t>(plan_->supergroup_slots[j])];
+      for (size_t i = 0; i < n; ++i) {
+        lane_sk_hash_[i] = HashCombine(lane_sk_hash_[i],
+                                       RawValueHash(c.type[i], c.raw[i]));
+      }
+    }
+  }
+
+  // WHERE column: only for predicates with no per-supergroup inputs
+  // (ssample admission reads SFUN state and must run lane-by-lane below).
+  bool where_col_ok = false;
+  if (plan_->where != nullptr && where_prog_->batchable()) {
+    if (!where_prog_->EvalBatch(bctx, &batch_scratch_, &where_col_).ok()) {
+      return ProcessBatchFallback(batch, 0, weight);
+    }
+    where_col_ok = true;
+  }
+
+  // Aggregate / tuple-level superaggregate argument columns, masked down
+  // to admitted lanes when the WHERE column is available — both for work
+  // and because the per-tuple path never evaluates arguments of rejected
+  // tuples (a division by zero there must not abort the batch).
+  const uint8_t* sel = batch.selection();
+  if (where_col_ok) {
+    admit_mask_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      admit_mask_[i] = sel[i] != 0 &&
+                       RawValueAsBool(where_col_.type[i], where_col_.raw[i]);
+    }
+    bctx.mask = admit_mask_.data();
+  }
+  for (size_t a = 0; a < plan_->aggregates.size(); ++a) {
+    agg_arg_col_ok_[a] = 0;
+    const int id_slot = agg_arg_identity_[a];
+    if (id_slot >= 0 && static_cast<size_t>(id_slot) < batch.num_cols()) {
+      agg_arg_ptrs_[a] = &batch.col(static_cast<size_t>(id_slot));
+      agg_arg_col_ok_[a] = 1;
+      continue;
+    }
+    const auto& prog = agg_arg_progs_[a];
+    if (prog.has_value() && prog->batchable()) {
+      if (!prog->EvalBatch(bctx, &batch_scratch_, &agg_arg_cols_[a]).ok()) {
+        return ProcessBatchFallback(batch, 0, weight);
+      }
+      agg_arg_ptrs_[a] = &agg_arg_cols_[a];
+      agg_arg_col_ok_[a] = 1;
+    }
+  }
+  for (size_t s = 0; s < plan_->superaggs.size(); ++s) {
+    superagg_arg_col_ok_[s] = 0;
+    const int id_slot = superagg_arg_identity_[s];
+    if (id_slot >= 0 && static_cast<size_t>(id_slot) < batch.num_cols()) {
+      superagg_arg_ptrs_[s] = &batch.col(static_cast<size_t>(id_slot));
+      superagg_arg_col_ok_[s] = 1;
+      continue;
+    }
+    const auto& prog = superagg_arg_progs_[s];
+    if (prog.has_value() && prog->batchable()) {
+      if (!prog->EvalBatch(bctx, &batch_scratch_, &superagg_arg_cols_[s])
+               .ok()) {
+        return ProcessBatchFallback(batch, 0, weight);
+      }
+      superagg_arg_ptrs_[s] = &superagg_arg_cols_[s];
+      superagg_arg_col_ok_[s] = 1;
+    }
+  }
+
+  // ---- Per-lane loop, mirroring Process() steps 2-7 -------------------
+  // Observability is batched: one clock read pair and one pending-counter
+  // flush per batch instead of per tuple (lanes that detour through
+  // Process() — late tuples, fallbacks — count themselves).
+  const bool obs_on = metrics_.enabled();
+  const uint64_t batch_t0 = obs_on ? obs::NowNanos() : 0;
+  uint64_t inline_lanes = 0;
+
+  // Consecutive lanes overwhelmingly share a supergroup; cache the last
+  // lane's resolution and revalidate with a bitwise column compare (a
+  // conservative check: a miss only costs the table probe).
+  SupergroupEntry* cached_sg = nullptr;
+  uint64_t cached_hash = 0;
+  size_t cached_lane = 0;
+  // Superaggregate finals currently sitting in scratch_superagg_finals_
+  // belong to this supergroup; reset to null whenever any superagg state
+  // may have changed (OnTuple, group create/remove, cleaning, detours).
+  const SupergroupEntry* finals_sg = nullptr;
+  // Lane already placed inside current_window_id_: later lanes revalidate
+  // with a bitwise compare of the ordered key columns instead of
+  // materializing Values (conservative — a mismatch runs full placement).
+  ptrdiff_t win_lane = -1;
+
+  // One row context for every compiled row-mode evaluation below; only the
+  // lane, the supergroup's SFUN states, and the finals pointer vary.
+  ExprProgram::RowContext rc;
+  rc.batch = &batch;
+  rc.key_cols = key_col_ptrs_.data();
+  rc.num_key_cols = ngb;
+  rc.sfun_calls = &pending_sfun_calls_;
+  rc.scratch_stack = row_stack_.data();
+
+  // Probe-ahead distance for group-table prefetching: far enough that the
+  // slot line arrives before the probe, close enough to stay cached.
+  constexpr size_t kProbeAhead = 8;
+
+  // Per-batch admission/update tallies, folded into the pending metric
+  // counters once at the end — no per-lane instrumented branches.
+  uint64_t batch_admitted = 0;
+  uint64_t batch_superagg_updates = 0;
+
+  for (size_t i = 0; i < n; ++i) {
+    if (!sel[i]) continue;
+    if (i + kProbeAhead < n) {
+      groups_.prefetch_hashed(lane_gk_hash_[i + kProbeAhead]);
+    }
+
+    // Window placement (Process step 2) straight off the key columns.
+    bool boundary = !window_open_;
+    bool late = false;
+    bool placed = false;
+    if (window_open_ && win_lane >= 0) {
+      placed = true;
+      const size_t wl = static_cast<size_t>(win_lane);
+      for (size_t slot : ordered_gb_slots_) {
+        const VecCol& c = *key_col_ptrs_[slot];
+        if (c.type[wl] != c.type[i] || c.raw[wl] != c.raw[i]) {
+          placed = false;
+          break;
+        }
+      }
+    }
+    if (window_open_ && !placed) {
+      size_t oi = 0;
+      for (size_t slot : ordered_gb_slots_) {
+        if (oi >= current_window_id_.size()) {
+          boundary = true;
+          break;
+        }
+        const VecCol& c = *key_col_ptrs_[slot];
+        Value lv = MaterializeRawValue(c.type[i], c.raw[i]);
+        if (ValueLess(current_window_id_[oi], lv)) {
+          boundary = true;
+          break;
+        }
+        if (ValueLess(lv, current_window_id_[oi])) {
+          late = true;
+          break;
+        }
+        ++oi;
+      }
+      if (!boundary && !late) win_lane = static_cast<ptrdiff_t>(i);
+    }
+    if (late) {
+      // Rare path: clamping rebuilds the key, so hand the whole lane to
+      // Process() (which also does its own accounting).
+      batch.MaterializeRow(i, &batch_row_);
+      STREAMOP_RETURN_NOT_OK(Process(batch_row_, weight));
+      cached_sg = nullptr;  // Process may have created supergroups
+      finals_sg = nullptr;  // ... and advanced superaggregates
+      continue;
+    }
+    if (boundary) {
+      if (window_open_) {
+        STREAMOP_RETURN_NOT_OK(FlushWindow());
+      }
+      cached_sg = nullptr;
+      finals_sg = nullptr;
+      window_open_ = true;
+      current_window_id_.clear();
+      for (size_t slot : ordered_gb_slots_) {
+        const VecCol& c = *key_col_ptrs_[slot];
+        current_window_id_.push_back(MaterializeRawValue(c.type[i], c.raw[i]));
+      }
+      win_lane = static_cast<ptrdiff_t>(i);
+      live_stats_ = WindowStats{};
+      live_stats_.window_id = current_window_id_;
+      live_max_weight_ = 1.0;
+    }
+    ++inline_lanes;
+    ++live_stats_.tuples_in;
+    if constexpr (obs::kStatsEnabled) {
+      if (weight > live_max_weight_) live_max_weight_ = weight;
+    }
+
+    // Supergroup lookup / creation (step 3): last-lane cache, then a
+    // hash-first probe against the lane columns, materializing a key only
+    // on creation.
+    const uint64_t skh = nsk > 0 ? lane_sk_hash_[i] : GroupKey::kSeed;
+    SupergroupEntry* sg = cached_sg;
+    bool cache_hit = cached_sg != nullptr && cached_hash == skh;
+    if (cache_hit) {
+      for (size_t j = 0; j < nsk; ++j) {
+        const VecCol& c =
+            *key_col_ptrs_[static_cast<size_t>(plan_->supergroup_slots[j])];
+        if (c.type[cached_lane] != c.type[i] ||
+            c.raw[cached_lane] != c.raw[i]) {
+          cache_hit = false;
+          break;
+        }
+      }
+    }
+    if (!cache_hit) {
+      auto sit = new_supergroups_.find_hashed(skh, [&](const GroupKey& k) {
+        for (size_t j = 0; j < nsk; ++j) {
+          const VecCol& c =
+              *key_col_ptrs_[static_cast<size_t>(plan_->supergroup_slots[j])];
+          if (!RawValueEquals(k.at(j), c.type[i], c.raw[i])) return false;
+        }
+        return true;
+      });
+      if (sit != new_supergroups_.end()) {
+        sg = &sit->second;
+      } else {
+        scratch_sk_.Clear();
+        for (size_t j = 0; j < nsk; ++j) {
+          const VecCol& c =
+              *key_col_ptrs_[static_cast<size_t>(plan_->supergroup_slots[j])];
+          scratch_sk_.Append(MaterializeRawValue(c.type[i], c.raw[i]));
+        }
+        sg = &GetOrCreateSupergroup(scratch_sk_);
+        finals_sg = nullptr;  // insertion may rehash and move entries
+      }
+      cached_sg = sg;
+      cached_hash = skh;
+      cached_lane = i;
+    }
+    rc.row = i;
+    rc.sfun_states = sg->states.data();
+    rc.num_sfun_states = sg->states.size();
+
+    // WHERE (step 4): precomputed column, else compiled row mode with the
+    // supergroup's SFUN states (and superaggregate finals only if the
+    // predicate actually reads them — ssample admission does not).
+    if (plan_->where != nullptr) {
+      bool admitted;
+      if (where_col_ok) {
+        admitted = admit_mask_[i] != 0;
+      } else {
+        if (where_prog_->reads_superagg()) {
+          if (finals_sg != sg) {
+            SuperAggFinalsInto(*sg, &scratch_superagg_finals_);
+            finals_sg = sg;
+          }
+          rc.superaggs = &scratch_superagg_finals_;
+        } else {
+          rc.superaggs = nullptr;
+        }
+        STREAMOP_ASSIGN_OR_RETURN(Value wv, where_prog_->EvalRow(rc));
+        admitted = wv.AsBool();
+      }
+      if (!admitted) continue;
+    }
+    ++live_stats_.tuples_admitted;
+    ++batch_admitted;
+
+    // Tuple-level superaggregate updates (step 5).
+    if (!tuple_level_superaggs_.empty()) {
+      for (size_t s : tuple_level_superaggs_) {
+        const SuperAggSpec& spec = plan_->superaggs[s];
+        Value v = Value::Null();
+        if (spec.arg != nullptr) {
+          if (superagg_arg_col_ok_[s]) {
+            const VecCol& c = *superagg_arg_ptrs_[s];
+            v = MaterializeRawValue(c.type[i], c.raw[i]);
+          } else {
+            rc.superaggs = nullptr;
+            STREAMOP_ASSIGN_OR_RETURN(v, superagg_arg_progs_[s]->EvalRow(rc));
+          }
+        }
+        sg->superaggs[s].OnTuple(v, weight);
+        ++batch_superagg_updates;
+      }
+      finals_sg = nullptr;
+    }
+
+    // Group lookup / creation + aggregate update (step 6): the probe runs
+    // on the lane hash and column compare; a GroupKey is materialized only
+    // when the group is new.
+    auto git = groups_.find_hashed(lane_gk_hash_[i], [&](const GroupKey& k) {
+      for (size_t j = 0; j < ngb; ++j) {
+        const VecCol& c = *key_col_ptrs_[j];
+        if (!RawValueEquals(k.at(j), c.type[i], c.raw[i])) {
+          return false;
+        }
+      }
+      return true;
+    });
+    if (git == groups_.end()) {
+      scratch_gk_.Clear();
+      for (size_t j = 0; j < ngb; ++j) {
+        const VecCol& c = *key_col_ptrs_[j];
+        scratch_gk_.Append(MaterializeRawValue(c.type[i], c.raw[i]));
+      }
+      scratch_sk_.Clear();
+      for (int slot : plan_->supergroup_slots) {
+        scratch_sk_.Append(scratch_gk_.at(static_cast<size_t>(slot)));
+      }
+      GroupEntry entry;
+      entry.aggs.reserve(plan_->aggregates.size());
+      for (const AggregateSpec& spec : plan_->aggregates) {
+        entry.aggs.emplace_back(spec.kind, spec.param);
+      }
+      git = groups_.emplace(scratch_gk_, std::move(entry)).first;
+      for (SuperAggState& s : sg->superaggs) s.OnGroupCreated(scratch_gk_);
+      finals_sg = nullptr;  // OnGroupCreated advances group-level superaggs
+      supergroup_groups_[scratch_sk_].push_back(scratch_gk_);
+      ++live_stats_.groups_created;
+      if (groups_.size() > live_stats_.peak_groups) {
+        live_stats_.peak_groups = groups_.size();
+      }
+      if (obs_on) {
+        metrics_.groups_created->Add();
+        metrics_.peak_groups->SetMax(static_cast<double>(groups_.size()));
+      }
+    }
+    for (size_t a = 0; a < plan_->aggregates.size(); ++a) {
+      const AggregateSpec& spec = plan_->aggregates[a];
+      if (spec.star || spec.arg == nullptr) {
+        git->second.aggs[a].Update(Value::Null(), weight);
+      } else if (agg_arg_col_ok_[a]) {
+        const VecCol& c = *agg_arg_ptrs_[a];
+        git->second.aggs[a].Update(MaterializeRawValue(c.type[i], c.raw[i]),
+                                   weight);
+      } else {
+        rc.superaggs = nullptr;
+        STREAMOP_ASSIGN_OR_RETURN(Value v, agg_arg_progs_[a]->EvalRow(rc));
+        git->second.aggs[a].Update(v, weight);
+      }
+    }
+
+    // CLEANING WHEN (step 7), compiled row mode. Finals are recomputed only
+    // when this supergroup's superaggregates may have moved since the last
+    // time they were materialized (usually once per batch, not per lane).
+    if (plan_->cleaning_when != nullptr) {
+      if (cleaning_when_prog_->reads_superagg()) {
+        if (finals_sg != sg) {
+          SuperAggFinalsInto(*sg, &scratch_superagg_finals_);
+          finals_sg = sg;
+        }
+        rc.superaggs = &scratch_superagg_finals_;
+      } else {
+        rc.superaggs = nullptr;
+      }
+      STREAMOP_ASSIGN_OR_RETURN(Value cv, cleaning_when_prog_->EvalRow(rc));
+      if (cv.AsBool()) {
+        ++live_stats_.cleaning_phases;
+        const bool tracing = trace_ring_->enabled();
+        const uint64_t t0 = (obs_on || tracing) ? obs::NowNanos() : 0;
+        scratch_sk_.Clear();
+        for (size_t j = 0; j < nsk; ++j) {
+          const VecCol& c =
+              *key_col_ptrs_[static_cast<size_t>(plan_->supergroup_slots[j])];
+          scratch_sk_.Append(MaterializeRawValue(c.type[i], c.raw[i]));
+        }
+        STREAMOP_RETURN_NOT_OK(RunCleaningPhase(scratch_sk_, *sg));
+        finals_sg = nullptr;  // cleaning removes groups / resets SFUN state
+        if (obs_on || tracing) {
+          const uint64_t dur = obs::NowNanos() - t0;
+          if (obs_on) {
+            metrics_.cleaning_phases->Add();
+            metrics_.cleaning_ns->Record(dur);
+          }
+          if (tracing) trace_ring_->Record("cleaning_phase", t0, dur);
+        }
+      }
+    }
+  }
+
+  if (obs_on) {
+    pending_tuples_ += inline_lanes;
+    pending_admitted_ += batch_admitted;
+    pending_superagg_updates_ += batch_superagg_updates;
+    if (inline_lanes > 0) {
+      metrics_.admission_ns->Record((obs::NowNanos() - batch_t0) /
+                                    inline_lanes);
+    }
+    FlushPendingMetrics();
   }
   return Status::OK();
 }
@@ -642,9 +1176,19 @@ std::vector<Tuple> SamplingOperator::DrainOutput() {
 
 Result<std::vector<Tuple>> RunToCompletion(SamplingOperator& op,
                                            StreamSource& source) {
-  Tuple t;
-  while (source.Next(&t)) {
-    STREAMOP_RETURN_NOT_OK(op.Process(t));
+  // Batched drive (DESIGN.md §9) when the plan carries its input schema
+  // (the batch needs a column count); hand-assembled schema-less plans
+  // keep the tuple-at-a-time loop.
+  if (op.plan().input_schema != nullptr) {
+    TupleBatch batch(op.plan().input_schema->num_fields(), 512);
+    while (source.NextBatch(&batch) > 0) {
+      STREAMOP_RETURN_NOT_OK(op.ProcessBatch(batch));
+    }
+  } else {
+    Tuple t;
+    while (source.Next(&t)) {
+      STREAMOP_RETURN_NOT_OK(op.Process(t));
+    }
   }
   STREAMOP_RETURN_NOT_OK(op.FinishStream());
   return op.DrainOutput();

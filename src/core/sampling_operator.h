@@ -18,6 +18,7 @@
 #define STREAMOP_CORE_SAMPLING_OPERATOR_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,10 +30,12 @@
 #include "obs/trace_ring.h"
 #include "expr/aggregate.h"
 #include "expr/expr.h"
+#include "expr/program.h"
 #include "expr/stateful.h"
 #include "stream/stream_source.h"
 #include "tuple/schema.h"
 #include "tuple/tuple.h"
+#include "tuple/tuple_batch.h"
 
 namespace streamop {
 
@@ -109,6 +112,19 @@ class SamplingOperator {
   /// contribution is scaled by `weight` (Horvitz–Thompson). Weight 1.0 is
   /// bit-identical to the unweighted path.
   Status Process(const Tuple& input, double weight);
+
+  /// Batched hot path (DESIGN.md §9): processes every selected lane of
+  /// `batch` in row order, equivalent tuple-for-tuple to calling Process()
+  /// on each lane — including window boundaries mid-batch, late-tuple
+  /// clamping, error positions, and every sampled output bit. Group-by
+  /// keys, WHERE, and aggregate arguments run column-at-a-time through
+  /// compiled expression programs where possible; clauses that touch
+  /// per-supergroup state (ssample et al.) drop to compiled row mode on the
+  /// lane, and anything uncompilable falls back to Process() per lane.
+  Status ProcessBatch(const TupleBatch& batch) {
+    return ProcessBatch(batch, 1.0);
+  }
+  Status ProcessBatch(const TupleBatch& batch, double weight);
 
   /// Closes the final window at end-of-stream.
   Status FinishStream();
@@ -189,6 +205,17 @@ class SamplingOperator {
   // Window boundary: HAVING + SELECT per group, stats, table swap.
   Status FlushWindow();
 
+  // Replays batch lanes [first_lane, num_rows) through the tuple-at-a-time
+  // Process(). Used whole-batch when a clause has no compiled program, and
+  // as the error path when a column-wise precompute fails (precompute is
+  // side-effect-free, so replaying from lane 0 reproduces the exact
+  // tuple-at-a-time error position).
+  Status ProcessBatchFallback(const TupleBatch& batch, size_t first_lane,
+                              double weight);
+
+  // Compiles the plan's clauses into bytecode programs (constructor).
+  void CompilePrograms();
+
   // Builds the WindowQualityReport for the window just closed (stats
   // already pushed, tables not yet swapped — supergroup states and group
   // membership are still live) and pushes it into quality_ring_.
@@ -217,6 +244,50 @@ class SamplingOperator {
   std::vector<Value> scratch_superagg_finals_;
   std::vector<Value> scratch_agg_finals_;
   std::vector<Value> scratch_clamped_;  // late-tuple key rebuild (rare path)
+
+  // ---- Batched execution (DESIGN.md §9) -------------------------------
+  // Programs are compiled once at construction (never re-compiled on the
+  // hot path; tests/hotpath_alloc_test.cc pins this down) and cached for
+  // the operator's lifetime. batched_ok_ gates the columnar path: it
+  // requires a compiled program for every clause the batch loop needs;
+  // otherwise ProcessBatch degrades to a per-lane Process() replay.
+  std::vector<std::optional<ExprProgram>> gb_progs_;  // per group-by expr
+  std::optional<ExprProgram> where_prog_;
+  std::optional<ExprProgram> cleaning_when_prog_;
+  std::vector<std::optional<ExprProgram>> agg_arg_progs_;       // per agg
+  std::vector<std::optional<ExprProgram>> superagg_arg_progs_;  // per s-agg
+  bool batched_ok_ = false;
+  std::vector<size_t> ordered_gb_slots_;  // group-by slots defining windows
+  // Identity detection (program == one input-column load): the "result" of
+  // such a program is its input column, so ProcessBatch aliases the batch
+  // column instead of evaluating — the common case for srcIP/destIP keys
+  // and len-style aggregate arguments costs zero copies. -1: not identity.
+  std::vector<int> gb_identity_;
+  std::vector<int> agg_arg_identity_;
+  std::vector<int> superagg_arg_identity_;
+  // Indices of superaggs with per-tuple updates (sum$/count$/first$), so
+  // the lane loop skips the kind checks for group-level ones.
+  std::vector<size_t> tuple_level_superaggs_;
+
+  // Per-batch columnar scratch, capacity-stable across batches: evaluated
+  // key columns, replicated per-lane key hashes (bit-equal to
+  // GroupKey::Hash() by the RawValueHash fold), the precomputed WHERE
+  // column, aggregate argument columns, and the admitted-lane mask.
+  std::vector<VecCol> key_cols_;
+  std::vector<const VecCol*> key_col_ptrs_;
+  std::vector<uint64_t> lane_gk_hash_;
+  std::vector<uint64_t> lane_sk_hash_;
+  VecCol where_col_;
+  std::vector<VecCol> agg_arg_cols_;
+  std::vector<const VecCol*> agg_arg_ptrs_;  // evaluated col or batch alias
+  std::vector<uint8_t> agg_arg_col_ok_;
+  std::vector<VecCol> superagg_arg_cols_;
+  std::vector<const VecCol*> superagg_arg_ptrs_;
+  std::vector<uint8_t> superagg_arg_col_ok_;
+  std::vector<uint8_t> admit_mask_;
+  ExprProgram::BatchScratch batch_scratch_;
+  std::vector<Value> row_stack_;  // reusable EvalRow stack (kMaxRowStack)
+  Tuple batch_row_;  // materialized lane for fallback / late paths
 
   bool window_open_ = false;
   std::vector<Value> current_window_id_;

@@ -40,6 +40,40 @@ Status QueryNode::Push(const Tuple& t, double weight) {
   return Status::OK();
 }
 
+Status QueryNode::PushBatch(const TupleBatch& batch, double weight,
+                            TupleBatch* out) {
+  const size_t lanes = batch.num_selected();
+  tuples_in_ += lanes;
+  if (metrics_.enabled()) {
+    if (lanes > 0) metrics_.tuples_in->Add(lanes);
+    metrics_.batch_fill->Record(lanes);
+  }
+  if (sampling_ != nullptr) {
+    STREAMOP_RETURN_NOT_OK(sampling_->ProcessBatch(batch, weight));
+    std::vector<Tuple> rows = sampling_->DrainOutput();
+    tuples_out_ += rows.size();
+    if (metrics_.enabled() && !rows.empty()) {
+      metrics_.tuples_out->Add(rows.size());
+    }
+    for (Tuple& r : rows) output_.push_back(std::move(r));
+    return Status::OK();
+  }
+  TupleBatch* dest = out != nullptr ? out : &scratch_out_;
+  STREAMOP_RETURN_NOT_OK(selection_->ProcessBatch(batch, dest));
+  const size_t n_out = dest->num_rows();
+  tuples_out_ += n_out;
+  if (metrics_.enabled() && n_out > 0) {
+    metrics_.tuples_out->Add(n_out);
+  }
+  if (out == nullptr) {
+    for (size_t i = 0; i < n_out; ++i) {
+      scratch_out_.MaterializeRow(i, &scratch_row_);
+      output_.push_back(scratch_row_);
+    }
+  }
+  return Status::OK();
+}
+
 Status QueryNode::Finish() {
   if (sampling_ != nullptr) {
     STREAMOP_RETURN_NOT_OK(sampling_->FinishStream());

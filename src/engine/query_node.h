@@ -36,6 +36,15 @@ class QueryNode {
   /// aggregates stay unbiased. Selection nodes ignore the weight.
   Status Push(const Tuple& t, double weight);
 
+  /// Batched hot path (DESIGN.md §9): feeds every selected lane, in row
+  /// order, equivalent to Push() per lane. Sampling nodes accumulate
+  /// output rows internally as usual. For selection nodes: with `out` the
+  /// admitted, projected lanes land columnar in *out (the caller chains
+  /// them into the next node's PushBatch; DrainOutput() stays empty);
+  /// without it they are materialized into the internal row output.
+  Status PushBatch(const TupleBatch& batch, double weight = 1.0,
+                   TupleBatch* out = nullptr);
+
   /// End-of-stream: close the final window (sampling nodes).
   Status Finish();
 
@@ -54,18 +63,28 @@ class QueryNode {
   }
   uint64_t cpu_nanos() const { return cpu_ns_; }
 
-  /// Records one consumed batch (size + processing latency) into the
-  /// registry-backed histogram; called by the runtime per drained batch.
-  void RecordBatch(uint64_t latency_ns) {
+  /// Records one consumed batch (processing latency + fill, i.e. rows the
+  /// batch carried) into the registry-backed histograms; called by the
+  /// runtime per drained batch. A fill of 0 skips the fill histogram
+  /// (legacy call sites that only know the latency).
+  void RecordBatch(uint64_t latency_ns, uint64_t fill = 0) {
     if (metrics_.enabled()) {
       metrics_.batches->Add();
       metrics_.batch_latency_ns->Record(latency_ns);
+      if (fill > 0) metrics_.batch_fill->Record(fill);
     }
   }
 
   const obs::NodeMetrics& metrics() const { return metrics_; }
 
   bool is_sampling() const { return sampling_ != nullptr; }
+
+  /// Number of input-schema columns (what a fed TupleBatch must carry).
+  size_t input_width() const {
+    return sampling_ != nullptr
+               ? sampling_->plan().input_schema->num_fields()
+               : selection_->plan().input_schema->num_fields();
+  }
 
   /// Window statistics (sampling nodes only; empty otherwise).
   const std::vector<WindowStats>& window_stats() const;
@@ -78,6 +97,8 @@ class QueryNode {
   std::unique_ptr<SamplingOperator> sampling_;
   std::unique_ptr<SelectionOperator> selection_;
   std::vector<Tuple> output_;
+  TupleBatch scratch_out_;  // PushBatch without caller-supplied out
+  Tuple scratch_row_;
   // The plain counters below stay authoritative for RunReport — they must
   // survive STREAMOP_NO_STATS builds; the registry-backed metrics_ mirror
   // them for export.

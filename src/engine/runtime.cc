@@ -148,8 +148,12 @@ Result<RunReport> TwoLevelRuntime::Run(const Trace& trace) {
   size_t produced = 0;
   uint64_t packets_malformed = 0;
 
-  std::vector<Tuple> low_out;
-  low_out.reserve(options_.batch_size);
+  // Batched data path (DESIGN.md §9): the ring drains into a reusable
+  // columnar batch, the low node filters/projects it column-at-a-time into
+  // `low_out_batch`, and the high nodes consume that batch directly — no
+  // per-tuple Value rows anywhere on the steady-state path.
+  TupleBatch batch(low_->input_width(), options_.batch_size);
+  TupleBatch low_out_batch;
 
   while (produced < packets.size()) {
     // Producer: fill the ring (pointers into the trace arena — no copy,
@@ -158,35 +162,32 @@ Result<RunReport> TwoLevelRuntime::Run(const Trace& trace) {
       ++produced;
     }
 
-    // Low-level node: drain the ring in batches; packet->tuple conversion
+    // Low-level node: drain the ring in batches; packet->batch conversion
     // and selection both bill to the low node (these are the "memory copy"
     // costs §7.2 attributes to low-level evaluation).
     while (!ring.empty()) {
-      low_out.clear();
       uint64_t t0 = NowNanos();
+      batch.Clear();
       const PacketRecord* p = nullptr;
       for (size_t i = 0; i < options_.batch_size && ring.TryPop(&p); ++i) {
         if (p->len < kMinPacketLen) {
           ++packets_malformed;  // truncated/garbage header: reject, don't feed
           continue;
         }
-        STREAMOP_RETURN_NOT_OK(low_->Push(PacketToTuple(*p)));
+        batch.AppendPacket(*p);
       }
-      std::vector<Tuple> rows = low_->DrainOutput();
+      STREAMOP_RETURN_NOT_OK(low_->PushBatch(batch, 1.0, &low_out_batch));
       uint64_t batch_ns = NowNanos() - t0;
       low_->AddCpuNanos(batch_ns);
-      low_->RecordBatch(batch_ns);
-      low_out = std::move(rows);
+      low_->RecordBatch(batch_ns, batch.num_rows());
 
-      // High-level nodes consume the low node's output.
+      // High-level nodes consume the low node's output batch.
       for (auto& node : high_) {
         uint64_t h0 = NowNanos();
-        for (const Tuple& t : low_out) {
-          STREAMOP_RETURN_NOT_OK(node->Push(t));
-        }
+        STREAMOP_RETURN_NOT_OK(node->PushBatch(low_out_batch));
         uint64_t h_ns = NowNanos() - h0;
         node->AddCpuNanos(h_ns);
-        node->RecordBatch(h_ns);
+        node->RecordBatch(h_ns, low_out_batch.num_rows());
       }
     }
   }
@@ -302,7 +303,8 @@ Result<RunReport> TwoLevelRuntime::RunThreaded(const Trace& trace) {
     uint64_t last_tick_ns = 0;
     uint64_t last_failures = 0;
     uint64_t batch_index = 0;
-    std::vector<Tuple> rows;
+    TupleBatch batch(low_->input_width(), options_.batch_size);
+    TupleBatch low_out_batch;
     for (;;) {
       if (abort.load(std::memory_order_acquire)) break;
       if (options_.consumer_stall_hook) {
@@ -327,6 +329,7 @@ Result<RunReport> TwoLevelRuntime::RunThreaded(const Trace& trace) {
 
       size_t popped = 0;
       uint64_t t0 = NowNanos();
+      batch.Clear();
       for (size_t i = 0; i < options_.batch_size && ring.TryPop(&p); ++i) {
         ++popped;
         progress.fetch_add(1, std::memory_order_relaxed);
@@ -335,25 +338,23 @@ Result<RunReport> TwoLevelRuntime::RunThreaded(const Trace& trace) {
           continue;
         }
         if (shed_on && !shed.Admit()) continue;  // Bernoulli pre-sample
-        status = low_->Push(PacketToTuple(*p), weight);
-        if (!status.ok()) break;
+        batch.AppendPacket(*p);  // weight is constant across the batch
       }
+      status = low_->PushBatch(batch, weight, &low_out_batch);
       if (!status.ok()) break;
-      rows = low_->DrainOutput();
       if (popped > 0) {
         uint64_t batch_ns = NowNanos() - t0;
         low_->AddCpuNanos(batch_ns);
-        low_->RecordBatch(batch_ns);
+        low_->RecordBatch(batch_ns, batch.num_rows());
       }
       for (auto& node : high_) {
         uint64_t h0 = NowNanos();
-        for (const Tuple& t : rows) {
-          status = node->Push(t, weight);
-          if (!status.ok()) break;
-        }
+        status = node->PushBatch(low_out_batch, weight);
         uint64_t h_ns = NowNanos() - h0;
         node->AddCpuNanos(h_ns);
-        if (!rows.empty()) node->RecordBatch(h_ns);
+        if (low_out_batch.num_rows() > 0) {
+          node->RecordBatch(h_ns, low_out_batch.num_rows());
+        }
         if (!status.ok()) break;
       }
       if (!status.ok()) break;
@@ -486,6 +487,7 @@ Result<SingleRunResult> RunQueryOverTrace(const CompiledQuery& query,
   constexpr size_t kBatch = 512;
 
   const std::vector<PacketRecord>& packets = trace.packets();
+  TupleBatch batch(node.input_width(), kBatch);
   size_t produced = 0;
   while (produced < packets.size()) {
     while (produced < packets.size() && ring.TryPush(&packets[produced])) {
@@ -493,13 +495,15 @@ Result<SingleRunResult> RunQueryOverTrace(const CompiledQuery& query,
     }
     while (!ring.empty()) {
       uint64_t t0 = NowNanos();
+      batch.Clear();
       const PacketRecord* p = nullptr;
       for (size_t i = 0; i < kBatch && ring.TryPop(&p); ++i) {
-        STREAMOP_RETURN_NOT_OK(node.Push(PacketToTuple(*p)));
+        batch.AppendPacket(*p);
       }
+      STREAMOP_RETURN_NOT_OK(node.PushBatch(batch));
       uint64_t batch_ns = NowNanos() - t0;
       node.AddCpuNanos(batch_ns);
-      node.RecordBatch(batch_ns);
+      node.RecordBatch(batch_ns, batch.num_rows());
     }
   }
   uint64_t t0 = NowNanos();

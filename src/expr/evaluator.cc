@@ -139,6 +139,31 @@ int CompareValues(const Value& a, const Value& b) {
   return x < y ? -1 : (x > y ? 1 : 0);
 }
 
+Result<Value> EvalBinaryValues(BinaryOp op, const Value& l, const Value& r) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return Value::Bool(CompareValues(l, r) == 0);
+    case BinaryOp::kNe:
+      return Value::Bool(CompareValues(l, r) != 0);
+    case BinaryOp::kLt:
+      return Value::Bool(CompareValues(l, r) < 0);
+    case BinaryOp::kLe:
+      return Value::Bool(CompareValues(l, r) <= 0);
+    case BinaryOp::kGt:
+      return Value::Bool(CompareValues(l, r) > 0);
+    case BinaryOp::kGe:
+      return Value::Bool(CompareValues(l, r) >= 0);
+    default:
+      return Arith(op, l, r);
+  }
+}
+
+Value EvalUnaryValue(UnaryOp op, const Value& v) {
+  if (op == UnaryOp::kNot) return Value::Bool(!v.AsBool());
+  if (v.type() == FieldType::kDouble) return Value::Double(-v.double_value());
+  return Value::Int(-v.AsInt());
+}
+
 Result<Value> Evaluate(const Expr& expr, const EvalContext& ctx) {
   switch (expr.kind) {
     case ExprKind::kLiteral:
@@ -167,12 +192,7 @@ Result<Value> Evaluate(const Expr& expr, const EvalContext& ctx) {
 
     case ExprKind::kUnary: {
       STREAMOP_ASSIGN_OR_RETURN(Value v, Evaluate(*expr.children[0], ctx));
-      if (expr.uop == UnaryOp::kNot) return Value::Bool(!v.AsBool());
-      // Negation.
-      if (v.type() == FieldType::kDouble) {
-        return Value::Double(-v.double_value());
-      }
-      return Value::Int(-v.AsInt());
+      return EvalUnaryValue(expr.uop, v);
     }
 
     case ExprKind::kBinary: {
@@ -186,22 +206,7 @@ Result<Value> Evaluate(const Expr& expr, const EvalContext& ctx) {
       }
       STREAMOP_ASSIGN_OR_RETURN(Value l, Evaluate(*expr.children[0], ctx));
       STREAMOP_ASSIGN_OR_RETURN(Value r, Evaluate(*expr.children[1], ctx));
-      switch (expr.bop) {
-        case BinaryOp::kEq:
-          return Value::Bool(CompareValues(l, r) == 0);
-        case BinaryOp::kNe:
-          return Value::Bool(CompareValues(l, r) != 0);
-        case BinaryOp::kLt:
-          return Value::Bool(CompareValues(l, r) < 0);
-        case BinaryOp::kLe:
-          return Value::Bool(CompareValues(l, r) <= 0);
-        case BinaryOp::kGt:
-          return Value::Bool(CompareValues(l, r) > 0);
-        case BinaryOp::kGe:
-          return Value::Bool(CompareValues(l, r) >= 0);
-        default:
-          return Arith(expr.bop, l, r);
-      }
+      return EvalBinaryValues(expr.bop, l, r);
     }
 
     case ExprKind::kScalarCall: {

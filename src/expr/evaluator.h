@@ -42,6 +42,18 @@ Result<bool> EvaluatePredicate(const Expr* expr, const EvalContext& ctx);
 /// Compares two values with numeric cross-type promotion; returns -1/0/+1.
 int CompareValues(const Value& a, const Value& b);
 
+/// Applies one non-short-circuit binary operator (comparison or arithmetic)
+/// to already-evaluated operands — the single source of truth for operator
+/// semantics, shared by the tree walk above and the bytecode interpreter
+/// (src/expr/program.cc). kAnd/kOr are not accepted here: their
+/// short-circuit evaluation lives with the control flow, not the operands.
+Result<Value> EvalBinaryValues(BinaryOp op, const Value& l, const Value& r);
+
+/// Applies a unary operator to an already-evaluated operand. NOT yields the
+/// negated truthiness; negation stays double for doubles and goes through
+/// AsInt for everything else, exactly as the tree walk does.
+Value EvalUnaryValue(UnaryOp op, const Value& v);
+
 }  // namespace streamop
 
 #endif  // STREAMOP_EXPR_EVALUATOR_H_

@@ -1,0 +1,228 @@
+// Compiled expression programs: the analyzed Expr tree flattened into a
+// compact postfix bytecode, executed either one row at a time (a faster
+// drop-in for the tree walk) or column-at-a-time over a TupleBatch with a
+// selection-vector mask (the batched hot path, DESIGN.md §9).
+//
+// The compiler covers every analyzed expression kind; anything it cannot
+// express (unanalyzed calls, unresolved references, pathological stack
+// depth) makes TryCompile return nullopt and the caller keeps the tree-walk
+// Evaluate() — bytecode is an optimization, never a semantic fork. Both
+// interpreters route binary/unary operator application through the
+// evaluator's EvalBinaryValues/EvalUnaryValue kernels, so results are
+// bit-identical to the tree walk by construction (and differentially
+// tested in tests/expr_program_test.cc and tests/query_fuzz_test.cc).
+//
+// Short-circuit AND/OR compile to probe/end opcode pairs. In row mode the
+// probe jumps over the right operand exactly as the tree walk
+// short-circuits. In batch mode the probe pushes a narrowed lane mask, so
+// the right operand is evaluated only on lanes where it matters — lane-wise
+// short-circuit: a guarded division like `b != 0 AND a/b > 2` never traps
+// on guarded lanes, matching per-tuple semantics.
+
+#ifndef STREAMOP_EXPR_PROGRAM_H_
+#define STREAMOP_EXPR_PROGRAM_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/evaluator.h"
+#include "expr/expr.h"
+#include "tuple/tuple.h"
+#include "tuple/tuple_batch.h"
+#include "tuple/value.h"
+
+namespace streamop {
+
+enum class OpCode : uint8_t {
+  kPushLiteral,   // a = literal index
+  kLoadInput,     // a = input schema slot
+  kLoadGroupBy,   // a = group-by variable slot
+  kLoadAgg,       // a = aggregate final slot (row mode only)
+  kLoadSuperAgg,  // a = superaggregate final slot (row mode only)
+  kNot,
+  kNeg,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAndProbe,  // a = jump target past the matching kAndEnd
+  kAndEnd,
+  kOrProbe,   // a = jump target past the matching kOrEnd
+  kOrEnd,
+  kScalarCall,  // a = arg count, fn = ScalarFunctionDef*
+  kSfunCall,    // a = arg count, b = sfun state slot, fn = SfunDef*
+};
+
+struct Instr {
+  OpCode op;
+  int32_t a = 0;
+  int32_t b = 0;
+  const void* fn = nullptr;
+};
+
+// VecCol — the materialized expression-result column type — lives in
+// tuple/tuple_batch.h: it is the same struct as a TupleBatch column, so an
+// identity program's result can alias its input column without a copy.
+
+class ExprProgram {
+ public:
+  // Fixed evaluation limits; TryCompile refuses programs that exceed them
+  // (the caller then stays on the tree walk).
+  static constexpr size_t kMaxRowStack = 32;
+  static constexpr size_t kMaxMaskDepth = 32;
+  static constexpr size_t kMaxCallArgs = 8;
+
+  // String literals are referenced by address from the flattened literal
+  // pool, so programs move but never copy.
+  ExprProgram(const ExprProgram&) = delete;
+  ExprProgram& operator=(const ExprProgram&) = delete;
+  ExprProgram(ExprProgram&&) = default;
+  ExprProgram& operator=(ExprProgram&&) = default;
+
+  /// Compiles an analyzed expression. nullopt if any node is outside the
+  /// instruction set (the caller falls back to Evaluate()).
+  static std::optional<ExprProgram> TryCompile(const Expr* expr);
+
+  // What the program reads / mutates — the operator uses these to decide
+  // which clauses may run column-at-a-time.
+  bool has_sfun() const { return has_sfun_; }
+  bool reads_input() const { return reads_input_; }
+  bool reads_group_by() const { return reads_group_by_; }
+  bool reads_agg() const { return reads_agg_; }
+  bool reads_superagg() const { return reads_superagg_; }
+
+  /// True if the program can run column-at-a-time: no per-lane state
+  /// mutation (SFUNs) and no per-group/per-supergroup inputs. All scalar
+  /// builtins are pure, so scalar calls stay batchable.
+  bool batchable() const {
+    return !has_sfun_ && !reads_agg_ && !reads_superagg_;
+  }
+
+  /// If the whole program is a single input-column load, its slot — the
+  /// caller can use the batch column directly instead of evaluating.
+  /// -1 otherwise.
+  int identity_input_slot() const {
+    return (code_.size() == 1 && code_[0].op == OpCode::kLoadInput)
+               ? code_[0].a
+               : -1;
+  }
+
+  size_t num_instructions() const { return code_.size(); }
+
+  /// Disassembly for golden-program tests and debugging.
+  std::string ToString() const;
+
+  // ---------------------------------------------------------------------
+  // Row mode: evaluate one row. Input may come from a materialized Tuple
+  // or directly from a batch lane; group-by variables from a GroupKey or
+  // from precomputed key columns. Semantics identical to Evaluate().
+  struct RowContext {
+    const Tuple* input = nullptr;
+    const TupleBatch* batch = nullptr;  // alternative input source
+    size_t row = 0;                     // lane for batch / key_cols reads
+    const GroupKey* group_key = nullptr;
+    const VecCol* const* key_cols = nullptr;  // per group-by slot
+    size_t num_key_cols = 0;
+    const std::vector<Value>* aggregates = nullptr;
+    const std::vector<Value>* superaggs = nullptr;
+    void* const* sfun_states = nullptr;
+    size_t num_sfun_states = 0;
+    uint64_t* sfun_calls = nullptr;
+    // Optional reusable value stack (>= kMaxRowStack slots). Hot per-lane
+    // callers pass one to skip constructing/destroying kMaxRowStack Values
+    // per evaluation; left null, EvalRow uses a local array. Never shared
+    // across concurrent evaluations.
+    Value* scratch_stack = nullptr;
+  };
+
+  Result<Value> EvalRow(const RowContext& ctx) const;
+
+  // ---------------------------------------------------------------------
+  // Batch mode: evaluate column-at-a-time over every masked-in lane.
+  struct BatchContext {
+    const TupleBatch* batch = nullptr;
+    // Lanes to evaluate; null means the batch's own selection vector.
+    const uint8_t* mask = nullptr;
+    const VecCol* const* key_cols = nullptr;  // per group-by slot
+    size_t num_key_cols = 0;
+  };
+
+  /// Reusable per-caller evaluation state. Reaches steady-state capacity
+  /// after one evaluation and never allocates again for string-free data.
+  /// String results accumulate in `owned` across evaluations (their
+  /// addresses are stored in result columns); call Reset() once per batch,
+  /// after all columns derived from the previous batch are dead.
+  struct BatchScratch {
+    std::vector<VecCol> slots;                // value stack backing
+    std::vector<std::vector<uint8_t>> masks;  // pushed mask backing
+    std::deque<std::string> owned;            // string results (stable addrs)
+
+    void Reset() {
+      if (!owned.empty()) owned.clear();
+    }
+  };
+
+  /// Evaluates over all masked-in lanes of the batch into `out` (lanes
+  /// outside the mask hold nulls — callers must not read them). Any lane
+  /// error (division by zero on an *active* lane, scalar-call failure)
+  /// aborts the whole batch with that Status; the caller is expected to
+  /// fall back to per-row evaluation to reproduce exact tuple-at-a-time
+  /// error positioning. Requires batchable().
+  Status EvalBatch(const BatchContext& ctx, BatchScratch* scratch,
+                   VecCol* out) const;
+
+ private:
+  ExprProgram() = default;
+
+  Result<Value> EvalRowOn(const RowContext& ctx, Value* stack) const;
+
+  // Peephole for the hot predicate shape `fn(simple args...)` optionally
+  // followed by `= literal` (ssample admission, cleaning triggers): the
+  // arguments are plain loads, so EvalRow fills them and calls the function
+  // directly instead of running the interpreter loop. Same semantics and
+  // error positions as the bytecode it summarizes.
+  struct FastCall {
+    bool is_sfun = false;
+    int32_t nargs = 0;
+    int32_t state_slot = 0;   // sfun state index (sfun calls only)
+    int32_t cmp_literal = -1; // literal index of a trailing kEq, -1: none
+    const void* fn = nullptr;
+  };
+  void DetectFastCall();
+  Result<Value> EvalFastCall(const RowContext& ctx, Value* stack) const;
+
+  struct CompileState;
+  static bool CompileNode(const Expr& e, CompileState* st);
+  void FinalizeLiterals();
+
+  std::vector<Instr> code_;
+  std::vector<Value> literals_;
+  // Flattened (type, raw) encoding of literals_, built once post-compile;
+  // string raws point at literals_[i]'s payload (stable: literals_ is
+  // immutable after FinalizeLiterals and programs are move-only).
+  std::vector<uint64_t> literal_raw_;
+  std::vector<uint8_t> literal_type_;
+  std::optional<FastCall> fast_call_;
+  size_t max_stack_ = 0;
+  size_t max_masks_ = 0;
+  bool has_sfun_ = false;
+  bool reads_input_ = false;
+  bool reads_group_by_ = false;
+  bool reads_agg_ = false;
+  bool reads_superagg_ = false;
+};
+
+}  // namespace streamop
+
+#endif  // STREAMOP_EXPR_PROGRAM_H_

@@ -292,6 +292,7 @@ NodeMetrics NodeMetrics::Create(MetricRegistry& reg,
   m.batches = reg.GetCounter("streamop_node_batches_total", labels);
   m.batch_latency_ns =
       reg.GetHistogram("streamop_node_batch_latency_ns", labels);
+  m.batch_fill = reg.GetHistogram("streamop_batch_fill", labels);
   return m;
 }
 

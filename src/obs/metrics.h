@@ -233,6 +233,9 @@ struct NodeMetrics {
   Counter* cpu_ns = nullptr;
   Counter* batches = nullptr;
   Histogram* batch_latency_ns = nullptr;  // per-batch processing time
+  Histogram* batch_fill = nullptr;        // rows per consumed batch — low
+                                          // fill means the drain loop runs
+                                          // starved, partial batches
 
   bool enabled() const { return kStatsEnabled && tuples_in != nullptr; }
   static NodeMetrics Create(MetricRegistry& reg, const std::string& node_name);

@@ -8,14 +8,17 @@
 #define STREAMOP_QUERY_SELECTION_OPERATOR_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "expr/expr.h"
+#include "expr/program.h"
 #include "expr/stateful.h"
 #include "tuple/schema.h"
 #include "tuple/tuple.h"
+#include "tuple/tuple_batch.h"
 
 namespace streamop {
 
@@ -41,16 +44,43 @@ class SelectionOperator {
   /// WHERE clause.
   Result<bool> Process(const Tuple& input, Tuple* out);
 
+  /// Batched hot path (DESIGN.md §9): filters + projects every selected
+  /// lane of `in` into `out` (cleared and reshaped first), equivalent
+  /// lane-for-lane to calling Process() in row order — stateful predicates
+  /// (ssample) see lanes in exactly that order. Pure predicates and
+  /// projections run column-at-a-time through compiled programs; stateful
+  /// ones drop to compiled row mode per lane; uncompilable clauses fall
+  /// back to Process() per lane.
+  Status ProcessBatch(const TupleBatch& in, TupleBatch* out);
+
   const SelectionPlan& plan() const { return *plan_; }
   uint64_t tuples_in() const { return tuples_in_; }
   uint64_t tuples_out() const { return tuples_out_; }
 
  private:
+  Status ProcessBatchFallback(const TupleBatch& in, size_t first_lane,
+                              TupleBatch* out);
+
   std::shared_ptr<const SelectionPlan> plan_;
   std::vector<std::unique_ptr<std::max_align_t[]>> blobs_;
   std::vector<void*> states_;
   uint64_t tuples_in_ = 0;
   uint64_t tuples_out_ = 0;
+
+  // Compiled once at construction (see SamplingOperator::CompilePrograms
+  // for the rationale); batched_ok_ gates the columnar path.
+  std::optional<ExprProgram> where_prog_;
+  std::vector<std::optional<ExprProgram>> select_progs_;
+  bool batched_ok_ = false;
+
+  // Per-batch columnar scratch, capacity-stable across batches.
+  VecCol where_col_;
+  std::vector<VecCol> select_cols_;
+  std::vector<uint8_t> select_col_ok_;
+  std::vector<uint8_t> admit_mask_;
+  ExprProgram::BatchScratch batch_scratch_;
+  Tuple batch_row_;
+  Tuple row_out_;
 };
 
 }  // namespace streamop

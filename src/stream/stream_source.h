@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "tuple/schema.h"
 #include "tuple/tuple.h"
+#include "tuple/tuple_batch.h"
 
 namespace streamop {
 
@@ -24,6 +25,21 @@ class StreamSource {
 
   /// Produces the next tuple. Returns false when the stream is exhausted.
   virtual bool Next(Tuple* out) = 0;
+
+  /// Batched pull (DESIGN.md §9): clears `batch` and fills it up to its
+  /// capacity. Returns the number of rows appended; 0 at end-of-stream.
+  /// The default adapts Next(); packet-backed sources override it to
+  /// append columnar lanes without building intermediate Tuples.
+  virtual size_t NextBatch(TupleBatch* batch) {
+    batch->Clear();
+    Tuple t;
+    size_t appended = 0;
+    while (!batch->full() && Next(&t)) {
+      batch->AppendTuple(t);
+      ++appended;
+    }
+    return appended;
+  }
 
   /// Rewinds to the beginning if the source is replayable (traces are).
   virtual void Reset() {}
@@ -59,6 +75,19 @@ class TraceTupleSource : public StreamSource {
     *out = PacketToTuple(trace_->at(pos_++));
     CountTuple();
     return true;
+  }
+
+  /// Columnar fast path: packets append straight into the batch's eight
+  /// uint columns, no per-tuple Value construction.
+  size_t NextBatch(TupleBatch* batch) override {
+    batch->Clear();
+    size_t appended = 0;
+    while (!batch->full() && pos_ < trace_->size()) {
+      batch->AppendPacket(trace_->at(pos_++));
+      CountTuple();
+      ++appended;
+    }
+    return appended;
   }
 
   void Reset() override { pos_ = 0; }

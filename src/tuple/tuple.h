@@ -54,6 +54,11 @@ class Tuple {
 /// capacity: the operator's steady-state path allocates nothing.
 class GroupKey {
  public:
+  // Seed of the incremental hash fold. Public so the batched hot path can
+  // compute lane hashes column-wise (HashCombine fold over RawValueHash)
+  // that match Hash() bit-for-bit without materializing a key.
+  static constexpr uint64_t kSeed = 0x2545f4914f6cdd1dULL;
+
   GroupKey() = default;
   explicit GroupKey(std::vector<Value> values) : values_(std::move(values)) {
     hash_ = kHashSeed;
@@ -90,7 +95,7 @@ class GroupKey {
  private:
   // Chosen so that the cached hash equals the historical per-call
   // computation: seeded fold of HashCombine over the value hashes.
-  static constexpr uint64_t kHashSeed = 0x2545f4914f6cdd1dULL;
+  static constexpr uint64_t kHashSeed = kSeed;
 
   std::vector<Value> values_;
   uint64_t hash_ = kHashSeed;

@@ -13,10 +13,12 @@
 #include <vector>
 
 #include "core/sampling_operator.h"
+#include "net/packet.h"
 #include "obs/metrics.h"
 #include "obs/trace_ring.h"
 #include "query/query.h"
 #include "tuple/tuple.h"
+#include "tuple/tuple_batch.h"
 #include "tuple/value.h"
 
 namespace {
@@ -160,6 +162,102 @@ TEST(HotPathAllocTest, InstrumentedSamplingSteadyStateAllocatesNothing) {
   )",
                                        /*with_metrics=*/true),
             0u);
+}
+
+// The batched hot path (DESIGN.md §9) carries the same guarantee: once the
+// operator's columnar scratch (key columns, WHERE column, aggregate-argument
+// columns, program stacks) has reached capacity, ProcessBatch must not touch
+// the heap in steady state. A zero delta here also proves the expression
+// programs are compiled exactly once, at construction — compilation
+// allocates, so any per-batch recompilation would show up immediately.
+uint64_t SteadyStateBatchAllocationDelta(const std::string& sql,
+                                         bool with_metrics = false) {
+  Catalog catalog = Catalog::Default();
+  Result<CompiledQuery> cq = CompileQuery(sql, catalog, {.seed = 3});
+  EXPECT_TRUE(cq.ok()) << cq.status().ToString();
+  EXPECT_EQ(cq->kind, CompiledQueryKind::kSampling);
+  SamplingOperator op(cq->sampling);
+  if (with_metrics) {
+    op.set_metrics(obs::OperatorMetrics::Create(
+        obs::MetricRegistry::Default(), "hotpath_batch"));
+    obs::TraceRing::Default().set_enabled(true);
+    op.set_trace_ring(&obs::TraceRing::Default());
+  }
+  std::vector<Tuple> tuples = SteadyStateTuples(2048, 32, 16);
+  // Pre-build the batches outside the measured region, as the runtime's
+  // reused ring-drain batch would be.
+  std::vector<TupleBatch> batches;
+  for (size_t i = 0; i < tuples.size(); i += 512) {
+    batches.emplace_back(tuples.front().size(), 512);
+    for (size_t j = i; j < i + 512; ++j) batches.back().AppendTuple(tuples[j]);
+  }
+  // Warm-up: create every group and let the columnar scratch reach capacity.
+  for (const TupleBatch& b : batches) {
+    Status s = op.ProcessBatch(b);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+  const size_t groups_before = op.num_groups();
+
+  uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  size_t failures = 0;
+  for (const TupleBatch& b : batches) failures += !op.ProcessBatch(b).ok();
+  uint64_t after = g_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(failures, 0u);
+  EXPECT_EQ(op.num_groups(), groups_before);  // steady state: no new groups
+  return after - before;
+}
+
+TEST(HotPathAllocTest, BatchedGroupedAggregationSteadyStateAllocatesNothing) {
+  EXPECT_EQ(SteadyStateBatchAllocationDelta(
+                "SELECT tb, srcIP, destIP, sum(len), count(*) FROM PKTS "
+                "GROUP BY time/20 as tb, srcIP, destIP"),
+            0u);
+}
+
+TEST(HotPathAllocTest, BatchedGroupedSamplingSteadyStateAllocatesNothing) {
+  // Stateful WHERE: the batch loop drops to compiled row mode per lane for
+  // ssample, which must be as heap-free as the tree walk it replaces.
+  EXPECT_EQ(SteadyStateBatchAllocationDelta(R"(
+      SELECT tb, srcIP, destIP, UMAX(sum(len), ssthreshold())
+      FROM PKTS
+      WHERE ssample(len, 1000000000, 2, 10, 0.5) = TRUE
+      GROUP BY time/20 as tb, srcIP, destIP
+      HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE
+      CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
+      CLEANING BY ssclean_with(sum(len)) = TRUE
+  )"),
+            0u);
+}
+
+TEST(HotPathAllocTest, BatchedInstrumentedSteadyStateAllocatesNothing) {
+  EXPECT_EQ(SteadyStateBatchAllocationDelta(
+                "SELECT tb, srcIP, destIP, sum(len), count(*) FROM PKTS "
+                "GROUP BY time/20 as tb, srcIP, destIP",
+                /*with_metrics=*/true),
+            0u);
+}
+
+// Refilling a reused batch from packets (the runtime's ring-drain loop)
+// must also be allocation-free once the batch owns its capacity.
+TEST(HotPathAllocTest, BatchRefillFromPacketsAllocatesNothing) {
+  TupleBatch batch(8, 512);
+  PacketRecord p{};
+  p.ts_ns = 100ULL * 1000000000ULL;
+  p.src_ip = 0x0a000001;
+  p.dst_ip = 0xc0a80001;
+  p.src_port = 1234;
+  p.dst_port = 80;
+  p.proto = 6;
+  p.len = 512;
+  for (int i = 0; i < 512; ++i) batch.AppendPacket(p);  // reach capacity
+  uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int pass = 0; pass < 8; ++pass) {
+    batch.Clear();
+    for (int i = 0; i < 512; ++i) batch.AppendPacket(p);
+  }
+  uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
 }
 
 // The counting allocator itself must work, or the zero-deltas above would
