@@ -16,9 +16,12 @@
 
 #include "bench/bench_util.h"
 #include "core/sampling_operator.h"
+#include "obs/exemplar.h"
 #include "obs/http_server.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/quality.h"
+#include "obs/span.h"
 #include "obs/trace_ring.h"
 
 namespace streamop {
@@ -134,10 +137,24 @@ void RunSteadyState(benchmark::State& state, bool instrumented) {
                                 : cq.status().ToString().c_str());
     return;
   }
+  // Declared before the operator: it keeps raw pointers to them.
+  obs::SpanRing spans(4096);
+  obs::Profiler profiler;
+  obs::ExemplarStore exemplars;
   SamplingOperator op(cq->sampling);
   if (instrumented) {
+    // The full third pillar rides in the instrumented leg: metrics, span
+    // emission, phase-cycle accounting, the live SIGPROF stack sampler and
+    // exemplar reservoirs — the ratio prices everything production runs.
     op.set_metrics(obs::OperatorMetrics::Create(
         obs::MetricRegistry::Default(), "micro_obs"));
+    spans.set_enabled(true);
+    op.set_span_ring(&spans);
+    profiler.set_phase_accounting(true);
+    (void)profiler.Start();  // busy slot (another instance): run unsampled
+    op.set_profiler(&profiler);
+    exemplars.set_enabled(true);
+    op.set_exemplars(&exemplars);
   }
   const std::vector<Tuple> tuples = SteadyStateTuples(4096, 64, 16);
   for (const Tuple& t : tuples) {
@@ -170,6 +187,7 @@ void RunSteadyState(benchmark::State& state, bool instrumented) {
     }
     i = (i + 1) & (batches.size() - 1);
   }
+  profiler.Stop();
   const double total = static_cast<double>(state.iterations()) *
                        static_cast<double>(kObsBatchRows);
   state.SetItemsProcessed(static_cast<int64_t>(total));
@@ -199,8 +217,9 @@ BENCHMARK(BM_SteadyStateInstrumented)->MinTime(2.0);
 // Windows actually close during the timed loop here (time advances every
 // kTuplesPerWindow tuples), so the quality-report build runs at its real
 // cadence — and in the full-observability variant an HTTP poller hammers
-// all five introspection endpoints concurrently. The ratio vs the plain
-// variant is the "serving overhead" criterion (budget: <= 2%).
+// every introspection endpoint (metrics, traces, spans, profile, exemplars,
+// windows, healthz) concurrently. The ratio vs the plain variant is the
+// "serving overhead" criterion (budget: <= 2%).
 constexpr uint64_t kTuplesPerWindow = 16384;
 
 void RunWindowedSteadyState(benchmark::State& state, bool full_obs) {
@@ -212,6 +231,9 @@ void RunWindowedSteadyState(benchmark::State& state, bool full_obs) {
                                 : cq.status().ToString().c_str());
     return;
   }
+  obs::SpanRing spans(4096);
+  obs::Profiler profiler;
+  obs::ExemplarStore exemplars;
   SamplingOperator op(cq->sampling);
   obs::QualityRing ring(512);
   op.set_quality(&ring, "micro_obs_q");  // disabled ring in the plain case
@@ -223,9 +245,19 @@ void RunWindowedSteadyState(benchmark::State& state, bool full_obs) {
     op.set_metrics(obs::OperatorMetrics::Create(
         obs::MetricRegistry::Default(), "micro_obs_q"));
     ring.set_enabled(true);
+    spans.set_enabled(true);
+    op.set_span_ring(&spans);
+    profiler.set_phase_accounting(true);
+    (void)profiler.Start();  // busy slot (another instance): run unsampled
+    op.set_profiler(&profiler);
+    exemplars.set_enabled(true);
+    op.set_exemplars(&exemplars);
     obs::HttpServerOptions hopt;
     hopt.port = 0;
     hopt.quality_ring = &ring;
+    hopt.span_ring = &spans;
+    hopt.profiler = &profiler;
+    hopt.exemplars = &exemplars;
     server = std::make_unique<obs::HttpServer>(hopt);
     Status started = server->Start();
     if (!started.ok()) {
@@ -234,13 +266,16 @@ void RunWindowedSteadyState(benchmark::State& state, bool full_obs) {
     }
     const int port = server->port();
     poller = std::thread([port, &stop, this_ok = &http_ok] {
-      // Scrape all five endpoints round-robin at a cadence far above any
-      // real scraper's (Prometheus defaults to 15s intervals).
-      const char* kPaths[] = {"/metrics", "/metrics.json", "/traces",
-                              "/windows", "/healthz"};
+      // Scrape every endpoint round-robin at a cadence far above any real
+      // scraper's (Prometheus defaults to 15s intervals).
+      const char* kPaths[] = {"/metrics", "/metrics.json",  "/traces",
+                              "/spans",   "/profile?format=phases",
+                              "/exemplars", "/windows",     "/healthz"};
+      constexpr size_t kNumPaths = sizeof(kPaths) / sizeof(kPaths[0]);
       size_t i = 0;
       while (!stop.load(std::memory_order_relaxed)) {
-        Result<std::string> r = obs::HttpGet(port, kPaths[i % 5], 2000);
+        Result<std::string> r =
+            obs::HttpGet(port, kPaths[i % kNumPaths], 2000);
         if (r.ok()) this_ok->fetch_add(1, std::memory_order_relaxed);
         ++i;
         std::this_thread::sleep_for(std::chrono::milliseconds(25));
@@ -279,8 +314,10 @@ void RunWindowedSteadyState(benchmark::State& state, bool full_obs) {
     // in-flight scrapes time out), so verify from this thread that every
     // endpoint answers against the still-live operator state. Blocking in
     // HttpGet yields the CPU to the serving thread.
-    for (const char* path : {"/metrics", "/metrics.json", "/traces",
-                             "/windows", "/healthz"}) {
+    for (const char* path :
+         {"/metrics", "/metrics.json", "/traces", "/spans",
+          "/spans?format=chrome", "/profile?seconds=2",
+          "/profile?format=phases", "/exemplars", "/windows", "/healthz"}) {
       for (int attempt = 0; attempt < 3; ++attempt) {
         Result<std::string> r = obs::HttpGet(server->port(), path, 2000);
         if (r.ok()) {
@@ -292,6 +329,7 @@ void RunWindowedSteadyState(benchmark::State& state, bool full_obs) {
     stop.store(true, std::memory_order_relaxed);
     if (poller.joinable()) poller.join();
     server->Stop();
+    profiler.Stop();
     state.counters["quality_reports"] =
         benchmark::Counter(static_cast<double>(ring.reports_recorded()));
     state.counters["http_requests"] =
@@ -311,8 +349,8 @@ void BM_WindowedSteadyStatePlain(benchmark::State& state) {
 }
 BENCHMARK(BM_WindowedSteadyStatePlain);
 
-// Quality ring enabled, metrics attached, and an HTTP client scraping all
-// five endpoints every ~2ms while the operator runs at full rate.
+// Quality ring, spans, profiler and exemplars attached, and an HTTP client
+// scraping every endpoint while the operator runs at full rate.
 void BM_WindowedSteadyStateServing(benchmark::State& state) {
   RunWindowedSteadyState(state, /*full_obs=*/true);
 }

@@ -18,6 +18,9 @@
 #     "speedup":    { "<name>": <x faster> },      # optimized vs baseline
 #     "regression": { "<name>": { "previous_items_per_second": ...,
 #                                 "items_per_second": ..., "change": ... } },
+#     "overhead_regression": { "obs_overhead": { "previous_ratio": ...,
+#                                                "ratio": ..., "change": ... },
+#                              "serving_overhead": { ... } },
 #     "raw": { "micro_operator": <google-benchmark JSON>, ... }
 #   }
 #
@@ -27,9 +30,12 @@
 # If the output JSON already exists (the committed BENCH_operator.json from
 # the previous PR), a regression table against it is printed and embedded:
 # every benchmark present in both runs is compared on items_per_second, and
-# any drop greater than 10% is flagged with a WARNING. Warnings do not fail
-# the script — renamed drivers and host variance need a human eye — but
-# they make an accidental slowdown impossible to miss.
+# any drop greater than 10% is flagged with a WARNING. The obs_overhead and
+# serving_overhead ratios are diffed the same way — an observability change
+# that inflates either A/B ratio by more than 10% relative gets its own
+# WARNING line. Warnings do not fail the script — renamed drivers and host
+# variance need a human eye — but they make an accidental slowdown
+# impossible to miss.
 #
 # Any missing benchmark binary, benchmark crash, unparsable benchmark JSON
 # or failing CLI run aborts the script with a non-zero exit code — a silent
@@ -41,6 +47,10 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 OUT="${2:-$REPO_ROOT/BENCH_operator.json}"
 MIN_TIME="${BENCH_MIN_TIME:-0.5}"
+# Interleaved repetitions for the A/B and trajectory-gating binaries.
+# Raise on noisy (shared / single-CPU) hosts: the obs overhead ratio is a
+# <=2% delta, easily swamped unless the median spans enough reps.
+REPS="${BENCH_REPS:-5}"
 
 TMPDIR_BENCH="$(mktemp -d)"
 trap 'rm -rf "$TMPDIR_BENCH"' EXIT
@@ -62,7 +72,7 @@ for exe in "${BENCHES[@]}"; do
   # and record medians.
   extra=()
   if [[ "$exe" == micro_obs || "$exe" == micro_operator ]]; then
-    extra=(--benchmark_repetitions=5 --benchmark_enable_random_interleaving=true)
+    extra=(--benchmark_repetitions="$REPS" --benchmark_enable_random_interleaving=true)
   fi
   if ! "$bin" --benchmark_min_time="$MIN_TIME" \
               --benchmark_out="$TMPDIR_BENCH/$exe.json" \
@@ -103,12 +113,19 @@ import json, os, re, sys, time
 tmpdir, out_path, baseline_path = sys.argv[1], sys.argv[2], sys.argv[3]
 
 # Load the previous run (the committed BENCH_operator.json) before it gets
-# overwritten, for the regression table.
+# overwritten, for the regression table: per-benchmark throughput plus the
+# two A/B overhead ratios.
 previous = {}
+previous_overheads = {}
 if os.path.exists(out_path):
     try:
         with open(out_path) as f:
-            previous = json.load(f).get("benchmarks", {})
+            prev_doc = json.load(f)
+        previous = prev_doc.get("benchmarks", {})
+        for key in ("obs_overhead", "serving_overhead"):
+            ratio = (prev_doc.get(key) or {}).get("ratio")
+            if ratio:
+                previous_overheads[key] = ratio
     except (json.JSONDecodeError, OSError) as e:
         print(f"note: could not read previous {out_path}: {e}")
 
@@ -262,6 +279,25 @@ for name in sorted(previous):
 if regression:
     result["regression"] = regression
 
+# Overhead-ratio diff vs the previous run. The ratios are "cost multipliers"
+# (1.0 = free), so the comparison is on the relative change of the ratio
+# itself: 1.01 -> 1.12 is a real observability regression even though both
+# rounds trip the same <= 10% throughput rule above.
+overhead_regression = {}
+overhead_warned = []
+for key, prev_ratio in sorted(previous_overheads.items()):
+    cur_ratio = result[key]["ratio"]
+    change = cur_ratio / prev_ratio - 1.0
+    overhead_regression[key] = {
+        "previous_ratio": prev_ratio,
+        "ratio": cur_ratio,
+        "change": round(change, 4),
+    }
+    if change > 0.10:
+        overhead_warned.append((key, change))
+if overhead_regression:
+    result["overhead_regression"] = overhead_regression
+
 result["raw"] = raw
 with open(out_path, "w") as f:
     json.dump(result, f, indent=1)
@@ -286,4 +322,13 @@ if regression:
     if warned:
         print(f"  {len(warned)} benchmark(s) regressed more than 10% — "
               "investigate before committing this JSON")
+if overhead_regression:
+    print(f"overhead ratios vs previous {os.path.basename(out_path)}:")
+    for key, r in sorted(overhead_regression.items()):
+        mark = "  WARNING: ratio grew >10%" if r["change"] > 0.10 else ""
+        print(f"  {key:<17}  {r['previous_ratio']:.4f}x -> {r['ratio']:.4f}x"
+              f"  {r['change']*100:+7.1f}%{mark}")
+    if overhead_warned:
+        print(f"  {len(overhead_warned)} overhead ratio(s) grew more than "
+              "10% — the observability layer got more expensive")
 EOF

@@ -26,9 +26,12 @@
 #include "engine/runtime.h"
 #include "net/flow_generator.h"
 #include "net/trace_generator.h"
+#include "obs/exemplar.h"
 #include "obs/http_server.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/quality.h"
+#include "obs/span.h"
 #include "obs/trace_ring.h"
 #include "query/query.h"
 #include "stream/fault_injection.h"
@@ -58,8 +61,17 @@ void Usage(const char* argv0) {
       "                        cleaning phases, subset-sum z adjustments)\n"
       "  --quality-json <path> write per-window sample-quality reports\n"
       "                        (error bounds, CIs) as JSON after the run\n"
+      "  --spans-json <path>   write window-lifecycle spans (ring drain ->\n"
+      "                        select -> admission -> flush trees) as JSON\n"
+      "  --exemplars-json <path>  write reservoir-sampled telemetry\n"
+      "                        exemplars (latency bands, shed/late/malformed)\n"
+      "  --profile-folded <path>  run the SIGPROF sampler during the run and\n"
+      "                        write folded stacks (pipe to flamegraph.pl)\n"
+      "  --profile-hz <n>      sampler rate for --profile-folded / /profile\n"
+      "                        (default 97)\n"
       "  --http-port <n>       serve /metrics, /metrics.json, /traces,\n"
-      "                        /windows, /healthz on loopback (0 = ephemeral)\n"
+      "                        /spans, /profile, /exemplars, /windows,\n"
+      "                        /healthz on loopback (0 = ephemeral)\n"
       "  --serve-ms <n>        keep the HTTP server up for n ms after the\n"
       "                        run finishes (for scraping; default 0)\n"
       "  --metrics-interval-ms <n>  rewrite --metrics-json/--metrics-prom\n"
@@ -95,6 +107,10 @@ struct Args {
   std::string metrics_prom;
   std::string trace_json;
   std::string quality_json;
+  std::string spans_json;
+  std::string exemplars_json;
+  std::string profile_folded;
+  int profile_hz = 0;  // 0 = default rate (97 Hz)
   int http_port = -1;  // -1 = off, 0 = ephemeral
   uint64_t serve_ms = 0;
   uint64_t metrics_interval_ms = 0;
@@ -171,6 +187,22 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       const char* v = next();
       if (v == nullptr) return false;
       out->quality_json = v;
+    } else if (a == "--spans-json") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->spans_json = v;
+    } else if (a == "--exemplars-json") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->exemplars_json = v;
+    } else if (a == "--profile-folded") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->profile_folded = v;
+    } else if (a == "--profile-hz") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->profile_hz = std::atoi(v);
     } else if (a == "--http-port") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -386,6 +418,28 @@ int main(int argc, char** argv) {
   if (!args.quality_json.empty() || want_http) {
     obs::QualityRing::Default().set_enabled(true);
   }
+  if (!args.spans_json.empty() || want_http) {
+    obs::SpanRing::Default().set_enabled(true);
+  }
+  if (!args.exemplars_json.empty() || want_http) {
+    obs::ExemplarStore::Default().set_enabled(true);
+  }
+  // The sampling profiler + phase-cycle accounting: started when a folded
+  // export or explicit rate was requested, and whenever the introspection
+  // server is up (so /profile answers live). SIGPROF fires on consumed CPU
+  // time and touches nothing the query reads, so results stay
+  // byte-identical with it running.
+  obs::Profiler& profiler = obs::Profiler::Default();
+  const bool want_profile =
+      !args.profile_folded.empty() || args.profile_hz > 0 || want_http;
+  if (want_profile) {
+    profiler.set_hz(args.profile_hz);
+    profiler.set_phase_accounting(true);
+    Status ps = profiler.Start();
+    if (!ps.ok()) {
+      std::fprintf(stderr, "profiler: %s\n", ps.ToString().c_str());
+    }
+  }
 
   // Header helper shared by both execution paths.
   SchemaPtr out_schema = cq->output_schema();
@@ -423,6 +477,19 @@ int main(int argc, char** argv) {
     if (!args.quality_json.empty()) {
       io_ok &= WriteFile(args.quality_json,
                          obs::QualityRing::Default().ToJson(), "quality JSON");
+    }
+    if (!args.spans_json.empty()) {
+      io_ok &= WriteFile(args.spans_json, obs::SpanRing::Default().ToJson(),
+                         "spans JSON");
+    }
+    if (!args.exemplars_json.empty()) {
+      io_ok &= WriteFile(args.exemplars_json,
+                         obs::ExemplarStore::Default().ToJson(),
+                         "exemplars JSON");
+    }
+    if (!args.profile_folded.empty()) {
+      io_ok &= WriteFile(args.profile_folded, profiler.Folded(0),
+                         "folded profile");
     }
   };
 
@@ -543,5 +610,6 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (want_profile) profiler.Stop();
   return io_ok ? 0 : 1;
 }

@@ -261,6 +261,22 @@ Status SamplingOperator::Process(const Tuple& input, double weight) {
     if (obs_on && metrics_.late_tuples != nullptr) {
       metrics_.late_tuples->Add();  // rare: direct atomic is fine
     }
+    if constexpr (obs::kStatsEnabled) {
+      // Exemplar: which tuple was late, not just how many were. Dims carry
+      // the first raw group-key values (srcIP/destIP-style context).
+      if (exemplars_->enabled()) {
+        obs::Exemplar ex;
+        ex.ts_ns = obs::NowNanos();
+        ex.value = weight;
+        ex.weight = weight;
+        ex.window_seq = window_seq_;
+        const std::vector<Value>& kv = scratch_gk_.values();
+        for (size_t i = 0; i < kv.size() && ex.ndims < ex.dims.size(); ++i) {
+          ex.dims[ex.ndims++] = kv[i].AsUInt();
+        }
+        exemplars_->Offer(obs::ExemplarStore::kLateTuple, ex);
+      }
+    }
   }
   const std::vector<Value>& gb_values = scratch_gk_.values();
   if (boundary) {
@@ -275,6 +291,7 @@ Status SamplingOperator::Process(const Tuple& input, double weight) {
     live_stats_ = WindowStats{};
     live_stats_.window_id = current_window_id_;
     live_max_weight_ = 1.0;
+    OpenWindowSpan();
   }
   ++live_stats_.tuples_in;
   if constexpr (obs::kStatsEnabled) {
@@ -373,7 +390,19 @@ Status SamplingOperator::Process(const Tuple& input, double weight) {
   }
 
   if (time_this_tuple) {
-    metrics_.admission_ns->Record(obs::NowNanos() - admit_t0);
+    const uint64_t lat = obs::NowNanos() - admit_t0;
+    metrics_.admission_ns->Record(lat);
+    if constexpr (obs::kStatsEnabled) {
+      // The sampled tuple doubles as the latency-band exemplar: same
+      // 1-in-256 cadence, so exemplars add no clock reads of their own.
+      if (exemplars_->enabled()) {
+        obs::Exemplar ex;
+        ex.ts_ns = admit_t0;
+        ex.weight = weight;
+        ex.window_seq = window_seq_;
+        exemplars_->OfferLatency(lat, ex);
+      }
+    }
   }
 
   // 7. CLEANING WHEN: the cleaning trigger, evaluated against the
@@ -392,17 +421,33 @@ Status SamplingOperator::Process(const Tuple& input, double weight) {
     if (trigger) {
       ++live_stats_.cleaning_phases;
       // Cleaning phases are rare (a handful per window), so each one is
-      // timed fully and traced.
+      // timed fully, traced, and emitted as a child span of the window.
       const bool tracing = trace_ring_->enabled();
-      const uint64_t t0 = (obs_on || tracing) ? obs::NowNanos() : 0;
+      const bool span_on = span_ring_->enabled();
+      const bool prof_on = profiler_->phase_accounting_enabled();
+      const uint64_t t0 = (obs_on || tracing || span_on) ? obs::NowNanos() : 0;
+      const uint64_t c0 = prof_on ? obs::CycleNow() : 0;
       STREAMOP_RETURN_NOT_OK(RunCleaningPhase(scratch_sk_, sg));
-      if (obs_on || tracing) {
+      if (prof_on) {
+        profiler_->AddPhaseCycles(obs::Profiler::kClean, obs::CycleNow() - c0);
+      }
+      if (obs_on || tracing || span_on) {
         const uint64_t dur = obs::NowNanos() - t0;
         if (obs_on) {
           metrics_.cleaning_phases->Add();
           metrics_.cleaning_ns->Record(dur);
         }
         if (tracing) trace_ring_->Record("cleaning_phase", t0, dur);
+        if (span_on) {
+          obs::SpanRecord sr;
+          sr.name = "clean";
+          sr.parent_id = window_span_id_;
+          sr.window_seq = window_seq_;
+          sr.ts_ns = t0;
+          sr.dur_ns = dur;
+          sr.max_weight = live_max_weight_;
+          span_ring_->Emit(sr);
+        }
       }
     }
   }
@@ -422,10 +467,54 @@ Status SamplingOperator::ProcessBatchFallback(const TupleBatch& batch,
   return Status::OK();
 }
 
-Status SamplingOperator::ProcessBatch(const TupleBatch& batch, double weight) {
+void SamplingOperator::OpenWindowSpan() {
+  if constexpr (obs::kStatsEnabled) {
+    ++window_seq_;
+    if (span_ring_->enabled()) {
+      // Reserve the root span's id now so every phase span of this window
+      // can name its parent; the root is written at flush, covering
+      // open -> flush.
+      window_span_id_ = span_ring_->NextId();
+      window_open_ts_ns_ = obs::NowNanos();
+    } else {
+      window_span_id_ = 0;
+      window_open_ts_ns_ = 0;
+    }
+  }
+}
+
+Status SamplingOperator::ProcessBatch(const TupleBatch& batch, double weight,
+                                      obs::SpanContext* span_ctx) {
+  const Status st = ProcessBatchInner(batch, weight, span_ctx);
+  if constexpr (obs::kStatsEnabled) {
+    // Causal back-report: whatever path the batch took (columnar, fallback,
+    // error), tell the caller which window lifecycle it last fed so the
+    // runtime's drain span can parent under the window root.
+    if (span_ctx != nullptr) {
+      span_ctx->window_span_id = window_span_id_;
+      span_ctx->window_seq = window_seq_;
+    }
+  }
+  return st;
+}
+
+Status SamplingOperator::ProcessBatchInner(const TupleBatch& batch,
+                                           double weight,
+                                           obs::SpanContext* span_ctx) {
   const size_t n = batch.num_rows();
   if (n == 0) return Status::OK();
   if (!batched_ok_) return ProcessBatchFallback(batch, 0, weight);
+
+  // Span/profiler context for this batch. The shed probability comes from
+  // the caller's SpanContext when threaded (the runtime knows the post-tick
+  // admission probability); a bare weighted call reconstructs it as 1/w.
+  const bool span_on = span_ring_->enabled();
+  const bool prof_on = profiler_->phase_accounting_enabled();
+  const double batch_shed_p =
+      span_ctx != nullptr ? span_ctx->shed_p
+                          : (weight > 1.0 ? 1.0 / weight : 1.0);
+  const uint64_t sel_t0 = span_on ? obs::NowNanos() : 0;
+  const uint64_t sel_c0 = prof_on ? obs::CycleNow() : 0;
 
   // ---- Columnar precompute (side-effect-free) -------------------------
   // Everything here is a pure function of the batch, so any evaluation
@@ -537,12 +626,23 @@ Status SamplingOperator::ProcessBatch(const TupleBatch& batch, double weight) {
     }
   }
 
+  // Precompute done: close the batch-select phase (the span is emitted at
+  // batch end once the window it fed is known).
+  const uint64_t sel_dur = span_on ? obs::NowNanos() - sel_t0 : 0;
+  if (prof_on) {
+    profiler_->AddPhaseCycles(obs::Profiler::kBatchSelect,
+                              obs::CycleNow() - sel_c0);
+  }
+
   // ---- Per-lane loop, mirroring Process() steps 2-7 -------------------
   // Observability is batched: one clock read pair and one pending-counter
   // flush per batch instead of per tuple (lanes that detour through
   // Process() — late tuples, fallbacks — count themselves).
   const bool obs_on = metrics_.enabled();
   const uint64_t batch_t0 = obs_on ? obs::NowNanos() : 0;
+  const uint64_t adm_t0 = span_on ? (obs_on ? batch_t0 : obs::NowNanos()) : 0;
+  const uint64_t adm_c0 = prof_on ? obs::CycleNow() : 0;
+  uint64_t clean_cycles = 0;  // nested cleaning, subtracted from admission
   uint64_t inline_lanes = 0;
 
   // Consecutive lanes overwhelmingly share a supergroup; cache the last
@@ -645,6 +745,7 @@ Status SamplingOperator::ProcessBatch(const TupleBatch& batch, double weight) {
       live_stats_ = WindowStats{};
       live_stats_.window_id = current_window_id_;
       live_max_weight_ = 1.0;
+      OpenWindowSpan();
     }
     ++inline_lanes;
     ++live_stats_.tuples_in;
@@ -815,7 +916,9 @@ Status SamplingOperator::ProcessBatch(const TupleBatch& batch, double weight) {
       if (cv.AsBool()) {
         ++live_stats_.cleaning_phases;
         const bool tracing = trace_ring_->enabled();
-        const uint64_t t0 = (obs_on || tracing) ? obs::NowNanos() : 0;
+        const uint64_t t0 =
+            (obs_on || tracing || span_on) ? obs::NowNanos() : 0;
+        const uint64_t c0 = prof_on ? obs::CycleNow() : 0;
         scratch_sk_.Clear();
         for (size_t j = 0; j < nsk; ++j) {
           const VecCol& c =
@@ -824,13 +927,28 @@ Status SamplingOperator::ProcessBatch(const TupleBatch& batch, double weight) {
         }
         STREAMOP_RETURN_NOT_OK(RunCleaningPhase(scratch_sk_, *sg));
         finals_sg = nullptr;  // cleaning removes groups / resets SFUN state
-        if (obs_on || tracing) {
+        if (prof_on) {
+          const uint64_t cc = obs::CycleNow() - c0;
+          clean_cycles += cc;
+          profiler_->AddPhaseCycles(obs::Profiler::kClean, cc);
+        }
+        if (obs_on || tracing || span_on) {
           const uint64_t dur = obs::NowNanos() - t0;
           if (obs_on) {
             metrics_.cleaning_phases->Add();
             metrics_.cleaning_ns->Record(dur);
           }
           if (tracing) trace_ring_->Record("cleaning_phase", t0, dur);
+          if (span_on) {
+            obs::SpanRecord sr;
+            sr.name = "clean";
+            sr.parent_id = window_span_id_;
+            sr.window_seq = window_seq_;
+            sr.ts_ns = t0;
+            sr.dur_ns = dur;
+            sr.max_weight = live_max_weight_;
+            span_ring_->Emit(sr);
+          }
         }
       }
     }
@@ -841,10 +959,56 @@ Status SamplingOperator::ProcessBatch(const TupleBatch& batch, double weight) {
     pending_admitted_ += batch_admitted;
     pending_superagg_updates_ += batch_superagg_updates;
     if (inline_lanes > 0) {
-      metrics_.admission_ns->Record((obs::NowNanos() - batch_t0) /
-                                    inline_lanes);
+      const uint64_t per_lane_ns =
+          (obs::NowNanos() - batch_t0) / inline_lanes;
+      metrics_.admission_ns->Record(per_lane_ns);
+      if constexpr (obs::kStatsEnabled) {
+        // Latency exemplar: the batch's mean per-lane admission latency,
+        // with lane/admitted counts as context — one offer per batch.
+        if (exemplars_->enabled()) {
+          obs::Exemplar ex;
+          ex.ts_ns = batch_t0;
+          ex.weight = weight;
+          ex.window_seq = window_seq_;
+          ex.dims[0] = inline_lanes;
+          ex.dims[1] = batch_admitted;
+          ex.ndims = 2;
+          exemplars_->OfferLatency(per_lane_ns, ex);
+        }
+      }
     }
     FlushPendingMetrics();
+  }
+  if (prof_on) {
+    // Admission covers the lane loop minus the cleaning phases nested in
+    // it (those are already accounted to kClean).
+    const uint64_t total = obs::CycleNow() - adm_c0;
+    profiler_->AddPhaseCycles(obs::Profiler::kAdmission,
+                              total > clean_cycles ? total - clean_cycles : 0);
+  }
+  if (span_on) {
+    // Both batch-level spans parent under the last window this batch fed
+    // (a batch straddling a boundary attributes to the window it ended in).
+    obs::SpanRecord sel;
+    sel.name = "batch_select";
+    sel.parent_id = window_span_id_;
+    sel.window_seq = window_seq_;
+    sel.ts_ns = sel_t0;
+    sel.dur_ns = sel_dur;
+    sel.rows = n;
+    sel.shed_p = batch_shed_p;
+    span_ring_->Emit(sel);
+    obs::SpanRecord adm;
+    adm.name = "admission";
+    adm.parent_id = window_span_id_;
+    adm.window_seq = window_seq_;
+    adm.ts_ns = adm_t0;
+    adm.dur_ns = obs::NowNanos() - adm_t0;
+    adm.rows = inline_lanes;
+    adm.admitted = batch_admitted;
+    adm.shed_p = batch_shed_p;
+    adm.max_weight = live_max_weight_;
+    span_ring_->Emit(adm);
   }
   return Status::OK();
 }
@@ -932,7 +1096,12 @@ Status SamplingOperator::FlushWindow() {
   FlushPendingMetrics();
   const bool obs_on = metrics_.enabled();
   const bool tracing = trace_ring_->enabled();
-  const uint64_t flush_t0 = (obs_on || tracing) ? obs::NowNanos() : 0;
+  const bool span_on = span_ring_->enabled();
+  const bool prof_on = profiler_->phase_accounting_enabled();
+  const uint64_t flush_t0 =
+      (obs_on || tracing || span_on) ? obs::NowNanos() : 0;
+  const uint64_t flush_c0 = prof_on ? obs::CycleNow() : 0;
+  uint64_t quality_cycles = 0;  // nested below, subtracted from kFlush
   if (obs_on && groups_.capacity() > 0) {
     // Load factor of the group table as the window closes, before HAVING
     // prunes groups and the table swap clears it.
@@ -1009,7 +1178,24 @@ Status SamplingOperator::FlushWindow() {
   // swap below while the supergroup states and membership are still live.
   if constexpr (obs::kStatsEnabled) {
     if (quality_ring_ != nullptr && quality_ring_->enabled()) {
+      const uint64_t q_t0 = span_on ? obs::NowNanos() : 0;
+      const uint64_t q_c0 = prof_on ? obs::CycleNow() : 0;
       RecordWindowQuality();
+      if (prof_on) {
+        quality_cycles = obs::CycleNow() - q_c0;
+        profiler_->AddPhaseCycles(obs::Profiler::kQuality, quality_cycles);
+      }
+      if (span_on) {
+        obs::SpanRecord qr;
+        qr.name = "quality_report";
+        qr.parent_id = window_span_id_;
+        qr.window_seq = window_seq_;
+        qr.ts_ns = q_t0;
+        qr.dur_ns = obs::NowNanos() - q_t0;
+        qr.rows = window_stats_.back().groups_output;
+        qr.max_weight = live_max_weight_;
+        span_ring_->Emit(qr);
+      }
     }
   }
 
@@ -1029,10 +1215,49 @@ Status SamplingOperator::FlushWindow() {
   supergroup_groups_.reserve(expected_supergroups);
   new_supergroups_.reserve(expected_supergroups);
 
-  if (obs_on || tracing) {
-    const uint64_t dur = obs::NowNanos() - flush_t0;
+  if (prof_on) {
+    const uint64_t total = obs::CycleNow() - flush_c0;
+    profiler_->AddPhaseCycles(
+        obs::Profiler::kFlush,
+        total > quality_cycles ? total - quality_cycles : 0);
+  }
+  if (obs_on || tracing || span_on) {
+    const uint64_t now = obs::NowNanos();
+    const uint64_t dur = now - flush_t0;
     if (obs_on) metrics_.flush_ns->Record(dur);
     if (tracing) trace_ring_->Record("window_flush", flush_t0, dur);
+    if (span_on) {
+      const WindowStats& ws = window_stats_.back();
+      obs::SpanRecord fr;
+      fr.name = "flush";
+      fr.parent_id = window_span_id_;
+      fr.window_seq = window_seq_;
+      fr.ts_ns = flush_t0;
+      fr.dur_ns = dur;
+      fr.rows = ws.tuples_output;
+      fr.max_weight = live_max_weight_;
+      span_ring_->Emit(fr);
+      // The window root goes in last, covering open -> end of flush. Its id
+      // was reserved at open, so every phase span above already points at
+      // it; if spans were only enabled mid-window the id is 0 and Emit
+      // draws a fresh one (the orphaned phases stay queryable by seq).
+      obs::SpanRecord wr;
+      wr.name = "window";
+      wr.span_id = window_span_id_;
+      wr.parent_id = 0;
+      wr.window_seq = window_seq_;
+      wr.ts_ns = window_open_ts_ns_ != 0 ? window_open_ts_ns_ : flush_t0;
+      wr.dur_ns = now - wr.ts_ns;
+      wr.rows = ws.tuples_in;
+      wr.admitted = ws.tuples_admitted;
+      wr.max_weight = live_max_weight_;
+      wr.shed_p = live_max_weight_ > 1.0 ? 1.0 / live_max_weight_ : 1.0;
+      span_ring_->Emit(wr);
+    }
+  }
+  if constexpr (obs::kStatsEnabled) {
+    window_span_id_ = 0;  // closed; a FinishStream flush must not re-parent
+    window_open_ts_ns_ = 0;
   }
   return Status::OK();
 }

@@ -25,8 +25,11 @@
 #include "common/flat_hash_table.h"
 #include "common/status.h"
 #include "core/superagg.h"
+#include "obs/exemplar.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/quality.h"
+#include "obs/span.h"
 #include "obs/trace_ring.h"
 #include "expr/aggregate.h"
 #include "expr/expr.h"
@@ -124,7 +127,17 @@ class SamplingOperator {
   Status ProcessBatch(const TupleBatch& batch) {
     return ProcessBatch(batch, 1.0);
   }
-  Status ProcessBatch(const TupleBatch& batch, double weight);
+  Status ProcessBatch(const TupleBatch& batch, double weight) {
+    return ProcessBatch(batch, weight, nullptr);
+  }
+
+  /// Span-context variant: the caller (the runtime's ring-drain loop) fills
+  /// the upstream fields of `span_ctx` (shed probability, rows drained) and
+  /// receives back the id and sequence number of the last window span this
+  /// batch fed, so its own drain span can parent under the window root.
+  /// Null span_ctx is the untraced path, bit-identical to the 2-arg form.
+  Status ProcessBatch(const TupleBatch& batch, double weight,
+                      obs::SpanContext* span_ctx);
 
   /// Closes the final window at end-of-stream.
   Status FinishStream();
@@ -158,6 +171,24 @@ class SamplingOperator {
     if (ring != nullptr) quality_ring_ = ring;
     quality_node_ = std::move(node_name);
   }
+
+  /// Redirects window-lifecycle spans (default: obs::SpanRing::Default()).
+  void set_span_ring(obs::SpanRing* ring) {
+    if (ring != nullptr) span_ring_ = ring;
+  }
+
+  /// Redirects phase-cycle accounting (default: obs::Profiler::Default()).
+  void set_profiler(obs::Profiler* profiler) {
+    if (profiler != nullptr) profiler_ = profiler;
+  }
+
+  /// Redirects telemetry exemplars (default: obs::ExemplarStore::Default()).
+  void set_exemplars(obs::ExemplarStore* store) {
+    if (store != nullptr) exemplars_ = store;
+  }
+
+  /// 1-based count of windows ever opened (ties spans to lifecycles).
+  uint64_t window_seq() const { return window_seq_; }
 
   /// Number of live groups / supergroups (introspection for tests).
   size_t num_groups() const { return groups_.size(); }
@@ -204,6 +235,12 @@ class SamplingOperator {
 
   // Window boundary: HAVING + SELECT per group, stats, table swap.
   Status FlushWindow();
+
+  // The batched hot path behind the public ProcessBatch overloads; the
+  // wrapper reports the window span id/seq back through span_ctx after the
+  // body returns (covering every exit, fallback included).
+  Status ProcessBatchInner(const TupleBatch& batch, double weight,
+                           obs::SpanContext* span_ctx);
 
   // Replays batch lanes [first_lane, num_rows) through the tuple-at-a-time
   // Process(). Used whole-batch when a clause has no compiled program, and
@@ -314,6 +351,18 @@ class SamplingOperator {
   // double compare per tuple; the report itself is window-boundary work
   // gated on quality_ring_->enabled().
   obs::QualityRing* quality_ring_ = &obs::QualityRing::Default();
+  // Window-lifecycle spans (obs/span.h): the root span's id is allocated at
+  // window open — OpenWindowSpan() — so mid-window phase spans can parent
+  // under it; the root itself is emitted last, at flush. Phase-cycle
+  // accounting and exemplar offers ride the existing per-batch /
+  // window-boundary instrumentation points, never per-tuple ones.
+  obs::SpanRing* span_ring_ = &obs::SpanRing::Default();
+  obs::Profiler* profiler_ = &obs::Profiler::Default();
+  obs::ExemplarStore* exemplars_ = &obs::ExemplarStore::Default();
+  void OpenWindowSpan();
+  uint64_t window_seq_ = 0;         // windows ever opened (1-based)
+  uint64_t window_span_id_ = 0;     // root span id of the open window
+  uint64_t window_open_ts_ns_ = 0;  // wall clock at window open (spans on)
   std::string quality_node_ = "operator";
   uint64_t quality_seq_ = 0;
   double live_max_weight_ = 1.0;

@@ -41,7 +41,7 @@ Status QueryNode::Push(const Tuple& t, double weight) {
 }
 
 Status QueryNode::PushBatch(const TupleBatch& batch, double weight,
-                            TupleBatch* out) {
+                            TupleBatch* out, obs::SpanContext* span_ctx) {
   const size_t lanes = batch.num_selected();
   tuples_in_ += lanes;
   if (metrics_.enabled()) {
@@ -49,7 +49,7 @@ Status QueryNode::PushBatch(const TupleBatch& batch, double weight,
     metrics_.batch_fill->Record(lanes);
   }
   if (sampling_ != nullptr) {
-    STREAMOP_RETURN_NOT_OK(sampling_->ProcessBatch(batch, weight));
+    STREAMOP_RETURN_NOT_OK(sampling_->ProcessBatch(batch, weight, span_ctx));
     std::vector<Tuple> rows = sampling_->DrainOutput();
     tuples_out_ += rows.size();
     if (metrics_.enabled() && !rows.empty()) {

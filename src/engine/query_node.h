@@ -42,8 +42,14 @@ class QueryNode {
   /// admitted, projected lanes land columnar in *out (the caller chains
   /// them into the next node's PushBatch; DrainOutput() stays empty);
   /// without it they are materialized into the internal row output.
+  /// `span_ctx` (optional) is the causal span context the runtime threads
+  /// from its drain loop to the sampling operator: the caller's shed
+  /// probability and row count go down, the id of the window span the batch
+  /// fed comes back, so the runtime's ring_drain span can parent under the
+  /// window root (obs/span.h). Selection nodes pass it through untouched.
   Status PushBatch(const TupleBatch& batch, double weight = 1.0,
-                   TupleBatch* out = nullptr);
+                   TupleBatch* out = nullptr,
+                   obs::SpanContext* span_ctx = nullptr);
 
   /// End-of-stream: close the final window (sampling nodes).
   Status Finish();

@@ -6,7 +6,10 @@
 #include <cstdio>
 #include <thread>
 
+#include "obs/exemplar.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/span.h"
 #include "stream/stream_source.h"
 
 namespace streamop {
@@ -39,6 +42,42 @@ class RunningGuard {
  private:
   std::atomic<bool>& flag_;
 };
+
+// Offers a malformed-packet exemplar (the rejected header's timestamp and
+// claimed length) to the process-wide store. Rare path: the gate is one
+// relaxed load, the offer one uncontended lock.
+void OfferMalformedExemplar(const PacketRecord& p) {
+  if constexpr (obs::kStatsEnabled) {
+    obs::ExemplarStore& store = obs::ExemplarStore::Default();
+    if (!store.enabled()) return;
+    obs::Exemplar ex;
+    ex.ts_ns = p.ts_ns;
+    ex.value = static_cast<double>(p.len);
+    ex.dims[0] = p.ts_ns;
+    ex.dims[1] = p.len;
+    ex.ndims = 2;
+    store.Offer(obs::ExemplarStore::kMalformed, ex);
+  }
+}
+
+// Offers a shed-drop exemplar: which packet the Bernoulli pre-sampler
+// dropped, at what admission probability.
+void OfferShedExemplar(const PacketRecord& p, double weight) {
+  if constexpr (obs::kStatsEnabled) {
+    obs::ExemplarStore& store = obs::ExemplarStore::Default();
+    if (!store.enabled()) return;
+    obs::Exemplar ex;
+    ex.ts_ns = p.ts_ns;
+    ex.value = weight > 1.0 ? 1.0 / weight : 1.0;  // admission probability
+    ex.weight = weight;
+    ex.dims[0] = p.ts_ns;
+    ex.dims[1] = p.src_ip;
+    ex.dims[2] = p.dst_ip;
+    ex.dims[3] = p.len;
+    ex.ndims = 4;
+    store.Offer(obs::ExemplarStore::kShedDrop, ex);
+  }
+}
 
 NodeReport MakeReport(const QueryNode& node, double stream_seconds) {
   NodeReport r;
@@ -166,16 +205,32 @@ Result<RunReport> TwoLevelRuntime::Run(const Trace& trace) {
     // and selection both bill to the low node (these are the "memory copy"
     // costs §7.2 attributes to low-level evaluation).
     while (!ring.empty()) {
+      obs::SpanRing& spans = obs::SpanRing::Default();
+      obs::Profiler& prof = obs::Profiler::Default();
+      const bool span_on = spans.enabled();
+      const bool prof_on = prof.phase_accounting_enabled();
       uint64_t t0 = NowNanos();
+      const uint64_t drain_c0 = prof_on ? obs::CycleNow() : 0;
       batch.Clear();
       const PacketRecord* p = nullptr;
       for (size_t i = 0; i < options_.batch_size && ring.TryPop(&p); ++i) {
         if (p->len < kMinPacketLen) {
           ++packets_malformed;  // truncated/garbage header: reject, don't feed
+          OfferMalformedExemplar(*p);
           continue;
         }
         batch.AppendPacket(*p);
       }
+      const uint64_t drain_end = span_on ? NowNanos() : 0;
+      if (prof_on) {
+        prof.AddPhaseCycles(obs::Profiler::kDrain,
+                            obs::CycleNow() - drain_c0);
+      }
+      // Causal context: rows drained go down; the id of the window span the
+      // batch fed comes back up through the sampling operator, so the drain
+      // span below parents under the window root it actually filled.
+      obs::SpanContext sctx;
+      sctx.rows = batch.num_rows();
       STREAMOP_RETURN_NOT_OK(low_->PushBatch(batch, 1.0, &low_out_batch));
       uint64_t batch_ns = NowNanos() - t0;
       low_->AddCpuNanos(batch_ns);
@@ -184,10 +239,21 @@ Result<RunReport> TwoLevelRuntime::Run(const Trace& trace) {
       // High-level nodes consume the low node's output batch.
       for (auto& node : high_) {
         uint64_t h0 = NowNanos();
-        STREAMOP_RETURN_NOT_OK(node->PushBatch(low_out_batch));
+        STREAMOP_RETURN_NOT_OK(node->PushBatch(
+            low_out_batch, 1.0, nullptr, span_on ? &sctx : nullptr));
         uint64_t h_ns = NowNanos() - h0;
         node->AddCpuNanos(h_ns);
         node->RecordBatch(h_ns, low_out_batch.num_rows());
+      }
+      if (span_on) {
+        obs::SpanRecord dr;
+        dr.name = "ring_drain";
+        dr.parent_id = sctx.window_span_id;
+        dr.window_seq = sctx.window_seq;
+        dr.ts_ns = t0;
+        dr.dur_ns = drain_end - t0;
+        dr.rows = batch.num_rows();
+        spans.Emit(dr);
       }
     }
   }
@@ -327,19 +393,36 @@ Result<RunReport> TwoLevelRuntime::RunThreaded(const Trace& trace) {
       }
       const double weight = shed_on ? shed.weight() : 1.0;
 
+      obs::SpanRing& spans = obs::SpanRing::Default();
+      obs::Profiler& prof = obs::Profiler::Default();
+      const bool span_on = spans.enabled();
+      const bool prof_on = prof.phase_accounting_enabled();
       size_t popped = 0;
       uint64_t t0 = NowNanos();
+      const uint64_t drain_c0 = prof_on ? obs::CycleNow() : 0;
       batch.Clear();
       for (size_t i = 0; i < options_.batch_size && ring.TryPop(&p); ++i) {
         ++popped;
         progress.fetch_add(1, std::memory_order_relaxed);
         if (p->len < kMinPacketLen) {
           ++consumer_malformed;  // truncated/garbage header: reject
+          OfferMalformedExemplar(*p);
           continue;
         }
-        if (shed_on && !shed.Admit()) continue;  // Bernoulli pre-sample
+        if (shed_on && !shed.Admit()) {  // Bernoulli pre-sample
+          OfferShedExemplar(*p, weight);
+          continue;
+        }
         batch.AppendPacket(*p);  // weight is constant across the batch
       }
+      const uint64_t drain_end = span_on ? NowNanos() : 0;
+      if (prof_on) {
+        prof.AddPhaseCycles(obs::Profiler::kDrain,
+                            obs::CycleNow() - drain_c0);
+      }
+      obs::SpanContext sctx;
+      sctx.shed_p = weight > 1.0 ? 1.0 / weight : 1.0;
+      sctx.rows = batch.num_rows();
       status = low_->PushBatch(batch, weight, &low_out_batch);
       if (!status.ok()) break;
       if (popped > 0) {
@@ -349,7 +432,8 @@ Result<RunReport> TwoLevelRuntime::RunThreaded(const Trace& trace) {
       }
       for (auto& node : high_) {
         uint64_t h0 = NowNanos();
-        status = node->PushBatch(low_out_batch, weight);
+        status = node->PushBatch(low_out_batch, weight, nullptr,
+                                 span_on ? &sctx : nullptr);
         uint64_t h_ns = NowNanos() - h0;
         node->AddCpuNanos(h_ns);
         if (low_out_batch.num_rows() > 0) {
@@ -358,6 +442,17 @@ Result<RunReport> TwoLevelRuntime::RunThreaded(const Trace& trace) {
         if (!status.ok()) break;
       }
       if (!status.ok()) break;
+      if (span_on && popped > 0) {
+        obs::SpanRecord dr;
+        dr.name = "ring_drain";
+        dr.parent_id = sctx.window_span_id;
+        dr.window_seq = sctx.window_seq;
+        dr.ts_ns = t0;
+        dr.dur_ns = drain_end - t0;
+        dr.rows = batch.num_rows();
+        dr.shed_p = sctx.shed_p;
+        spans.Emit(dr);
+      }
       if (popped == 0) {
         if (ring.closed() && ring.empty()) break;  // clean end of stream
         std::this_thread::yield();

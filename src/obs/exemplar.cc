@@ -1,0 +1,149 @@
+#include "obs/exemplar.h"
+
+#include <cstdio>
+
+namespace streamop {
+namespace obs {
+
+const char* ExemplarStore::CategoryName(uint32_t c) {
+  switch (c) {
+    case kShedDrop:
+      return "shed_drop";
+    case kLateTuple:
+      return "late_tuple";
+    case kMalformed:
+      return "malformed";
+    default:
+      return "?";
+  }
+}
+
+uint32_t ExemplarStore::LatencyBand(uint64_t latency_ns) {
+  // log4 bands from 1us: [0,1us) [1,4) [4,16) [16,64) [64,256) [256us,1ms)
+  // [1,4ms) [4ms,inf).
+  uint64_t bound = 1000;
+  for (uint32_t band = 0; band + 1 < kLatencyBands; ++band) {
+    if (latency_ns < bound) return band;
+    bound *= 4;
+  }
+  return kLatencyBands - 1;
+}
+
+uint64_t ExemplarStore::LatencyBandUpperNs(uint32_t band) {
+  if (band + 1 >= kLatencyBands) return UINT64_MAX;
+  uint64_t bound = 1000;
+  for (uint32_t b = 0; b < band; ++b) bound *= 4;
+  return bound;
+}
+
+ExemplarStore& ExemplarStore::Default() {
+  static ExemplarStore* store = new ExemplarStore();
+  return *store;
+}
+
+ExemplarStore::ExemplarStore(uint64_t seed) {
+  for (uint32_t c = 0; c < kNumCategories; ++c) {
+    categories_[c] = std::make_unique<Reservoir>(seed + c);
+  }
+  for (uint32_t b = 0; b < kLatencyBands; ++b) {
+    latency_bands_[b] = std::make_unique<Reservoir>(seed + 0x100 + b);
+  }
+}
+
+void ExemplarStore::OfferTo(Reservoir& r, const Exemplar& e) {
+  std::lock_guard<std::mutex> lock(r.mu);
+  ++r.offered;
+  if (!r.control.Offer()) return;
+  const size_t idx = r.filled < kSlotsPerReservoir
+                         ? r.filled++
+                         : static_cast<size_t>(r.control.ReplaceIndex());
+  r.slots[idx] = e;
+}
+
+uint64_t ExemplarStore::offered(Category c) const {
+  if (c >= kNumCategories) return 0;
+  const Reservoir& r = *categories_[c];
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.offered;
+}
+
+uint64_t ExemplarStore::latency_offered(uint32_t band) const {
+  if (band >= kLatencyBands) return 0;
+  const Reservoir& r = *latency_bands_[band];
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.offered;
+}
+
+std::vector<Exemplar> ExemplarStore::Snapshot(Category c) const {
+  std::vector<Exemplar> out;
+  if (c >= kNumCategories) return out;
+  const Reservoir& r = *categories_[c];
+  std::lock_guard<std::mutex> lock(r.mu);
+  out.assign(r.slots.begin(), r.slots.begin() + r.filled);
+  return out;
+}
+
+std::vector<Exemplar> ExemplarStore::LatencySnapshot(uint32_t band) const {
+  std::vector<Exemplar> out;
+  if (band >= kLatencyBands) return out;
+  const Reservoir& r = *latency_bands_[band];
+  std::lock_guard<std::mutex> lock(r.mu);
+  out.assign(r.slots.begin(), r.slots.begin() + r.filled);
+  return out;
+}
+
+void ExemplarStore::AppendReservoirJson(std::string* out, const Reservoir& r) {
+  std::lock_guard<std::mutex> lock(r.mu);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "\"offered\": %llu, \"exemplars\": [",
+                static_cast<unsigned long long>(r.offered));
+  *out += buf;
+  for (size_t i = 0; i < r.filled; ++i) {
+    const Exemplar& e = r.slots[i];
+    if (i > 0) *out += ", ";
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ts_ns\": %llu, \"value\": %.6g, \"weight\": %.6g, "
+                  "\"window_seq\": %llu, \"dims\": [",
+                  static_cast<unsigned long long>(e.ts_ns), e.value, e.weight,
+                  static_cast<unsigned long long>(e.window_seq));
+    *out += buf;
+    for (uint32_t d = 0; d < e.ndims && d < e.dims.size(); ++d) {
+      std::snprintf(buf, sizeof(buf), "%s%llu", d > 0 ? ", " : "",
+                    static_cast<unsigned long long>(e.dims[d]));
+      *out += buf;
+    }
+    *out += "]}";
+  }
+  *out += "]";
+}
+
+std::string ExemplarStore::ToJson() const {
+  std::string out = "{\"latency_bands\": [";
+  char buf[96];
+  for (uint32_t b = 0; b < kLatencyBands; ++b) {
+    if (b > 0) out += ",";
+    const uint64_t le = LatencyBandUpperNs(b);
+    if (le == UINT64_MAX) {
+      out += "\n {\"le_ns\": \"+Inf\", ";
+    } else {
+      std::snprintf(buf, sizeof(buf), "\n {\"le_ns\": %llu, ",
+                    static_cast<unsigned long long>(le));
+      out += buf;
+    }
+    AppendReservoirJson(&out, *latency_bands_[b]);
+    out += "}";
+  }
+  out += "\n], \"counters\": {";
+  for (uint32_t c = 0; c < kNumCategories; ++c) {
+    if (c > 0) out += ",";
+    std::snprintf(buf, sizeof(buf), "\n \"%s\": {", CategoryName(c));
+    out += buf;
+    AppendReservoirJson(&out, *categories_[c]);
+    out += "}";
+  }
+  out += "\n}}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace streamop

@@ -1,0 +1,145 @@
+// Telemetry exemplars: the engine observes itself with its own samplers.
+//
+// A p99 latency spike or a burst of shed/late/malformed tuples is only
+// actionable if the operator can say *which* tuples were involved — but
+// keeping every offending tuple would make telemetry cost proportional to
+// the anomaly rate. So each latency-histogram band and each degradation
+// counter (shed drops, late tuples, malformed packets) carries a small
+// reservoir of representative exemplars, admitted by the same skip-based
+// reservoir control (sampling/reservoir.h, Algorithm L) the query engine's
+// rsample() package uses: telemetry stays O(slots) per category no matter
+// the load, and admission in steady state is one position compare — no RNG
+// draw, no allocation.
+//
+// An exemplar is a fixed-size capture: timestamp, the measured value (the
+// latency, the shed probability, the packet length), the HT weight and
+// window in effect, and up to four raw context dimensions (group-key
+// columns for operator exemplars, packet header fields for runtime ones).
+// GET /exemplars returns every reservoir as JSON.
+//
+// Threading: the pipeline's consumer thread is the only writer per
+// category; the HTTP thread snapshots concurrently. A per-reservoir mutex
+// guards only slot replacement (rare after warm-up: admission probability
+// decays as slots/offered) and snapshots — the common rejected-offer path
+// takes the lock too but never contends with anything except an in-flight
+// export. STREAMOP_NO_STATS folds every Offer site away.
+
+#ifndef STREAMOP_OBS_EXEMPLAR_H_
+#define STREAMOP_OBS_EXEMPLAR_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sampling/reservoir.h"
+
+namespace streamop {
+namespace obs {
+
+/// One captured exemplar. dims[] carries raw uint64 context values whose
+/// meaning depends on the category (documented per call site; exported
+/// verbatim).
+struct Exemplar {
+  uint64_t ts_ns = 0;
+  double value = 0.0;
+  double weight = 1.0;
+  uint64_t window_seq = 0;
+  std::array<uint64_t, 4> dims = {};
+  uint32_t ndims = 0;
+};
+
+class ExemplarStore {
+ public:
+  /// Degradation-counter categories (one reservoir each).
+  enum Category : uint32_t {
+    kShedDrop = 0,   // dims: ts_ns, srcIP, destIP, len; value: admission p
+    kLateTuple,      // dims: first key columns (raw); value: weight
+    kMalformed,      // dims: ts_ns, len; value: len
+    kNumCategories,
+  };
+
+  /// Latency-histogram bands: log4 from 1us; the last band is open-ended.
+  static constexpr size_t kLatencyBands = 8;
+  static constexpr size_t kSlotsPerReservoir = 4;
+
+  static const char* CategoryName(uint32_t c);
+  static uint32_t LatencyBand(uint64_t latency_ns);
+  /// Upper bound of a band in ns (UINT64_MAX for the last, open band).
+  static uint64_t LatencyBandUpperNs(uint32_t band);
+
+  /// Process-wide default store.
+  static ExemplarStore& Default();
+
+  explicit ExemplarStore(uint64_t seed = 0x0b5e7a11);
+
+  ExemplarStore(const ExemplarStore&) = delete;
+  ExemplarStore& operator=(const ExemplarStore&) = delete;
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const {
+    return kStatsEnabled && enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Offers an exemplar to a degradation-counter reservoir.
+  void Offer(Category c, const Exemplar& e) {
+    if constexpr (kStatsEnabled) {
+      if (!enabled() || c >= kNumCategories) return;
+      OfferTo(*categories_[c], e);
+    }
+  }
+
+  /// Offers an exemplar to the latency band covering `latency_ns`
+  /// (e.value is set to the latency for the caller).
+  void OfferLatency(uint64_t latency_ns, Exemplar e) {
+    if constexpr (kStatsEnabled) {
+      if (!enabled()) return;
+      e.value = static_cast<double>(latency_ns);
+      OfferTo(*latency_bands_[LatencyBand(latency_ns)], e);
+    }
+  }
+
+  /// Events ever offered to a category / band (admitted or not).
+  uint64_t offered(Category c) const;
+  uint64_t latency_offered(uint32_t band) const;
+
+  /// Retained exemplars of one category / band, oldest slot first.
+  std::vector<Exemplar> Snapshot(Category c) const;
+  std::vector<Exemplar> LatencySnapshot(uint32_t band) const;
+
+  /// Every reservoir as JSON:
+  /// {"latency_bands": [{le_ns, offered, exemplars: [...]}...],
+  ///  "counters": {"shed_drop": {...}, ...}}.
+  std::string ToJson() const;
+
+ private:
+  // One reservoir: the engine's own skip-based control + fixed slots.
+  struct Reservoir {
+    explicit Reservoir(uint64_t seed)
+        : control(kSlotsPerReservoir, ReservoirControl::Mode::kSkip, seed) {}
+    mutable std::mutex mu;
+    ReservoirControl control;
+    std::array<Exemplar, kSlotsPerReservoir> slots;
+    size_t filled = 0;
+    uint64_t offered = 0;
+  };
+
+  void OfferTo(Reservoir& r, const Exemplar& e);
+  static void AppendReservoirJson(std::string* out, const Reservoir& r);
+
+  std::atomic<bool> enabled_{false};
+  // unique_ptr: Reservoir owns a mutex and is immovable; all allocation
+  // happens here at construction, never on an Offer path.
+  std::array<std::unique_ptr<Reservoir>, kNumCategories> categories_;
+  std::array<std::unique_ptr<Reservoir>, kLatencyBands> latency_bands_;
+};
+
+}  // namespace obs
+}  // namespace streamop
+
+#endif  // STREAMOP_OBS_EXEMPLAR_H_

@@ -31,29 +31,82 @@ bool SetNonBlocking(int fd) {
   return fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
+// `extra_headers`, when non-empty, is appended verbatim before the blank
+// line; each header must carry its own trailing CRLF.
 std::string MakeResponse(int status, const char* reason,
-                         const char* content_type, std::string body) {
-  char head[256];
+                         const char* content_type, std::string body,
+                         const char* extra_headers = "") {
+  char head[384];
   std::snprintf(head, sizeof(head),
                 "HTTP/1.1 %d %s\r\n"
                 "Content-Type: %s\r\n"
                 "Content-Length: %zu\r\n"
                 "Connection: close\r\n"
+                "%s"
                 "\r\n",
-                status, reason, content_type, body.size());
+                status, reason, content_type, body.size(), extra_headers);
   std::string out(head);
   out += body;
   return out;
 }
 
-std::string NotFound() {
-  return MakeResponse(404, "Not Found", "text/plain",
-                      "not found; try /metrics /metrics.json /traces "
-                      "/windows /healthz\n");
+// Machine-parseable error body: {"error": {"code": N, "message": "..."}}.
+// `detail_json`, when non-empty, is spliced in as extra key/value pairs.
+std::string JsonError(int status, const char* reason, const char* message,
+                      const std::string& detail_json = "",
+                      const char* extra_headers = "") {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "{\"error\": {\"code\": %d, \"message\": \"%s\"",
+                status, message);
+  std::string body(buf);
+  if (!detail_json.empty()) {
+    body += ", ";
+    body += detail_json;
+  }
+  body += "}}\n";
+  return MakeResponse(status, reason, "application/json", std::move(body),
+                      extra_headers);
 }
 
-std::string BadRequest() {
-  return MakeResponse(400, "Bad Request", "text/plain", "bad request\n");
+std::string NotFound() {
+  return JsonError(404, "Not Found", "not found",
+                   "\"endpoints\": [\"/metrics\", \"/metrics.json\", "
+                   "\"/traces\", \"/spans\", \"/spans/window/{seq}\", "
+                   "\"/profile\", \"/exemplars\", \"/windows\", "
+                   "\"/healthz\"]");
+}
+
+std::string BadRequest(const char* message = "bad request") {
+  return JsonError(400, "Bad Request", message);
+}
+
+// Value of `key` in a query string ("" when absent or valueless). No
+// %-decoding: the introspection endpoints take only integers and keywords.
+std::string_view QueryParam(std::string_view query, std::string_view key) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string_view::npos) amp = query.size();
+    std::string_view pair = query.substr(pos, amp - pos);
+    const size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+    pos = amp + 1;
+  }
+  return {};
+}
+
+// Strict non-empty decimal uint64 parse (no sign, no trailing junk).
+bool ParseU64(std::string_view s, uint64_t* out) {
+  if (s.empty() || s.size() > 20) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
 }
 
 }  // namespace
@@ -64,6 +117,11 @@ HttpServer::HttpServer(HttpServerOptions options)
   if (options_.trace_ring == nullptr) options_.trace_ring = &TraceRing::Default();
   if (options_.quality_ring == nullptr) {
     options_.quality_ring = &QualityRing::Default();
+  }
+  if (options_.span_ring == nullptr) options_.span_ring = &SpanRing::Default();
+  if (options_.profiler == nullptr) options_.profiler = &Profiler::Default();
+  if (options_.exemplars == nullptr) {
+    options_.exemplars = &ExemplarStore::Default();
   }
   if (options_.max_connections < 1) options_.max_connections = 1;
   if (options_.max_request_bytes < 64) options_.max_request_bytes = 64;
@@ -161,8 +219,11 @@ void HttpServer::AcceptNew(int64_t now_ms) {
       // socket buffer always holds this short response, so no state
       // machine is needed for the reject path.
       connections_rejected_.fetch_add(1, std::memory_order_relaxed);
-      std::string resp = MakeResponse(503, "Service Unavailable",
-                                      "text/plain", "connection limit\n");
+      // Retry-After: the pressure is scrape concurrency, not load — a
+      // one-second backoff is always enough for a slot to free up.
+      std::string resp = JsonError(503, "Service Unavailable",
+                                   "connection limit reached", "",
+                                   "Retry-After: 1\r\n");
       (void)::send(fd, resp.data(), resp.size(), MSG_NOSIGNAL);
       ::close(fd);
       continue;
@@ -189,12 +250,15 @@ std::string HttpServer::HandleRequest(std::string_view head) {
   std::string_view version = line.substr(sp2 + 1);
   if (version.substr(0, 5) != "HTTP/") return BadRequest();
   if (method != "GET" && method != "HEAD") {
-    return MakeResponse(405, "Method Not Allowed", "text/plain",
-                        "only GET is supported\n");
+    return JsonError(405, "Method Not Allowed", "only GET is supported");
   }
-  // Strip any query string; the endpoints take no parameters.
+  // Split off the query string; /profile and /spans take parameters.
+  std::string_view query;
   size_t q = target.find('?');
-  if (q != std::string_view::npos) target = target.substr(0, q);
+  if (q != std::string_view::npos) {
+    query = target.substr(q + 1);
+    target = target.substr(0, q);
+  }
 
   requests_served_.fetch_add(1, std::memory_order_relaxed);
   if (target == "/metrics") {
@@ -209,6 +273,41 @@ std::string HttpServer::HandleRequest(std::string_view head) {
   if (target == "/traces") {
     return MakeResponse(200, "OK", "application/json",
                         options_.trace_ring->ToChromeTraceJson());
+  }
+  if (target == "/spans") {
+    return MakeResponse(200, "OK", "application/json",
+                        QueryParam(query, "format") == "chrome"
+                            ? options_.span_ring->ToChromeTraceJson()
+                            : options_.span_ring->ToJson());
+  }
+  constexpr std::string_view kSpansWindow = "/spans/window/";
+  if (target.substr(0, kSpansWindow.size()) == kSpansWindow) {
+    uint64_t seq = 0;
+    if (!ParseU64(target.substr(kSpansWindow.size()), &seq)) {
+      return BadRequest("bad window sequence; want /spans/window/{seq}");
+    }
+    return MakeResponse(200, "OK", "application/json",
+                        options_.span_ring->WindowJson(seq));
+  }
+  if (target == "/profile") {
+    if (QueryParam(query, "format") == "phases") {
+      return MakeResponse(200, "OK", "application/json",
+                          options_.profiler->PhasesJson());
+    }
+    uint64_t seconds = 0;  // 0 = every retained sample
+    const std::string_view s = QueryParam(query, "seconds");
+    if (!s.empty() && !ParseU64(s, &seconds)) {
+      return BadRequest("bad seconds; want /profile?seconds=N");
+    }
+    // Export only: symbolization and aggregation run on this serving
+    // thread against the always-on sample ring — never blocking for N
+    // seconds, never touching the pipeline.
+    return MakeResponse(200, "OK", "text/plain; charset=utf-8",
+                        options_.profiler->Folded(seconds));
+  }
+  if (target == "/exemplars") {
+    return MakeResponse(200, "OK", "application/json",
+                        options_.exemplars->ToJson());
   }
   if (target == "/windows") {
     return MakeResponse(200, "OK", "application/json",

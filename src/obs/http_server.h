@@ -2,11 +2,22 @@
 // endpoint that exposes the process's observability state while the
 // pipeline runs.
 //
-//   GET /metrics       Prometheus text exposition (MetricRegistry)
-//   GET /metrics.json  the same registry as JSON
-//   GET /traces        chrome://tracing JSON from the TraceRing
-//   GET /windows       recent WindowQualityReports from the QualityRing
-//   GET /healthz       liveness + degradation state (200 ok / 503 unhealthy)
+//   GET /metrics             Prometheus text exposition (MetricRegistry)
+//   GET /metrics.json        the same registry as JSON
+//   GET /traces              chrome://tracing JSON from the TraceRing
+//   GET /spans               window-lifecycle spans from the SpanRing
+//                            (?format=chrome for chrome://tracing JSON)
+//   GET /spans/window/{seq}  spans of one window lifecycle
+//   GET /profile             folded-stack flamegraph text from the sampling
+//                            profiler (?seconds=N limits the lookback;
+//                            ?format=phases for phase-cycle JSON)
+//   GET /exemplars           reservoir-sampled telemetry exemplars
+//   GET /windows             recent WindowQualityReports (QualityRing)
+//   GET /healthz             liveness + degradation (200 ok / 503 unhealthy)
+//
+// Every error (400/404/405 and the connection-limit 503) carries a JSON
+// body {"error": {"code", "message", ...}}; the connection-limit 503 adds
+// Retry-After so well-behaved scrapers back off instead of hammering.
 //
 // Design constraints, in the spirit of DESIGN.md §7:
 //  - Zero dependencies: raw sockets + poll(); no third-party HTTP stack.
@@ -36,8 +47,11 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/exemplar.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/quality.h"
+#include "obs/span.h"
 #include "obs/trace_ring.h"
 
 namespace streamop {
@@ -56,6 +70,9 @@ struct HttpServerOptions {
   MetricRegistry* registry = nullptr;
   TraceRing* trace_ring = nullptr;
   QualityRing* quality_ring = nullptr;
+  SpanRing* span_ring = nullptr;
+  Profiler* profiler = nullptr;
+  ExemplarStore* exemplars = nullptr;
 
   // /healthz body and status. Defaults: {"status": "ok"} and healthy.
   std::function<std::string()> health_json;

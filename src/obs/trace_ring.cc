@@ -13,14 +13,28 @@ TraceRing& TraceRing::Default() {
 
 TraceRing::TraceRing(size_t capacity) {
   if (capacity < 1) capacity = 1;
-  slots_.resize(capacity);
+  slots_ = std::make_unique<Slot[]>(capacity);
+  cap_ = capacity;
 }
 
 std::vector<TraceEvent> TraceRing::Snapshot() const {
   const uint64_t seq = seq_.load(std::memory_order_relaxed);
-  const size_t n = static_cast<size_t>(
-      std::min<uint64_t>(seq, static_cast<uint64_t>(slots_.size())));
-  std::vector<TraceEvent> out(slots_.begin(), slots_.begin() + n);
+  const size_t n =
+      static_cast<size_t>(std::min<uint64_t>(seq, static_cast<uint64_t>(cap_)));
+  std::vector<TraceEvent> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Slot& s = slots_[i];
+    TraceEvent e;
+    e.name = s.name.load(std::memory_order_relaxed);
+    e.ts_ns = s.ts_ns.load(std::memory_order_relaxed);
+    e.dur_ns = s.dur_ns.load(std::memory_order_relaxed);
+    e.instant = s.instant.load(std::memory_order_relaxed);
+    e.arg_name = s.arg_name.load(std::memory_order_relaxed);
+    e.arg = s.arg.load(std::memory_order_relaxed);
+    if (e.name == nullptr) continue;  // torn with a concurrent first write
+    out.push_back(e);
+  }
   std::sort(out.begin(), out.end(),
             [](const TraceEvent& a, const TraceEvent& b) {
               return a.ts_ns < b.ts_ns;

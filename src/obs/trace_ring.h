@@ -6,6 +6,11 @@
 // site); when enabled, Record() claims a slot with one relaxed fetch_add
 // and writes in place — no allocation, oldest events overwritten. Event
 // names must be string literals (the ring stores the pointer).
+//
+// Slot fields are individually atomic (relaxed), so a /traces export on the
+// serving thread never races a pipeline writer: a snapshot overlapping a
+// write (or a wraparound overwrite) sees a torn event at worst — the
+// exporters tolerate that — never a data race.
 
 #ifndef STREAMOP_OBS_TRACE_RING_H_
 #define STREAMOP_OBS_TRACE_RING_H_
@@ -13,6 +18,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -74,7 +80,7 @@ class TraceRing {
   uint64_t events_recorded() const {
     return seq_.load(std::memory_order_relaxed);
   }
-  size_t capacity() const { return slots_.size(); }
+  size_t capacity() const { return cap_; }
 
   /// Copies out the retained events, oldest first by timestamp.
   std::vector<TraceEvent> Snapshot() const;
@@ -84,14 +90,34 @@ class TraceRing {
   std::string ToChromeTraceJson() const;
 
  private:
+  // Individually-atomic mirror of TraceEvent: writers store relaxed,
+  // snapshots load relaxed, so wraparound overwrites during a concurrent
+  // export are torn-at-worst instead of racy.
+  struct Slot {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<uint64_t> ts_ns{0};
+    std::atomic<uint64_t> dur_ns{0};
+    std::atomic<bool> instant{false};
+    std::atomic<const char*> arg_name{nullptr};
+    std::atomic<double> arg{0.0};
+  };
+
   void Put(const TraceEvent& e) {
-    uint64_t s = seq_.fetch_add(1, std::memory_order_relaxed);
-    slots_[s % slots_.size()] = e;
+    const uint64_t s = seq_.fetch_add(1, std::memory_order_relaxed);
+    Slot& slot = slots_[s % cap_];
+    slot.name.store(e.name, std::memory_order_relaxed);
+    slot.ts_ns.store(e.ts_ns, std::memory_order_relaxed);
+    slot.dur_ns.store(e.dur_ns, std::memory_order_relaxed);
+    slot.instant.store(e.instant, std::memory_order_relaxed);
+    slot.arg_name.store(e.arg_name, std::memory_order_relaxed);
+    slot.arg.store(e.arg, std::memory_order_relaxed);
   }
 
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> seq_{0};
-  std::vector<TraceEvent> slots_;
+  // Slots hold atomics (not movable): plain array instead of vector.
+  std::unique_ptr<Slot[]> slots_;
+  size_t cap_ = 0;
 };
 
 }  // namespace obs

@@ -14,7 +14,10 @@
 
 #include "core/sampling_operator.h"
 #include "net/packet.h"
+#include "obs/exemplar.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/span.h"
 #include "obs/trace_ring.h"
 #include "query/query.h"
 #include "tuple/tuple.h"
@@ -93,12 +96,20 @@ uint64_t SteadyStateAllocationDelta(const std::string& sql,
   EXPECT_EQ(cq->kind, CompiledQueryKind::kSampling);
   SamplingOperator op(cq->sampling);
   if (with_metrics) {
-    // Registry + trace ring allocate at registration time, never after —
-    // everything below happens before the measured burst.
+    // Registry + rings allocate at registration/construction time, never
+    // after — everything below happens before the measured burst. Spans,
+    // exemplar reservoirs and phase-cycle accounting ride along so the
+    // whole third pillar is covered by the zero-delta.
     op.set_metrics(obs::OperatorMetrics::Create(
         obs::MetricRegistry::Default(), "hotpath"));
     obs::TraceRing::Default().set_enabled(true);
     op.set_trace_ring(&obs::TraceRing::Default());
+    obs::SpanRing::Default().set_enabled(true);
+    op.set_span_ring(&obs::SpanRing::Default());
+    obs::ExemplarStore::Default().set_enabled(true);
+    op.set_exemplars(&obs::ExemplarStore::Default());
+    obs::Profiler::Default().set_phase_accounting(true);
+    op.set_profiler(&obs::Profiler::Default());
   }
   std::vector<Tuple> tuples = SteadyStateTuples(2048, 32, 16);
   // Warm-up: create every group (and let scratch buffers reach capacity).
@@ -182,6 +193,12 @@ uint64_t SteadyStateBatchAllocationDelta(const std::string& sql,
         obs::MetricRegistry::Default(), "hotpath_batch"));
     obs::TraceRing::Default().set_enabled(true);
     op.set_trace_ring(&obs::TraceRing::Default());
+    obs::SpanRing::Default().set_enabled(true);
+    op.set_span_ring(&obs::SpanRing::Default());
+    obs::ExemplarStore::Default().set_enabled(true);
+    op.set_exemplars(&obs::ExemplarStore::Default());
+    obs::Profiler::Default().set_phase_accounting(true);
+    op.set_profiler(&obs::Profiler::Default());
   }
   std::vector<Tuple> tuples = SteadyStateTuples(2048, 32, 16);
   // Pre-build the batches outside the measured region, as the runtime's

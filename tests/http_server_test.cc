@@ -37,6 +37,9 @@ struct ServerFixture {
   obs::MetricRegistry registry;
   obs::TraceRing trace_ring{64};
   obs::QualityRing quality_ring{64};
+  obs::SpanRing span_ring{64};
+  obs::Profiler profiler;
+  obs::ExemplarStore exemplars;
   std::unique_ptr<HttpServer> server;
 
   explicit ServerFixture(HttpServerOptions opts = HttpServerOptions()) {
@@ -44,6 +47,9 @@ struct ServerFixture {
     opts.registry = &registry;
     opts.trace_ring = &trace_ring;
     opts.quality_ring = &quality_ring;
+    opts.span_ring = &span_ring;
+    opts.profiler = &profiler;
+    opts.exemplars = &exemplars;
     server = std::make_unique<HttpServer>(opts);
     Status s = server->Start();
     EXPECT_TRUE(s.ok()) << s.ToString();
@@ -58,6 +64,11 @@ std::string StatusLine(const std::string& response) {
 std::string Body(const std::string& response) {
   size_t sep = response.find("\r\n\r\n");
   return sep == std::string::npos ? std::string() : response.substr(sep + 4);
+}
+
+std::string Headers(const std::string& response) {
+  size_t sep = response.find("\r\n\r\n");
+  return sep == std::string::npos ? response : response.substr(0, sep + 2);
 }
 
 TEST(HttpServerTest, StartsOnEphemeralPortAndStops) {
@@ -83,12 +94,24 @@ TEST(HttpServerTest, ServesEveryEndpointOverLoopback) {
     const char* path;
     const char* expect;  // substring of the body
   };
+  f.span_ring.set_enabled(true);
+  obs::SpanRecord span;
+  span.name = "window";
+  span.window_seq = 7;
+  span.ts_ns = 100;
+  span.dur_ns = 50;
+  f.span_ring.Emit(span);
   const std::vector<Case> cases = {
       {"/healthz", "ok"},
       {"/metrics", "streamop_test_total 5"},
       {"/metrics.json", "\"streamop_test_total\": 5"},
       {"/traces", "window_flush"},
       {"/windows", "\"node\": \"t\""},
+      {"/spans", "\"window_seq\": 7"},
+      {"/spans?format=chrome", "traceEvents"},
+      {"/spans/window/7", "\"name\": \"window\""},
+      {"/profile?format=phases", "phase_cycles"},
+      {"/exemplars", "latency_bands"},
   };
   for (const Case& c : cases) {
     Result<std::string> resp = HttpGet(f.server->port(), c.path);
@@ -106,10 +129,75 @@ TEST(HttpServerTest, UnknownPathIs404AndQueryStringsAreStripped) {
   Result<std::string> resp = HttpGet(f.server->port(), "/nope");
   ASSERT_TRUE(resp.ok()) << resp.status().ToString();
   EXPECT_NE(StatusLine(*resp).find("404"), std::string::npos) << *resp;
+  // The 404 body is machine-parseable JSON listing the valid endpoints.
+  EXPECT_NE(Headers(*resp).find("Content-Type: application/json"),
+            std::string::npos)
+      << *resp;
+  EXPECT_NE(Body(*resp).find("\"code\": 404"), std::string::npos) << *resp;
+  EXPECT_NE(Body(*resp).find("\"endpoints\""), std::string::npos) << *resp;
+  EXPECT_NE(Body(*resp).find("/spans"), std::string::npos) << *resp;
 
   resp = HttpGet(f.server->port(), "/healthz?verbose=1");
   ASSERT_TRUE(resp.ok()) << resp.status().ToString();
   EXPECT_NE(StatusLine(*resp).find("200"), std::string::npos) << *resp;
+}
+
+TEST(HttpServerTest, ErrorResponsesCarryJsonBodies) {
+  ServerFixture f;
+  // 405 and 400 via the pure router.
+  std::string r405 = f.server->HandleRequest("POST /healthz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(r405.find("\"code\": 405"), std::string::npos) << r405;
+  EXPECT_NE(r405.find("application/json"), std::string::npos) << r405;
+  std::string r400 = f.server->HandleRequest("garbage");
+  EXPECT_NE(r400.find("\"code\": 400"), std::string::npos) << r400;
+  EXPECT_NE(r400.find("application/json"), std::string::npos) << r400;
+}
+
+TEST(HttpServerTest, EveryEndpointDeclaresItsContentType) {
+  ServerFixture f;
+  struct Case {
+    const char* path;
+    const char* content_type;
+  };
+  const std::vector<Case> cases = {
+      {"/metrics", "Content-Type: text/plain; version=0.0.4"},
+      {"/metrics.json", "Content-Type: application/json"},
+      {"/traces", "Content-Type: application/json"},
+      {"/spans", "Content-Type: application/json"},
+      {"/spans/window/1", "Content-Type: application/json"},
+      {"/profile", "Content-Type: text/plain; charset=utf-8"},
+      {"/profile?format=phases", "Content-Type: application/json"},
+      {"/exemplars", "Content-Type: application/json"},
+      {"/windows", "Content-Type: application/json"},
+      {"/healthz", "Content-Type: application/json"},
+  };
+  for (const Case& c : cases) {
+    std::string req = std::string("GET ") + c.path + " HTTP/1.1\r\n\r\n";
+    std::string resp = f.server->HandleRequest(req);
+    EXPECT_NE(resp.find("200"), std::string::npos) << c.path << "\n" << resp;
+    EXPECT_NE(resp.find(c.content_type), std::string::npos)
+        << c.path << "\n" << resp;
+  }
+}
+
+TEST(HttpServerTest, SpanAndProfileParametersAreValidated) {
+  ServerFixture f;
+  // Non-numeric path parameter / query parameter -> 400 with a JSON body.
+  std::string bad_seq =
+      f.server->HandleRequest("GET /spans/window/abc HTTP/1.1\r\n\r\n");
+  EXPECT_NE(bad_seq.find("400"), std::string::npos) << bad_seq;
+  EXPECT_NE(bad_seq.find("\"code\": 400"), std::string::npos) << bad_seq;
+  std::string bad_seconds =
+      f.server->HandleRequest("GET /profile?seconds=abc HTTP/1.1\r\n\r\n");
+  EXPECT_NE(bad_seconds.find("400"), std::string::npos) << bad_seconds;
+  // Valid parameters parse: an unknown window serves an empty span list.
+  std::string empty =
+      f.server->HandleRequest("GET /spans/window/999 HTTP/1.1\r\n\r\n");
+  EXPECT_NE(empty.find("200"), std::string::npos) << empty;
+  EXPECT_NE(empty.find("\"spans\": []"), std::string::npos) << empty;
+  std::string ok_seconds =
+      f.server->HandleRequest("GET /profile?seconds=5 HTTP/1.1\r\n\r\n");
+  EXPECT_NE(ok_seconds.find("200"), std::string::npos) << ok_seconds;
 }
 
 TEST(HttpServerTest, RequestRouting) {
@@ -190,14 +278,22 @@ TEST(HttpServerTest, ConnectionLimitRejectsExcessClients) {
   // Poll until a rejection is observed: the held sockets are only counted
   // against the cap once the serving thread accepts them.
   bool saw_503 = false;
+  std::string rejection;
   for (int attempt = 0; attempt < 50 && !saw_503; ++attempt) {
     Result<std::string> resp = HttpGet(f.server->port(), "/healthz", 1000);
     if (resp.ok() && StatusLine(*resp).find("503") != std::string::npos) {
       saw_503 = true;
+      rejection = *resp;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   EXPECT_TRUE(saw_503);
+  // The rejection is machine-parseable and tells the scraper when to come
+  // back: JSON error body plus a Retry-After header.
+  EXPECT_NE(Headers(rejection).find("Retry-After: 1"), std::string::npos)
+      << rejection;
+  EXPECT_NE(Body(rejection).find("\"code\": 503"), std::string::npos)
+      << rejection;
   EXPECT_GE(f.server->connections_rejected(), 1u);
   // Releasing the slots restores service.
   ::close(held0);
