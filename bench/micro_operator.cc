@@ -4,11 +4,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/serde.h"
+#include "engine/checkpoint.h"
 #include "engine/query_node.h"
 #include "net/trace_generator.h"
 #include "stream/stream_source.h"
@@ -300,6 +305,161 @@ void BM_SteadyStateGroupedSamplingRowAtATime(benchmark::State& state) {
                     static_cast<uint64_t>(state.range(0)));
 }
 BENCHMARK(BM_SteadyStateGroupedSamplingRowAtATime)->Arg(16)->Arg(64);
+
+// ---------------------------------------------------------------------------
+// Durability cost (DESIGN.md §10). Checkpoints ride window flushes, so the
+// steady-state hot path (no flush in sight) must be unaffected by merely
+// enabling them — BM_SteadyStateGroupedSamplingCheckpointed installs the
+// flush hook and must land within 2% of BM_SteadyStateGroupedSampling. The
+// windowed A/B pair then measures what a flush-time snapshot actually
+// costs: every iteration advances the window attribute, so each batch
+// closes a window, and the checkpointed arm serializes the full durable
+// state and writes a CRC-framed snapshot (temp + fsync + rename) per
+// flush. run_bench.sh records the ratio as `checkpoint_overhead`.
+// ---------------------------------------------------------------------------
+
+void BM_SteadyStateGroupedSamplingCheckpointed(benchmark::State& state) {
+  std::unique_ptr<SamplingOperator> op;
+  std::vector<Tuple> tuples;
+  if (!SteadyStateSetup(state, kGroupedSamplingSql, 64,
+                        static_cast<uint64_t>(state.range(0)), &op,
+                        &tuples)) {
+    return;
+  }
+  const std::string dir =
+      "/tmp/streamop_bench_ckpt_" + std::to_string(::getpid());
+  CheckpointConfig cfg;
+  cfg.dir = dir;
+  cfg.node = "bench";
+  cfg.retain = 2;
+  CheckpointManager mgr(cfg);
+  op->set_window_flush_hook([&op_ref = *op, &mgr](uint64_t windows) {
+    if (!mgr.ShouldWrite(windows)) return;
+    ByteWriter w;
+    op_ref.SerializeDurableState(w);
+    mgr.Write(windows, w.data());
+  });
+  std::vector<TupleBatch> batches;
+  for (size_t i = 0; i < tuples.size(); i += kSteadyBatchRows) {
+    batches.emplace_back(tuples.front().size(), kSteadyBatchRows);
+    for (size_t j = i; j < i + kSteadyBatchRows; ++j) {
+      batches.back().AppendTuple(tuples[j]);
+    }
+  }
+  for (const TupleBatch& b : batches) {
+    Status s = op->ProcessBatch(b);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+  }
+  const size_t groups_at_steady_state = op->num_groups();
+  size_t i = 0;
+  for (auto _ : state) {
+    Status s = op->ProcessBatch(batches[i]);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    i = (i + 1) & (batches.size() - 1);
+  }
+  SetSteadyStateCounters(state, kSteadyBatchRows, groups_at_steady_state);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+BENCHMARK(BM_SteadyStateGroupedSamplingCheckpointed)
+    ->Arg(16)
+    ->Arg(64)
+    ->MinTime(2.0);
+
+// GROUP BY time (no /20): each new timestamp closes the window, so one
+// window flush per timed iteration.
+constexpr char kWindowedSamplingSql[] = R"(
+      SELECT tb, srcIP, destIP, UMAX(sum(len), ssthreshold())
+      FROM PKTS
+      WHERE ssample(len, 1000000000, 2, 10, 0.5) = TRUE
+      GROUP BY time as tb, srcIP, destIP
+      HAVING ssfinal_clean(sum(len), count_distinct$(*)) = TRUE
+      CLEANING WHEN ssdo_clean(count_distinct$(*)) = TRUE
+      CLEANING BY ssclean_with(sum(len)) = TRUE
+  )";
+
+void RunWindowedSampling(benchmark::State& state, bool checkpointed) {
+  Catalog catalog = Catalog::Default();
+  Result<CompiledQuery> cq =
+      CompileQuery(kWindowedSamplingSql, catalog, {.seed = 3});
+  if (!cq.ok() || cq->kind != CompiledQueryKind::kSampling) {
+    state.SkipWithError(cq.ok() ? "not a sampling query"
+                                : cq.status().ToString().c_str());
+    return;
+  }
+  SamplingOperator op(cq->sampling);
+  const std::string dir =
+      "/tmp/streamop_bench_ckpt_" + std::to_string(::getpid());
+  CheckpointConfig cfg;
+  cfg.dir = dir;
+  cfg.node = "bench";
+  cfg.retain = 2;
+  CheckpointManager mgr(cfg);
+  if (checkpointed) {
+    op.set_window_flush_hook([&op, &mgr](uint64_t windows) {
+      if (!mgr.ShouldWrite(windows)) return;
+      ByteWriter w;
+      op.SerializeDurableState(w);
+      mgr.Write(windows, w.data());
+    });
+  }
+  constexpr uint8_t kUIntType = static_cast<uint8_t>(FieldType::kUInt);
+  TupleBatch batch(8, kSteadyBatchRows);
+  uint64_t t = 100;
+  // Both arms rebuild the batch per iteration (time must keep advancing to
+  // close windows), so the fill cost cancels out of the A/B ratio.
+  for (auto _ : state) {
+    batch.Clear();
+    for (size_t j = 0; j < kSteadyBatchRows; ++j) {
+      const uint64_t vals[8] = {t,
+                                j * 1000,
+                                0x0a000000ULL + (j % 64),
+                                0xc0a80000ULL + ((j / 64) % 16),
+                                1234,
+                                80,
+                                6,
+                                40 + (j * 97) % 1460};
+      for (size_t c = 0; c < 8; ++c) batch.AppendRaw(c, kUIntType, vals[c]);
+      batch.FinishRow();
+    }
+    Status s = op.ProcessBatch(batch);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    ++t;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kSteadyBatchRows));
+  state.counters["windows_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  if (checkpointed) {
+    state.counters["checkpoint_bytes"] =
+        benchmark::Counter(static_cast<double>(mgr.last_bytes()));
+    state.counters["checkpoint_write_ns"] =
+        benchmark::Counter(static_cast<double>(mgr.last_write_ns()));
+    state.counters["checkpoints_written"] =
+        benchmark::Counter(static_cast<double>(mgr.writes()));
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+void BM_WindowedGroupedSamplingBaseline(benchmark::State& state) {
+  RunWindowedSampling(state, false);
+}
+BENCHMARK(BM_WindowedGroupedSamplingBaseline)->MinTime(2.0);
+
+void BM_WindowedGroupedSamplingCheckpointed(benchmark::State& state) {
+  RunWindowedSampling(state, true);
+}
+BENCHMARK(BM_WindowedGroupedSamplingCheckpointed)->MinTime(2.0);
 
 }  // namespace
 }  // namespace streamop

@@ -12,6 +12,10 @@
 #                       "ratio": ... },            # budget: ratio <= 1.02
 #     "serving_overhead": { "serving_ns": ..., "plain_ns": ..., "ratio": ...,
 #                           "http_requests": ..., "single_cpu": ... },
+#     "checkpoint_overhead": { "ratio": ...,          # per-flush snapshot cost
+#                              "steady_state_ratio": ...,  # budget: <= 1.02
+#                              "checkpoint_bytes": ...,
+#                              "checkpoint_write_ns": ... },
 #     "quality_summary": { ... },                  # per-window error bounds
 #     "metrics_snapshot": { ... },                 # registry JSON from a CLI run
 #     "baseline":   { "<name>": {...} },           # when BENCH_BASELINE is set
@@ -216,6 +220,35 @@ result["serving_overhead"] = {
 if not result["serving_overhead"]["http_ok"]:
     sys.exit("error: serving benchmark completed no HTTP scrapes")
 
+# Durability cost (DESIGN.md §10), two numbers with different budgets:
+#  - steady_state_ratio: enabling checkpoints with no window flush in the
+#    timed loop — the hot path must be unaffected (budget <= 1.02);
+#  - ratio: a window flush per iteration with a full serialize + fsync +
+#    rename snapshot each time — the worst-case flush-path cost that
+#    --checkpoint-every-n-windows amortizes. Recorded, not budgeted.
+ck = median_time(raw["micro_operator"], "BM_WindowedGroupedSamplingCheckpointed")
+ck_base = median_time(raw["micro_operator"], "BM_WindowedGroupedSamplingBaseline")
+steady = median_time(raw["micro_operator"], "BM_SteadyStateGroupedSampling/64")
+steady_ck = median_time(raw["micro_operator"],
+                        "BM_SteadyStateGroupedSamplingCheckpointed/64")
+if any(v is None for v in (ck, ck_base, steady, steady_ck)) or not ck_base \
+        or not steady:
+    sys.exit("error: checkpoint benchmarks missing from micro_operator output")
+result["checkpoint_overhead"] = {
+    "checkpointed_ns": ck,
+    "baseline_ns": ck_base,
+    "ratio": round(ck / ck_base, 4),
+    "steady_state_checkpointed_ns": steady_ck,
+    "steady_state_ns": steady,
+    "steady_state_ratio": round(steady_ck / steady, 4),
+    "checkpoint_bytes": counter(raw["micro_operator"],
+                                "BM_WindowedGroupedSamplingCheckpointed",
+                                "checkpoint_bytes"),
+    "checkpoint_write_ns": counter(raw["micro_operator"],
+                                   "BM_WindowedGroupedSamplingCheckpointed",
+                                   "checkpoint_write_ns"),
+}
+
 # Quality summary: compress the per-window reports from the subset-sum CLI
 # run into the headline error-bound numbers.
 with open(f"{tmpdir}/quality.json") as f:
@@ -307,6 +340,11 @@ print(f"  obs overhead ratio: {result['obs_overhead']['ratio']}x")
 print(f"  serving overhead ratio: {result['serving_overhead']['ratio']}x "
       f"(http_ok={result['serving_overhead']['http_ok']}, "
       f"single_cpu={result['serving_overhead']['single_cpu']})")
+print(f"  checkpoint overhead: steady-state "
+      f"{result['checkpoint_overhead']['steady_state_ratio']}x, "
+      f"per-flush {result['checkpoint_overhead']['ratio']}x "
+      f"({result['checkpoint_overhead']['checkpoint_bytes']:.0f} B, "
+      f"{result['checkpoint_overhead']['checkpoint_write_ns']:.0f} ns/write)")
 print(f"  quality: {result['quality_summary']['windows']} windows, "
       f"mean rel ci95 {result['quality_summary']['mean_rel_ci95']}")
 for name, x in sorted(result.get("speedup", {}).items()):

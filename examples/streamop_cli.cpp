@@ -85,6 +85,13 @@ void Usage(const char* argv0) {
       "  --shed-min-p <f>      admission probability floor (default 0.1)\n"
       "  --stall-timeout-ms <n>  watchdog timeout for hung pipelines "
       "(default 10000; 0 = off)\n"
+      "  --checkpoint-dir <path>  durable snapshots: write a versioned,\n"
+      "                        CRC-guarded checkpoint of all sampler state\n"
+      "                        at window flushes and restore the newest\n"
+      "                        valid one at startup (runs the two-level\n"
+      "                        pipeline)\n"
+      "  --checkpoint-every-n-windows <n>  snapshot cadence (default 1)\n"
+      "  --checkpoint-retain <n>  keep the newest n snapshots (default 3)\n"
       "  --fault-seed <n>      inject seeded faults into the trace "
       "(duplicates,\n"
       "                        reordering, truncation, timestamp "
@@ -120,6 +127,9 @@ struct Args {
   double shed_min_p = 0.1;
   uint64_t stall_timeout_ms = 10000;
   uint64_t fault_seed = 0;  // 0 = no fault injection
+  std::string checkpoint_dir;
+  uint64_t checkpoint_every = 1;
+  uint64_t checkpoint_retain = 3;
 };
 
 bool ParseArgs(int argc, char** argv, Args* out) {
@@ -237,6 +247,18 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       const char* v = next();
       if (v == nullptr) return false;
       out->fault_seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--checkpoint-dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->checkpoint_dir = v;
+    } else if (a == "--checkpoint-every-n-windows") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->checkpoint_every = std::strtoull(v, nullptr, 10);
+    } else if (a == "--checkpoint-retain") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->checkpoint_retain = std::strtoull(v, nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
       return false;
@@ -493,10 +515,12 @@ int main(int argc, char** argv) {
     }
   };
 
-  if (args.shed) {
+  if (args.shed || !args.checkpoint_dir.empty()) {
     // Threaded two-level pipeline: a pass-through low node feeds the user's
     // query, with the AIMD shedding gate at the ring drain. Admitted tuples
     // are reweighted by 1/p, so sums and counts remain unbiased estimates.
+    // Durable checkpoints also live here (the runtime owns the snapshot
+    // cadence), so --checkpoint-dir routes through this path too.
     static constexpr char kPassThroughLow[] =
         "SELECT time, ts_ns, srcIP, destIP, srcPort, destPort, proto, len "
         "FROM PKT";
@@ -507,14 +531,21 @@ int main(int argc, char** argv) {
       return 1;
     }
     RuntimeOptions opt;
-    opt.shed.enabled = true;
+    opt.shed.enabled = args.shed;
     opt.shed.seed = args.seed;
     opt.shed.high_watermark = args.shed_high_watermark;
     opt.shed.low_watermark = args.shed_low_watermark;
     opt.shed.min_probability = args.shed_min_p;
     opt.stall_timeout_ms = args.stall_timeout_ms;
     opt.http_port = args.http_port;
+    opt.checkpoint.dir = args.checkpoint_dir;
+    opt.checkpoint.every_n_windows = args.checkpoint_every;
+    opt.checkpoint.retain = args.checkpoint_retain;
     TwoLevelRuntime rt(*low, {*cq}, opt);
+    if (rt.recovered()) {
+      std::fprintf(stderr, "recovered from checkpoint at window %llu\n",
+                   static_cast<unsigned long long>(rt.recovered_windows()));
+    }
     if (want_http) {
       if (rt.http_server() != nullptr) {
         std::fprintf(stderr, "introspection server on 127.0.0.1:%d\n",
@@ -549,6 +580,16 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.packets_malformed),
         static_cast<unsigned long long>(r.producer_backoff_sleeps),
         r.producer_backoff_seconds, r.watchdog_fired ? "FIRED" : "ok");
+    if (!args.checkpoint_dir.empty()) {
+      std::fprintf(
+          stderr,
+          "checkpoint summary: written=%llu failures=%llu "
+          "corrupt_skipped=%llu degraded=%s recovered=%s\n",
+          static_cast<unsigned long long>(r.checkpoints_written),
+          static_cast<unsigned long long>(r.checkpoint_failures),
+          static_cast<unsigned long long>(r.checkpoint_corrupt_skipped),
+          r.checkpoint_degraded ? "yes" : "no", r.recovered ? "yes" : "no");
+    }
     if (!report.ok()) return 1;
     write_exports();
     if (args.serve_ms > 0 && rt.http_server() != nullptr) {

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serde.h"
+
 namespace streamop {
 
 /// PCG-XSH-RR 64/32 with 64-bit output composed of two 32-bit draws.
@@ -81,6 +83,18 @@ class Pcg64 {
     double u1 = NextDoubleOpen();
     double u2 = NextDouble();
     return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Externalizes the exact stream position (checkpoint/restore): a
+  /// restored generator produces the identical draw sequence the original
+  /// would have from this point on.
+  void SerializeTo(ByteWriter& w) const {
+    w.U64(state_);
+    w.U64(inc_);
+  }
+  void RestoreFrom(ByteReader& r) {
+    state_ = r.U64();
+    inc_ = r.U64();
   }
 
   /// Geometric: number of failures before the first success, P(success)=p.

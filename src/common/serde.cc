@@ -1,0 +1,34 @@
+#include "common/serde.h"
+
+namespace streamop {
+namespace {
+
+// Slice-by-one table for CRC-32C (polynomial 0x1EDC6F41, reflected
+// 0x82F63B78). Built once; snapshot sizes are kilobytes so table lookups
+// are nowhere near the checkpoint cost profile (the fsync is).
+struct Crc32cTable {
+  uint32_t t[256];
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (c >> 1) ^ 0x82F63B78u : c >> 1;
+      }
+      t[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  static const Crc32cTable table;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    c = table.t[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace streamop

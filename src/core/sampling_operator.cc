@@ -184,6 +184,13 @@ void SamplingOperator::AggFinalsInto(const GroupEntry& g,
 }
 
 Status SamplingOperator::Process(const Tuple& input, double weight) {
+  // Post-restore replay: the first recovery_skip_remaining_ tuples of the
+  // re-fed stream were fully processed before the snapshot was taken, so
+  // they are discarded positionally — no metrics, no window bookkeeping.
+  if (recovery_skip_remaining_ > 0) {
+    --recovery_skip_remaining_;
+    return Status::OK();
+  }
   // Observability: one plain increment per tuple; the admission-path timer
   // and the batched flush of pending counts into the registry's atomics
   // both ride the same 1-in-256 tick, so the steady state pays no clock
@@ -280,6 +287,7 @@ Status SamplingOperator::Process(const Tuple& input, double weight) {
   }
   const std::vector<Value>& gb_values = scratch_gk_.values();
   if (boundary) {
+    const bool flushed = window_open_;
     if (window_open_) {
       STREAMOP_RETURN_NOT_OK(FlushWindow());
     }
@@ -292,6 +300,10 @@ Status SamplingOperator::Process(const Tuple& input, double weight) {
     live_stats_.window_id = current_window_id_;
     live_max_weight_ = 1.0;
     OpenWindowSpan();
+    // Checkpoint hook at the between-windows point: the flushed window's
+    // stats are in window_stats_, the next window is open with zero tuples
+    // counted, so a snapshot here resumes exactly at this boundary tuple.
+    if (flushed && window_flush_hook_) window_flush_hook_(windows_flushed_);
   }
   ++live_stats_.tuples_in;
   if constexpr (obs::kStatsEnabled) {
@@ -504,6 +516,12 @@ Status SamplingOperator::ProcessBatchInner(const TupleBatch& batch,
   const size_t n = batch.num_rows();
   if (n == 0) return Status::OK();
   if (!batched_ok_) return ProcessBatchFallback(batch, 0, weight);
+  // Post-restore replay: hand the batch to the per-lane fallback, whose
+  // Process() calls discard tuples until the skip drains; the lanes after
+  // it resume through the tuple-equivalent path.
+  if (recovery_skip_remaining_ > 0) {
+    return ProcessBatchFallback(batch, 0, weight);
+  }
 
   // Span/profiler context for this batch. The shed probability comes from
   // the caller's SpanContext when threaded (the runtime knows the post-tick
@@ -730,6 +748,7 @@ Status SamplingOperator::ProcessBatchInner(const TupleBatch& batch,
       continue;
     }
     if (boundary) {
+      const bool flushed = window_open_;
       if (window_open_) {
         STREAMOP_RETURN_NOT_OK(FlushWindow());
       }
@@ -746,6 +765,8 @@ Status SamplingOperator::ProcessBatchInner(const TupleBatch& batch,
       live_stats_.window_id = current_window_id_;
       live_max_weight_ = 1.0;
       OpenWindowSpan();
+      // Same between-windows checkpoint point as the tuple path.
+      if (flushed && window_flush_hook_) window_flush_hook_(windows_flushed_);
     }
     ++inline_lanes;
     ++live_stats_.tuples_in;
@@ -1259,6 +1280,8 @@ Status SamplingOperator::FlushWindow() {
     window_span_id_ = 0;  // closed; a FinishStream flush must not re-parent
     window_open_ts_ns_ = 0;
   }
+  // Unconditional (window_seq_ is stats-gated): drives checkpoint cadence.
+  ++windows_flushed_;
   return Status::OK();
 }
 
@@ -1390,13 +1413,352 @@ void SamplingOperator::RecordWindowQuality() {
 Status SamplingOperator::FinishStream() {
   if (!window_open_) return Status::OK();
   window_open_ = false;
-  return FlushWindow();
+  STREAMOP_RETURN_NOT_OK(FlushWindow());
+  // The flushed window's stats now live in window_stats_; drop the stale
+  // live copy so a snapshot taken from the hook (or after) never double
+  // counts the final window in the replay-skip basis.
+  live_stats_ = WindowStats{};
+  current_window_id_.clear();
+  if (window_flush_hook_) window_flush_hook_(windows_flushed_);
+  return Status::OK();
 }
 
 std::vector<Tuple> SamplingOperator::DrainOutput() {
   std::vector<Tuple> out = std::move(output_);
   output_.clear();
   return out;
+}
+
+// ---- Durability (DESIGN.md §10) -------------------------------------------
+
+namespace {
+
+void WriteValueVec(const std::vector<Value>& v, ByteWriter& w) {
+  w.U32(static_cast<uint32_t>(v.size()));
+  for (const Value& x : v) x.SerializeTo(w);
+}
+
+void ReadValueVec(std::vector<Value>* v, ByteReader& r) {
+  v->clear();
+  const uint32_t n = r.U32();
+  if (!r.CheckCount(n, 1)) return;
+  v->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) v->push_back(Value::Deserialize(r));
+}
+
+void WriteWindowStats(const WindowStats& s, ByteWriter& w) {
+  WriteValueVec(s.window_id, w);
+  w.U64(s.tuples_in);
+  w.U64(s.tuples_admitted);
+  w.U64(s.groups_created);
+  w.U64(s.groups_removed);
+  w.U64(s.peak_groups);
+  w.U64(s.cleaning_phases);
+  w.U64(s.groups_output);
+  w.U64(s.tuples_output);
+  w.U64(s.late_tuples);
+}
+
+WindowStats ReadWindowStats(ByteReader& r) {
+  WindowStats s;
+  ReadValueVec(&s.window_id, r);
+  s.tuples_in = r.U64();
+  s.tuples_admitted = r.U64();
+  s.groups_created = r.U64();
+  s.groups_removed = r.U64();
+  s.peak_groups = r.U64();
+  s.cleaning_phases = r.U64();
+  s.groups_output = r.U64();
+  s.tuples_output = r.U64();
+  s.late_tuples = r.U64();
+  return s;
+}
+
+}  // namespace
+
+void SamplingOperator::SerializeSupergroupEntry(const SupergroupEntry& sg,
+                                                ByteWriter& w) const {
+  w.U32(static_cast<uint32_t>(sg.superaggs.size()));
+  for (const SuperAggState& s : sg.superaggs) s.SerializeTo(w);
+  w.U32(static_cast<uint32_t>(sg.states.size()));
+  for (size_t i = 0; i < sg.states.size(); ++i) {
+    const SfunStateDef* def = plan_->sfun_states[i];
+    const bool present = def->serialize != nullptr && sg.states[i] != nullptr;
+    w.Bool(present);
+    if (!present) continue;
+    // Length-prefixed so a reader without the matching restore hook can
+    // skip the blob opaquely (and a reader with one can verify it consumed
+    // exactly the bytes the writer produced).
+    const size_t len_pos = w.size();
+    w.U32(0);
+    const size_t body_start = w.size();
+    def->serialize(sg.states[i], &w);
+    w.PatchU32(len_pos, static_cast<uint32_t>(w.size() - body_start));
+  }
+}
+
+void SamplingOperator::RestoreSupergroupEntry(SupergroupEntry* sg,
+                                              ByteReader& r) {
+  const uint32_t nsa = r.U32();
+  if (nsa != plan_->superaggs.size()) {
+    r.MarkFailed();
+    return;
+  }
+  sg->superaggs.reserve(nsa);
+  for (const SuperAggSpec& spec : plan_->superaggs) {
+    sg->superaggs.emplace_back(&spec);
+    sg->superaggs.back().RestoreFrom(r);
+  }
+  const uint32_t nst = r.U32();
+  if (nst != plan_->sfun_states.size()) {
+    r.MarkFailed();
+    return;
+  }
+  sg->blobs.reserve(nst);
+  sg->states.reserve(nst);
+  for (size_t i = 0; i < nst; ++i) {
+    const SfunStateDef* def = plan_->sfun_states[i];
+    const size_t words =
+        (def->size + sizeof(std::max_align_t) - 1) / sizeof(std::max_align_t);
+    sg->blobs.push_back(std::make_unique<std::max_align_t[]>(words));
+    void* mem = sg->blobs.back().get();
+    // Fresh init, then the restore hook overwrites every serialized field
+    // (RNG positions included). The seed below only survives for states
+    // whose blob this build cannot decode — they restart fresh.
+    def->init(mem, nullptr,
+              HashCombine(plan_->seed, 0x9e3779b97f4a7c15ULL + i));
+    sg->states.push_back(mem);
+    if (!r.Bool()) continue;
+    const uint32_t len = r.U32();
+    if (def->restore != nullptr) {
+      const size_t before = r.position();
+      def->restore(mem, &r);
+      if (r.ok() && r.position() - before != len) r.MarkFailed();
+    } else {
+      r.Skip(len);
+      ++restore_states_skipped_;
+    }
+  }
+}
+
+void SamplingOperator::ResetDurableState() {
+  DestroySupergroupStates(new_supergroups_);
+  DestroySupergroupStates(old_supergroups_);
+  groups_.clear();
+  supergroup_groups_.clear();
+  supergroup_order_.clear();
+  output_.clear();
+  window_open_ = false;
+  current_window_id_.clear();
+  late_tuples_total_ = 0;
+  live_stats_ = WindowStats{};
+  window_stats_.clear();
+  supergroup_seq_ = 0;
+  window_seq_ = 0;
+  windows_flushed_ = 0;
+  quality_seq_ = 0;
+  live_max_weight_ = 1.0;
+  recovery_skip_remaining_ = 0;
+  restore_states_skipped_ = 0;
+}
+
+void SamplingOperator::SerializeDurableState(ByteWriter& w) const {
+  // Plan-shape fingerprint: a snapshot only restores into an operator whose
+  // plan has the same clause arities and seed (a different query would
+  // misinterpret every table entry that follows).
+  w.U32(static_cast<uint32_t>(plan_->group_by_exprs.size()));
+  w.U32(static_cast<uint32_t>(plan_->supergroup_slots.size()));
+  w.U32(static_cast<uint32_t>(plan_->aggregates.size()));
+  w.U32(static_cast<uint32_t>(plan_->superaggs.size()));
+  w.U32(static_cast<uint32_t>(plan_->sfun_states.size()));
+  w.U64(plan_->seed);
+
+  w.Bool(window_open_);
+  WriteValueVec(current_window_id_, w);
+  w.U64(late_tuples_total_);
+  w.U64(supergroup_seq_);
+  w.U64(window_seq_);
+  w.U64(windows_flushed_);
+  w.U64(quality_seq_);
+  w.F64(live_max_weight_);
+  WriteWindowStats(live_stats_, w);
+  w.U64(window_stats_.size());
+  for (const WindowStats& s : window_stats_) WriteWindowStats(s, w);
+
+  // Live supergroups in creation order (the order list itself is durable:
+  // output emission and window-final hooks walk it).
+  w.U32(static_cast<uint32_t>(supergroup_order_.size()));
+  for (const GroupKey& sk : supergroup_order_) sk.SerializeTo(w);
+  w.U32(static_cast<uint32_t>(new_supergroups_.size()));
+  for (const GroupKey& sk : supergroup_order_) {
+    auto it = new_supergroups_.find(sk);
+    if (it == new_supergroups_.end()) continue;
+    sk.SerializeTo(w);
+    SerializeSupergroupEntry(it->second, w);
+  }
+
+  // Previous-window supergroups (threshold carry-over). No creation-order
+  // list survives the table swap, so entries are sorted by encoded key —
+  // snapshots stay byte-deterministic regardless of table layout.
+  {
+    std::vector<std::pair<std::string, const SupergroupEntry*>> sorted;
+    sorted.reserve(old_supergroups_.size());
+    for (const auto& [key, entry] : old_supergroups_) {
+      ByteWriter kw;
+      key.SerializeTo(kw);
+      sorted.emplace_back(kw.Release(), &entry);
+    }
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    w.U32(static_cast<uint32_t>(sorted.size()));
+    for (const auto& [kbytes, entry] : sorted) {
+      w.Raw(kbytes.data(), kbytes.size());
+      SerializeSupergroupEntry(*entry, w);
+    }
+  }
+
+  // Membership lists (supergroup -> group keys in creation order), keyed in
+  // supergroup creation order. Lists may retain removed groups; the group
+  // table below is the source of truth for liveness, as in FlushWindow.
+  w.U32(static_cast<uint32_t>(supergroup_groups_.size()));
+  for (const GroupKey& sk : supergroup_order_) {
+    auto it = supergroup_groups_.find(sk);
+    if (it == supergroup_groups_.end()) continue;
+    sk.SerializeTo(w);
+    w.U32(static_cast<uint32_t>(it->second.size()));
+    for (const GroupKey& gk : it->second) gk.SerializeTo(w);
+  }
+
+  // Group table, sorted by encoded key (groups have no global creation
+  // list; per-window output order is recovered from the membership lists).
+  {
+    std::vector<std::pair<std::string, const GroupEntry*>> sorted;
+    sorted.reserve(groups_.size());
+    for (const auto& [key, entry] : groups_) {
+      ByteWriter kw;
+      key.SerializeTo(kw);
+      sorted.emplace_back(kw.Release(), &entry);
+    }
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    w.U32(static_cast<uint32_t>(sorted.size()));
+    for (const auto& [kbytes, entry] : sorted) {
+      w.Raw(kbytes.data(), kbytes.size());
+      w.U32(static_cast<uint32_t>(entry->aggs.size()));
+      for (const AggregateAccumulator& a : entry->aggs) a.SerializeTo(w);
+    }
+  }
+}
+
+bool SamplingOperator::RestoreDurableState(ByteReader& r) {
+  // Fingerprint check before touching any state.
+  const bool plan_match =
+      r.U32() == plan_->group_by_exprs.size() &&
+      r.U32() == plan_->supergroup_slots.size() &&
+      r.U32() == plan_->aggregates.size() &&
+      r.U32() == plan_->superaggs.size() &&
+      r.U32() == plan_->sfun_states.size() && r.U64() == plan_->seed;
+  if (!plan_match || !r.ok()) {
+    r.MarkFailed();
+    return false;
+  }
+
+  ResetDurableState();
+  window_open_ = r.Bool();
+  ReadValueVec(&current_window_id_, r);
+  late_tuples_total_ = r.U64();
+  supergroup_seq_ = r.U64();
+  window_seq_ = r.U64();
+  windows_flushed_ = r.U64();
+  quality_seq_ = r.U64();
+  live_max_weight_ = r.F64();
+  live_stats_ = ReadWindowStats(r);
+  const uint64_t nws = r.U64();
+  if (r.CheckCount(nws, 8)) {
+    window_stats_.reserve(static_cast<size_t>(nws));
+    for (uint64_t i = 0; i < nws && r.ok(); ++i) {
+      window_stats_.push_back(ReadWindowStats(r));
+    }
+  }
+
+  const uint32_t norder = r.U32();
+  if (r.CheckCount(norder, 4)) {
+    supergroup_order_.reserve(norder);
+    for (uint32_t i = 0; i < norder && r.ok(); ++i) {
+      supergroup_order_.push_back(GroupKey::Deserialize(r));
+    }
+  }
+
+  const uint32_t nnew = r.U32();
+  for (uint32_t i = 0; i < nnew && r.ok(); ++i) {
+    GroupKey sk = GroupKey::Deserialize(r);
+    auto [it, inserted] = new_supergroups_.emplace(std::move(sk),
+                                                   SupergroupEntry{});
+    if (!inserted) {
+      r.MarkFailed();
+      break;
+    }
+    RestoreSupergroupEntry(&it->second, r);
+  }
+
+  const uint32_t nold = r.U32();
+  for (uint32_t i = 0; i < nold && r.ok(); ++i) {
+    GroupKey sk = GroupKey::Deserialize(r);
+    auto [it, inserted] = old_supergroups_.emplace(std::move(sk),
+                                                   SupergroupEntry{});
+    if (!inserted) {
+      r.MarkFailed();
+      break;
+    }
+    RestoreSupergroupEntry(&it->second, r);
+  }
+
+  const uint32_t nmem = r.U32();
+  for (uint32_t i = 0; i < nmem && r.ok(); ++i) {
+    GroupKey sk = GroupKey::Deserialize(r);
+    const uint32_t ng = r.U32();
+    if (!r.CheckCount(ng, 1)) break;
+    std::vector<GroupKey>& vec = supergroup_groups_[std::move(sk)];
+    vec.reserve(ng);
+    for (uint32_t j = 0; j < ng && r.ok(); ++j) {
+      vec.push_back(GroupKey::Deserialize(r));
+    }
+  }
+
+  const uint32_t ngr = r.U32();
+  for (uint32_t i = 0; i < ngr && r.ok(); ++i) {
+    GroupKey gk = GroupKey::Deserialize(r);
+    const uint32_t na = r.U32();
+    if (na != plan_->aggregates.size()) {
+      r.MarkFailed();
+      break;
+    }
+    GroupEntry entry;
+    entry.aggs.reserve(na);
+    for (const AggregateSpec& spec : plan_->aggregates) {
+      entry.aggs.emplace_back(spec.kind, spec.param);
+      entry.aggs.back().RestoreFrom(r);
+    }
+    if (!r.ok()) break;
+    auto [it, inserted] = groups_.emplace(std::move(gk), std::move(entry));
+    if (!inserted) {
+      r.MarkFailed();
+      break;
+    }
+  }
+
+  if (!r.ok()) {
+    ResetDurableState();
+    return false;
+  }
+  // Replay-skip basis: every tuple counted into a flushed or live window
+  // was fully processed before this snapshot (the boundary tuple of a
+  // flush-hook snapshot counts into the next window only after the hook).
+  recovery_skip_remaining_ = live_stats_.tuples_in;
+  for (const WindowStats& s : window_stats_) {
+    recovery_skip_remaining_ += s.tuples_in;
+  }
+  return true;
 }
 
 Result<std::vector<Tuple>> RunToCompletion(SamplingOperator& op,

@@ -17,12 +17,14 @@
 #ifndef STREAMOP_CORE_SAMPLING_OPERATOR_H_
 #define STREAMOP_CORE_SAMPLING_OPERATOR_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/flat_hash_table.h"
+#include "common/serde.h"
 #include "common/status.h"
 #include "core/superagg.h"
 #include "obs/exemplar.h"
@@ -190,6 +192,51 @@ class SamplingOperator {
   /// 1-based count of windows ever opened (ties spans to lifecycles).
   uint64_t window_seq() const { return window_seq_; }
 
+  // ---- Durability (DESIGN.md §10) -------------------------------------
+
+  /// Installs a hook invoked once per completed window flush, after the
+  /// table swap and (on a mid-stream boundary) after the next window's
+  /// bookkeeping is in place but before its first tuple is counted. At the
+  /// call the operator's durable state is exactly the "between windows"
+  /// snapshot point: SerializeDurableState() taken inside the hook and
+  /// restored into a fresh operator resumes byte-identically once the
+  /// already-consumed prefix of the stream is skipped. The argument is
+  /// windows_flushed(). The hook must not call back into Process.
+  void set_window_flush_hook(std::function<void(uint64_t)> hook) {
+    window_flush_hook_ = std::move(hook);
+  }
+
+  /// Windows flushed so far. Unlike window_seq(), counted unconditionally
+  /// (window_seq_ is observability-gated), so checkpoint cadence works in
+  /// STREAMOP_NO_STATS builds too.
+  uint64_t windows_flushed() const { return windows_flushed_; }
+
+  /// Serializes every field that survives a restart: window position and
+  /// per-window stats, the group/supergroup/membership tables (SFUN blobs
+  /// via their SfunStateDef serialize hooks, length-prefixed so hook-less
+  /// states round-trip as opaque skips), supergroup creation order, and
+  /// every RNG-bearing counter. Byte-deterministic: hash tables are walked
+  /// in creation order (or sorted by encoded key), never table order.
+  void SerializeDurableState(ByteWriter& w) const;
+
+  /// Rebuilds the operator from a SerializeDurableState() image. The
+  /// operator must have been constructed with an equivalent plan (a
+  /// fingerprint of plan shape is checked). On any decode failure the
+  /// operator is reset to its freshly-constructed state and false is
+  /// returned — a corrupt snapshot never leaves partial state behind.
+  /// On success arms the replay skip: the next recovery_skip_remaining()
+  /// input tuples are positionally discarded (they were fully processed
+  /// before the snapshot), after which processing resumes normally.
+  bool RestoreDurableState(ByteReader& r);
+
+  /// Input tuples still to be discarded by the post-restore replay.
+  uint64_t recovery_skip_remaining() const { return recovery_skip_remaining_; }
+  bool recovering() const { return recovery_skip_remaining_ > 0; }
+
+  /// SFUN state slots whose snapshot blob had no restore hook in this
+  /// build (restarted fresh instead). Zero on a clean restore.
+  uint64_t restore_states_skipped() const { return restore_states_skipped_; }
+
   /// Number of live groups / supergroups (introspection for tests).
   size_t num_groups() const { return groups_.size(); }
   size_t num_supergroups() const { return new_supergroups_.size(); }
@@ -259,6 +306,15 @@ class SamplingOperator {
   void RecordWindowQuality();
 
   void DestroySupergroupStates(SupergroupTable& table);
+
+  // Checkpoint helpers: one supergroup entry (superaggs + SFUN blobs) and
+  // allocation of a fresh entry's state blobs for restore.
+  void SerializeSupergroupEntry(const SupergroupEntry& sg,
+                                ByteWriter& w) const;
+  void RestoreSupergroupEntry(SupergroupEntry* sg, ByteReader& r);
+  // Resets every durable field to the freshly-constructed state (used when
+  // a restore fails partway so no garbage survives).
+  void ResetDurableState();
 
   std::shared_ptr<const SamplingQueryPlan> plan_;
 
@@ -334,6 +390,17 @@ class SamplingOperator {
   std::vector<WindowStats> window_stats_;
   std::vector<Tuple> output_;
   uint64_t supergroup_seq_ = 0;  // distinct RNG stream per supergroup
+
+  // ---- Durability (DESIGN.md §10) -------------------------------------
+  // windows_flushed_ counts completed FlushWindow calls unconditionally
+  // (window_seq_ is stats-gated). The hook fires at the between-windows
+  // snapshot point; recovery_skip_remaining_ arms the positional replay
+  // skip after a restore — Process() discards that many tuples and
+  // ProcessBatch degrades to the per-lane fallback until it drains.
+  uint64_t windows_flushed_ = 0;
+  uint64_t recovery_skip_remaining_ = 0;
+  uint64_t restore_states_skipped_ = 0;
+  std::function<void(uint64_t)> window_flush_hook_;
 
   // Flushes the pending_* deltas below into the registry counters.
   void FlushPendingMetrics();

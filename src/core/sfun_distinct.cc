@@ -29,6 +29,20 @@ void DistinctStateDestroy(void* state) {
   static_cast<DistinctSfunState*>(state)->~DistinctSfunState();
 }
 
+void DistinctStateSerialize(const void* state, ByteWriter* w) {
+  const auto* s = static_cast<const DistinctSfunState*>(state);
+  w->U64(s->capacity);
+  w->U32(s->level);
+  w->U32(s->pending_level);
+}
+
+void DistinctStateRestore(void* state, ByteReader* r) {
+  auto* s = static_cast<DistinctSfunState*>(state);
+  s->capacity = r->U64();
+  s->level = r->U32();
+  s->pending_level = r->U32();
+}
+
 // dssample(hash [, capacity]) -> bool: level-test admission.
 Value DsSample(void* state, const Value* args, size_t nargs) {
   auto* s = static_cast<DistinctSfunState*>(state);
@@ -107,6 +121,8 @@ Status RegisterDistinctSfunPackage() {
   state.init = DistinctStateInit;
   state.destroy = DistinctStateDestroy;
   state.quality = DistinctQuality;
+  state.serialize = DistinctStateSerialize;
+  state.restore = DistinctStateRestore;
   STREAMOP_RETURN_NOT_OK(reg.RegisterState(state));
   const SfunStateDef* sd = reg.FindState(state.name);
 

@@ -19,6 +19,18 @@ void HeavyHitterStateDestroy(void* state) {
   static_cast<HeavyHitterSfunState*>(state)->~HeavyHitterSfunState();
 }
 
+void HeavyHitterStateSerialize(const void* state, ByteWriter* w) {
+  const auto* s = static_cast<const HeavyHitterSfunState*>(state);
+  w->U64(s->tuples_seen);
+  w->U64(s->current_bucket);
+}
+
+void HeavyHitterStateRestore(void* state, ByteReader* r) {
+  auto* s = static_cast<HeavyHitterSfunState*>(state);
+  s->tuples_seen = r->U64();
+  s->current_bucket = r->U64();
+}
+
 // local_count(w) -> bool: true once every w tuples, advancing the bucket.
 Value LocalCount(void* state, const Value* args, size_t nargs) {
   auto* s = static_cast<HeavyHitterSfunState*>(state);
@@ -68,6 +80,8 @@ Status RegisterHeavyHitterSfunPackage() {
   state.init = HeavyHitterStateInit;
   state.destroy = HeavyHitterStateDestroy;
   state.quality = HeavyHitterQuality;
+  state.serialize = HeavyHitterStateSerialize;
+  state.restore = HeavyHitterStateRestore;
   STREAMOP_RETURN_NOT_OK(reg.RegisterState(state));
   const SfunStateDef* sd = reg.FindState(state.name);
 

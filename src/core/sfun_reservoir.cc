@@ -29,6 +29,36 @@ void ReservoirStateDestroy(void* state) {
   static_cast<ReservoirSfunState*>(state)->~ReservoirSfunState();
 }
 
+void ReservoirStateSerialize(const void* state, ByteWriter* w) {
+  const auto* s = static_cast<const ReservoirSfunState*>(state);
+  w->U64(s->n);
+  w->F64(s->tolerance);
+  w->U8(static_cast<uint8_t>(s->mode));
+  s->control.SerializeTo(*w);
+  s->rng.SerializeTo(*w);
+  w->F64(s->admit_p);
+  w->U64(s->pass_pool);
+  w->U64(s->pass_keep);
+  w->Bool(s->coin_pass);
+  w->Bool(s->final_armed);
+  w->U64(s->cleanings_this_window);
+}
+
+void ReservoirStateRestore(void* state, ByteReader* r) {
+  auto* s = static_cast<ReservoirSfunState*>(state);
+  s->n = r->U64();
+  s->tolerance = r->F64();
+  s->mode = static_cast<ReservoirSfunMode>(r->U8());
+  s->control.RestoreFrom(*r);
+  s->rng.RestoreFrom(*r);
+  s->admit_p = r->F64();
+  s->pass_pool = r->U64();
+  s->pass_keep = r->U64();
+  s->coin_pass = r->Bool();
+  s->final_armed = r->Bool();
+  s->cleanings_this_window = r->U64();
+}
+
 // rsample(n [, tolerance [, mode]]) -> bool: admit this tuple as a
 // candidate. mode 1 switches from the paper's skip scheme to the exactly
 // uniform Bernoulli-backoff scheme.
@@ -156,6 +186,8 @@ Status RegisterReservoirSfunPackage() {
   state.init = ReservoirStateInit;
   state.destroy = ReservoirStateDestroy;
   state.quality = ReservoirQuality;
+  state.serialize = ReservoirStateSerialize;
+  state.restore = ReservoirStateRestore;
   STREAMOP_RETURN_NOT_OK(reg.RegisterState(state));
   const SfunStateDef* sd = reg.FindState(state.name);
 

@@ -53,6 +53,44 @@ void SubsetSumStateDestroy(void* state) {
   static_cast<SubsetSumSfunState*>(state)->~SubsetSumSfunState();
 }
 
+void SubsetSumStateSerialize(const void* state, ByteWriter* w) {
+  const auto* s = static_cast<const SubsetSumSfunState*>(state);
+  s->admit.SerializeTo(*w);
+  s->clean.SerializeTo(*w);
+  w->F64(s->z_prev);
+  w->F64(s->initial_z);
+  w->U64(s->target);
+  w->F64(s->beta);
+  w->F64(s->relax_factor);
+  w->U8(static_cast<uint8_t>(s->mode));
+  w->U64(s->seed);
+  w->U64(s->rng_seq);
+  w->U64(s->large_count);
+  w->U64(s->cleanings_this_window);
+  w->U64(s->admitted_this_window);
+  w->Bool(s->final_adjust_done);
+  w->Bool(s->final_pass_through);
+}
+
+void SubsetSumStateRestore(void* state, ByteReader* r) {
+  auto* s = static_cast<SubsetSumSfunState*>(state);
+  s->admit.RestoreFrom(*r);
+  s->clean.RestoreFrom(*r);
+  s->z_prev = r->F64();
+  s->initial_z = r->F64();
+  s->target = r->U64();
+  s->beta = r->F64();
+  s->relax_factor = r->F64();
+  s->mode = static_cast<ThresholdMode>(r->U8());
+  s->seed = r->U64();
+  s->rng_seq = r->U64();
+  s->large_count = r->U64();
+  s->cleanings_this_window = r->U64();
+  s->admitted_this_window = r->U64();
+  s->final_adjust_done = r->Bool();
+  s->final_pass_through = r->Bool();
+}
+
 // ssample(x, N [, beta [, relax_factor [, z0 [, mode]]]]) -> bool: basic
 // threshold admission of a tuple with weight x, targeting N samples per
 // window. mode 1 switches small-tuple admission from the counter scheme to
@@ -248,6 +286,8 @@ Status RegisterSubsetSumSfunPackage() {
   state.destroy = SubsetSumStateDestroy;
   state.window_final = nullptr;
   state.quality = SubsetSumQuality;
+  state.serialize = SubsetSumStateSerialize;
+  state.restore = SubsetSumStateRestore;
   STREAMOP_RETURN_NOT_OK(reg.RegisterState(state));
   const SfunStateDef* sd = reg.FindState(state.name);
 

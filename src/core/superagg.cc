@@ -146,4 +146,33 @@ Value SuperAggState::Final() const {
   return Value::Null();
 }
 
+void SuperAggState::SerializeTo(ByteWriter& w) const {
+  w.U64(group_count_);
+  acc_.SerializeTo(w);
+  w.U64(tuple_count_);
+  w.F64(weighted_count_);
+  w.F64(ht_var_);
+  w.Bool(weighted_);
+  first_.SerializeTo(w);
+  w.Bool(has_first_);
+  // kKthSmallest multiset: the keys in order (the mapped char is unused).
+  w.U64(values_.size());
+  for (const auto& [v, unused] : values_) v.SerializeTo(w);
+}
+
+void SuperAggState::RestoreFrom(ByteReader& r) {
+  group_count_ = r.U64();
+  acc_.RestoreFrom(r);
+  tuple_count_ = r.U64();
+  weighted_count_ = r.F64();
+  ht_var_ = r.F64();
+  weighted_ = r.Bool();
+  first_ = Value::Deserialize(r);
+  has_first_ = r.Bool();
+  values_.clear();
+  uint64_t n = r.U64();
+  if (!r.CheckCount(n, 1)) return;
+  for (uint64_t i = 0; i < n; ++i) values_.emplace(Value::Deserialize(r), 0);
+}
+
 }  // namespace streamop

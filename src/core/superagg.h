@@ -88,6 +88,12 @@ class SuperAggState {
 
   const SuperAggSpec* spec() const { return spec_; }
 
+  /// Checkpoint: the full partial state. The spec pointer is not part of
+  /// the snapshot — RestoreFrom is called on a state constructed with the
+  /// plan's spec, mirroring how SFUN restores ride on init().
+  void SerializeTo(ByteWriter& w) const;
+  void RestoreFrom(ByteReader& r);
+
  private:
   const SuperAggSpec* spec_;
   uint64_t group_count_ = 0;

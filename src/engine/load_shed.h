@@ -99,6 +99,48 @@ class LoadShedController {
   const std::vector<ShedTickRecord>& history() const { return history_; }
   const LoadShedConfig& config() const { return config_; }
 
+  /// Checkpoint: controller position (p, RNG, counters) and the tick
+  /// history. Config and metric handles stay as constructed.
+  void SerializeTo(ByteWriter& w) const {
+    rng_.SerializeTo(w);
+    w.F64(p_);
+    w.F64(p_min_seen_);
+    w.F64(p_max_seen_);
+    w.U64(offered_);
+    w.U64(admitted_);
+    w.U64(ticks_);
+    w.U64(history_.size());
+    for (const ShedTickRecord& t : history_) {
+      w.F64(t.occupancy);
+      w.U64(t.push_failures);
+      w.F64(t.p);
+      w.U64(t.offered);
+      w.U64(t.admitted);
+    }
+  }
+  void RestoreFrom(ByteReader& r) {
+    rng_.RestoreFrom(r);
+    p_ = r.F64();
+    p_min_seen_ = r.F64();
+    p_max_seen_ = r.F64();
+    offered_ = r.U64();
+    admitted_ = r.U64();
+    ticks_ = r.U64();
+    history_.clear();
+    uint64_t n = r.U64();
+    if (!r.CheckCount(n, 40)) return;
+    history_.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n; ++i) {
+      ShedTickRecord t;
+      t.occupancy = r.F64();
+      t.push_failures = r.U64();
+      t.p = r.F64();
+      t.offered = r.U64();
+      t.admitted = r.U64();
+      history_.push_back(t);
+    }
+  }
+
  private:
   LoadShedConfig config_;
   Pcg64 rng_;

@@ -85,6 +85,11 @@ class QueryNode {
 
   bool is_sampling() const { return sampling_ != nullptr; }
 
+  /// The sampling operator behind this node, or nullptr for selection
+  /// nodes. The runtime's checkpoint wiring installs flush hooks and
+  /// restores durable state through this.
+  SamplingOperator* sampling_operator() { return sampling_.get(); }
+
   /// Number of input-schema columns (what a fed TupleBatch must carry).
   size_t input_width() const {
     return sampling_ != nullptr

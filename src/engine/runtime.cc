@@ -116,6 +116,75 @@ TwoLevelRuntime::TwoLevelRuntime(const CompiledQuery& low,
                                                 high[i], &reg));
   }
 
+  // Durability (engine/checkpoint.h): one manager per sampling node. The
+  // newest valid snapshot is restored here, at construction, so the first
+  // run resumes at the last flushed window; the installed flush hook then
+  // snapshots at the configured cadence. Selection nodes are stateless and
+  // get no manager.
+  if (!options_.checkpoint.dir.empty()) {
+    checkpoint_mgrs_.resize(high_.size());
+    for (size_t i = 0; i < high_.size(); ++i) {
+      SamplingOperator* op = high_[i]->sampling_operator();
+      if (op == nullptr) continue;
+      CheckpointConfig cfg = options_.checkpoint;
+      cfg.node = high_[i]->name();
+      cfg.registry = &reg;
+      checkpoint_mgrs_[i] = std::make_unique<CheckpointManager>(cfg);
+      CheckpointManager* mgr = checkpoint_mgrs_[i].get();
+
+      if (auto loaded = mgr->LoadLatest()) {
+        ByteReader r(loaded->payload);
+        if (op->RestoreDurableState(r)) {
+          // Trailing sections: load-shed controller (applied to the next
+          // run's controller) and the exemplar reservoirs (applied now).
+          if (r.Bool()) restored_shed_blob_ = r.Str();
+          if (r.Bool()) {
+            const std::string ex = r.Str();
+            ByteReader er(ex);
+            obs::ExemplarStore::Default().RestoreFrom(er);
+          }
+          recovered_ = true;
+          recovered_windows_ =
+              std::max(recovered_windows_, loaded->windows_flushed);
+          std::fprintf(
+              stderr,
+              "[checkpoint] %s: restored %s (window %llu, replaying "
+              "%llu tuples)\n",
+              high_[i]->name().c_str(), loaded->path.c_str(),
+              static_cast<unsigned long long>(loaded->windows_flushed),
+              static_cast<unsigned long long>(op->recovery_skip_remaining()));
+        } else {
+          std::fprintf(stderr,
+                       "[checkpoint] %s: snapshot %s does not match this "
+                       "query, starting fresh\n",
+                       high_[i]->name().c_str(), loaded->path.c_str());
+        }
+      }
+
+      op->set_window_flush_hook([this, op, mgr](uint64_t windows_flushed) {
+        if (!mgr->ShouldWrite(windows_flushed)) return;
+        ByteWriter w;
+        op->SerializeDurableState(w);
+        // Shed controller state rides along while a threaded run is live
+        // (the hook runs on the consumer thread, which owns the
+        // controller, so this read is unsynchronized but single-threaded).
+        LoadShedController* shed =
+            active_shed_.load(std::memory_order_acquire);
+        w.Bool(shed != nullptr);
+        if (shed != nullptr) {
+          ByteWriter sw;
+          shed->SerializeTo(sw);
+          w.Str(sw.data());
+        }
+        ByteWriter ew;
+        obs::ExemplarStore::Default().SerializeTo(ew);
+        w.Bool(true);
+        w.Str(ew.data());
+        mgr->Write(windows_flushed, w.data());
+      });
+    }
+  }
+
   if (options_.http_port >= 0) {
     obs::HttpServerOptions http;
     http.port = static_cast<uint16_t>(options_.http_port);
@@ -142,6 +211,26 @@ void TwoLevelRuntime::PublishReport(const RunReport& report) {
   watchdog_fired_gauge_->Set(report.watchdog_fired ? 1.0 : 0.0);
 }
 
+void TwoLevelRuntime::FillCheckpointReport(RunReport* report) const {
+  report->recovered = recovered_;
+  report->recovered_windows = recovered_windows_;
+  for (const auto& mgr : checkpoint_mgrs_) {
+    if (mgr == nullptr) continue;
+    report->checkpoints_written += mgr->writes();
+    report->checkpoint_failures += mgr->failures();
+    report->checkpoint_corrupt_skipped += mgr->corrupt_skipped();
+    if (mgr->degraded()) report->checkpoint_degraded = true;
+  }
+}
+
+bool TwoLevelRuntime::AnyNodeRecovering() const {
+  for (const auto& node : high_) {
+    SamplingOperator* op = node->sampling_operator();
+    if (op != nullptr && op->recovering()) return true;
+  }
+  return false;
+}
+
 bool TwoLevelRuntime::healthy() const {
   std::lock_guard<std::mutex> lock(report_mu_);
   return !last_report_.watchdog_fired;
@@ -153,29 +242,53 @@ std::string TwoLevelRuntime::HealthJson() const {
     std::lock_guard<std::mutex> lock(report_mu_);
     r = last_report_;
   }
+  // Checkpoint state is read live from the managers (not the report copy)
+  // so /healthz reflects writes and failures of an in-flight run too.
+  const bool ckpt_enabled = !checkpoint_mgrs_.empty();
+  bool ckpt_degraded = false;
+  uint64_t ckpt_writes = 0, ckpt_failures = 0, ckpt_corrupt = 0;
+  for (const auto& mgr : checkpoint_mgrs_) {
+    if (mgr == nullptr) continue;
+    ckpt_writes += mgr->writes();
+    ckpt_failures += mgr->failures();
+    ckpt_corrupt += mgr->corrupt_skipped();
+    if (mgr->degraded()) ckpt_degraded = true;
+  }
   const bool is_running = running_.load(std::memory_order_relaxed);
-  const char* status = r.watchdog_fired
-                           ? "watchdog_fired"
-                           : is_running ? "running"
-                                        : (r.shedding_enabled &&
-                                           r.shed_fraction > 0.0)
-                                              ? "degraded"
-                                              : "ok";
-  char buf[512];
+  const char* status =
+      r.watchdog_fired
+          ? "watchdog_fired"
+          : is_running
+                ? "running"
+                : (ckpt_degraded ||
+                   (r.shedding_enabled && r.shed_fraction > 0.0))
+                      ? "degraded"
+                      : "ok";
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "{\"status\": \"%s\", \"running\": %s, \"watchdog_fired\": %s, "
       "\"shedding_enabled\": %s, \"shed_fraction\": %.6f, "
       "\"shed_p_min\": %.6f, \"shed_p_max\": %.6f, "
       "\"tuples_shed\": %llu, \"late_tuples\": %llu, "
-      "\"packets_malformed\": %llu, \"packets\": %llu}\n",
+      "\"packets_malformed\": %llu, \"packets\": %llu, "
+      "\"checkpoint_enabled\": %s, \"checkpoint_degraded\": %s, "
+      "\"recovered\": %s, \"recovered_windows\": %llu, "
+      "\"checkpoints_written\": %llu, \"checkpoint_failures\": %llu, "
+      "\"checkpoint_corrupt_skipped\": %llu}\n",
       status, is_running ? "true" : "false",
       r.watchdog_fired ? "true" : "false",
       r.shedding_enabled ? "true" : "false", r.shed_fraction, r.shed_p_min,
       r.shed_p_max, static_cast<unsigned long long>(r.tuples_shed),
       static_cast<unsigned long long>(r.late_tuples),
       static_cast<unsigned long long>(r.packets_malformed),
-      static_cast<unsigned long long>(r.packets));
+      static_cast<unsigned long long>(r.packets),
+      ckpt_enabled ? "true" : "false", ckpt_degraded ? "true" : "false",
+      recovered_ ? "true" : "false",
+      static_cast<unsigned long long>(recovered_windows_),
+      static_cast<unsigned long long>(ckpt_writes),
+      static_cast<unsigned long long>(ckpt_failures),
+      static_cast<unsigned long long>(ckpt_corrupt));
   return buf;
 }
 
@@ -291,6 +404,7 @@ Result<RunReport> TwoLevelRuntime::Run(const Trace& trace) {
     report.late_tuples += node->late_tuples();
     report.high.push_back(MakeReport(*node, report.stream_seconds));
   }
+  FillCheckpointReport(&report);
   PublishReport(report);
   return report;
 }
@@ -304,6 +418,16 @@ Result<RunReport> TwoLevelRuntime::RunThreaded(const Trace& trace) {
                                  ? *options_.registry
                                  : obs::MetricRegistry::Default();
   LoadShedController shed(options_.shed, &reg);
+  // A restored snapshot carries the controller state from the killed run;
+  // apply it so the admission probability resumes where it left off.
+  if (!restored_shed_blob_.empty()) {
+    ByteReader sr(restored_shed_blob_);
+    shed.RestoreFrom(sr);
+    restored_shed_blob_.clear();
+  }
+  // Publish for the checkpoint flush hook (runs on the consumer thread,
+  // the same thread that drives the controller).
+  active_shed_.store(&shed, std::memory_order_release);
 
   std::atomic<bool> abort{false};         // any party: stop everything
   std::atomic<bool> consumer_done{false};
@@ -379,10 +503,20 @@ Result<RunReport> TwoLevelRuntime::RunThreaded(const Trace& trace) {
       }
       ++batch_index;
 
+      // While a restored node is still discarding its replayed prefix the
+      // shed gate is bypassed (weight 1.0, no Admit draws, no Tick): the
+      // replayed packets were already admitted before the crash, and
+      // re-shedding or re-tuning on them would double-drop / perturb the
+      // restored admission probability. Recovery is byte-exact for
+      // non-shed runs; with shedding, the RNG draws consumed before the
+      // snapshot are part of the restored controller state, so the
+      // post-replay stream continues from the same admission sequence.
+      const bool replaying = AnyNodeRecovering();
+
       // Controller tick, rate-limited here so the controller itself stays
       // pure (unit tests drive Tick directly). The post-tick p is constant
       // across the batch, so one weight applies to every admitted tuple.
-      if (shed_on) {
+      if (shed_on && !replaying) {
         const uint64_t now = NowNanos();
         if (last_tick_ns == 0 || now - last_tick_ns >= tick_ns) {
           const uint64_t f = push_failures.load(std::memory_order_relaxed);
@@ -391,7 +525,7 @@ Result<RunReport> TwoLevelRuntime::RunThreaded(const Trace& trace) {
           last_tick_ns = now;
         }
       }
-      const double weight = shed_on ? shed.weight() : 1.0;
+      const double weight = (shed_on && !replaying) ? shed.weight() : 1.0;
 
       obs::SpanRing& spans = obs::SpanRing::Default();
       obs::Profiler& prof = obs::Profiler::Default();
@@ -409,7 +543,7 @@ Result<RunReport> TwoLevelRuntime::RunThreaded(const Trace& trace) {
           OfferMalformedExemplar(*p);
           continue;
         }
-        if (shed_on && !shed.Admit()) {  // Bernoulli pre-sample
+        if (shed_on && !replaying && !shed.Admit()) {  // Bernoulli pre-sample
           OfferShedExemplar(*p, weight);
           continue;
         }
@@ -521,6 +655,10 @@ Result<RunReport> TwoLevelRuntime::RunThreaded(const Trace& trace) {
     }
   }
 
+  // The final flush (Finish above) may have snapshotted through the hook;
+  // from here the controller is about to leave scope, so unpublish it.
+  active_shed_.store(nullptr, std::memory_order_release);
+
   // The report — including the degradation summary — is built even for
   // failed runs and kept in last_report() for post-mortems.
   RunReport report;
@@ -552,6 +690,7 @@ Result<RunReport> TwoLevelRuntime::RunThreaded(const Trace& trace) {
     report.late_tuples += node->late_tuples();
     report.high.push_back(MakeReport(*node, report.stream_seconds));
   }
+  FillCheckpointReport(&report);
   PublishReport(report);
 
   if (watchdog_fired) {

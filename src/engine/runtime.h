@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "engine/checkpoint.h"
 #include "engine/load_shed.h"
 #include "engine/query_node.h"
 #include "net/trace_generator.h"
@@ -74,6 +75,18 @@ struct RunReport {
   uint64_t packets_malformed = 0;  // len below the 20-byte IP header minimum
   bool watchdog_fired = false;     // run terminated by the stall watchdog
 
+  // Durability summary (engine/checkpoint.h). `recovered` is set when the
+  // runtime restored a snapshot at construction; `recovered_windows` is the
+  // flush count of the newest snapshot restored. `checkpoint_degraded`
+  // means the last write attempt exhausted its retries (ingest continued
+  // without durability).
+  bool recovered = false;
+  uint64_t recovered_windows = 0;
+  bool checkpoint_degraded = false;
+  uint64_t checkpoints_written = 0;
+  uint64_t checkpoint_failures = 0;
+  uint64_t checkpoint_corrupt_skipped = 0;
+
   NodeReport low;
   std::vector<NodeReport> high;
 };
@@ -105,6 +118,14 @@ struct RuntimeOptions {
   /// cooperative stalls here (stream/fault_injection.h); the hook MUST
   /// return promptly once the abort flag is set.
   std::function<void(uint64_t, const std::atomic<bool>&)> consumer_stall_hook;
+
+  /// Durable snapshots (engine/checkpoint.h): with a non-empty dir, every
+  /// sampling node writes a versioned CRC-guarded snapshot of its durable
+  /// state (plus the load-shed controller and exemplar reservoirs) every
+  /// `checkpoint.every_n_windows` window flushes, and the runtime restores
+  /// the newest valid snapshot at construction — a killed process resumes
+  /// at the last flushed window. The `node` field is overwritten per node.
+  CheckpointConfig checkpoint;
 
   /// Embedded introspection server (obs/http_server.h): -1 disables it,
   /// 0 binds an ephemeral port (read back via http_server()->port()), any
@@ -164,7 +185,22 @@ class TwoLevelRuntime {
   /// /healthz verdict: false once a run was terminated by the watchdog.
   bool healthy() const;
 
+  /// True when a snapshot was restored at construction; the first
+  /// Run/RunThreaded then replays the already-processed stream prefix.
+  bool recovered() const { return recovered_; }
+  uint64_t recovered_windows() const { return recovered_windows_; }
+
+  /// The checkpoint manager of high node `i`, or nullptr when
+  /// checkpointing is disabled or the node is not a sampling node.
+  CheckpointManager* checkpoint_manager(size_t i) {
+    return i < checkpoint_mgrs_.size() ? checkpoint_mgrs_[i].get() : nullptr;
+  }
+
  private:
+  // Folds the checkpoint counters and recovery state into `report`.
+  void FillCheckpointReport(RunReport* report) const;
+  // True while any sampling node is still discarding replayed input.
+  bool AnyNodeRecovering() const;
   // Publishes the report to last_report_ (under the mutex, for /healthz
   // readers) and refreshes the degradation gauges in the registry.
   void PublishReport(const RunReport& report);
@@ -175,6 +211,15 @@ class TwoLevelRuntime {
   std::atomic<bool> running_{false};
   std::unique_ptr<QueryNode> low_;
   std::vector<std::unique_ptr<QueryNode>> high_;
+  // Durability (engine/checkpoint.h): one manager per high node (nullptr
+  // for selection nodes or with checkpointing disabled). active_shed_
+  // points at the live controller while RunThreaded executes so the flush
+  // hook (consumer thread) can include its state in snapshots.
+  std::vector<std::unique_ptr<CheckpointManager>> checkpoint_mgrs_;
+  std::atomic<LoadShedController*> active_shed_{nullptr};
+  bool recovered_ = false;
+  uint64_t recovered_windows_ = 0;
+  std::string restored_shed_blob_;  // applied to the next run's controller
   obs::RingBufferMetrics ring_metrics_;   // outlives the per-run rings
   obs::Counter* producer_retries_ = nullptr;
   obs::Counter* packets_dropped_ = nullptr;

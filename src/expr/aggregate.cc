@@ -182,4 +182,38 @@ Value AggregateAccumulator::Final() const {
   return Value::Null();
 }
 
+void AggregateAccumulator::SerializeTo(ByteWriter& w) const {
+  w.U8(static_cast<uint8_t>(kind_));
+  w.U64(count_);
+  w.U64(sum_u_);
+  w.F64(sum_d_);
+  w.Bool(all_uint_);
+  w.F64(weight_sum_);
+  w.Bool(weighted_);
+  extremum_.SerializeTo(w);
+  w.Bool(has_value_);
+  w.F64(param_);
+  w.Bool(sketch_ != nullptr);
+  if (sketch_ != nullptr) sketch_->SerializeTo(w);
+}
+
+void AggregateAccumulator::RestoreFrom(ByteReader& r) {
+  kind_ = static_cast<AggregateKind>(r.U8());
+  count_ = r.U64();
+  sum_u_ = r.U64();
+  sum_d_ = r.F64();
+  all_uint_ = r.Bool();
+  weight_sum_ = r.F64();
+  weighted_ = r.Bool();
+  extremum_ = Value::Deserialize(r);
+  has_value_ = r.Bool();
+  param_ = r.F64();
+  if (r.Bool()) {
+    sketch_ = std::make_unique<GkQuantileSketch>();
+    sketch_->RestoreFrom(r);
+  } else {
+    sketch_.reset();
+  }
+}
+
 }  // namespace streamop

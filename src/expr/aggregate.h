@@ -80,6 +80,11 @@ class AggregateAccumulator {
   /// double-space Horvitz–Thompson estimates for count/avg.
   bool weighted() const { return weighted_; }
 
+  /// Checkpoint: the complete fold state, including the lazily-built
+  /// quantile sketch when present.
+  void SerializeTo(ByteWriter& w) const;
+  void RestoreFrom(ByteReader& r);
+
  private:
   AggregateKind kind_;
   uint64_t count_ = 0;

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serde.h"
 #include "common/status.h"
 #include "obs/quality.h"
 #include "tuple/value.h"
@@ -53,6 +54,16 @@ struct SfunStateDef {
   /// to report (e.g. it never sampled); may be nullptr.
   bool (*quality)(const void* state, const obs::QualityContext& ctx,
                   obs::EstimatorQuality* out) = nullptr;
+
+  /// Checkpoint support (DESIGN.md §10). `serialize` externalizes the full
+  /// state — including RNG stream positions — so that `restore` (called on
+  /// a state freshly placement-constructed via init(state, nullptr, seed))
+  /// overwrites every field and the restored state continues the exact
+  /// draw sequence of the original. States without these hooks are skipped
+  /// at snapshot time (counted by the checkpoint writer) and restart fresh
+  /// after recovery; supplying neither or both is valid, one is not.
+  void (*serialize)(const void* state, ByteWriter* w) = nullptr;
+  void (*restore)(void* state, ByteReader* r) = nullptr;
 };
 
 /// Declaration of one stateful function (the SFUN statement).

@@ -145,5 +145,80 @@ std::string ExemplarStore::ToJson() const {
   return out;
 }
 
+namespace {
+
+void SerializeReservoir(const ExemplarStore* store, ByteWriter& w,
+                        const std::mutex& mu, const ReservoirControl& control,
+                        const Exemplar* slots, size_t nslots, size_t filled,
+                        uint64_t offered) {
+  (void)store;
+  std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(mu));
+  control.SerializeTo(w);
+  w.U64(filled);
+  w.U64(offered);
+  w.U64(nslots);
+  for (size_t i = 0; i < nslots; ++i) {
+    const Exemplar& e = slots[i];
+    w.U64(e.ts_ns);
+    w.F64(e.value);
+    w.F64(e.weight);
+    w.U64(e.window_seq);
+    for (uint64_t d : e.dims) w.U64(d);
+    w.U32(e.ndims);
+  }
+}
+
+}  // namespace
+
+void ExemplarStore::SerializeTo(ByteWriter& w) const {
+  w.U64(kNumCategories);
+  for (const auto& r : categories_) {
+    SerializeReservoir(this, w, r->mu, r->control, r->slots.data(),
+                       r->slots.size(), r->filled, r->offered);
+  }
+  w.U64(kLatencyBands);
+  for (const auto& r : latency_bands_) {
+    SerializeReservoir(this, w, r->mu, r->control, r->slots.data(),
+                       r->slots.size(), r->filled, r->offered);
+  }
+}
+
+void ExemplarStore::RestoreFrom(ByteReader& r) {
+  auto restore_one = [&r](Reservoir& res) {
+    std::lock_guard<std::mutex> lock(res.mu);
+    res.control.RestoreFrom(r);
+    res.filled = static_cast<size_t>(r.U64());
+    if (res.filled > kSlotsPerReservoir) res.filled = kSlotsPerReservoir;
+    res.offered = r.U64();
+    uint64_t nslots = r.U64();
+    for (uint64_t i = 0; i < nslots; ++i) {
+      Exemplar e;
+      e.ts_ns = r.U64();
+      e.value = r.F64();
+      e.weight = r.F64();
+      e.window_seq = r.U64();
+      for (uint64_t& d : e.dims) d = r.U64();
+      e.ndims = r.U32();
+      if (i < res.slots.size()) res.slots[i] = e;
+    }
+  };
+  uint64_t ncat = r.U64();
+  for (uint64_t c = 0; c < ncat && c < kNumCategories; ++c) {
+    restore_one(*categories_[c]);
+  }
+  // Snapshots from a build with more categories than ours cannot be mapped;
+  // the count mismatch poisons the reader and the caller discards the load.
+  if (ncat != kNumCategories) {
+    r.MarkFailed();
+    return;
+  }
+  uint64_t nbands = r.U64();
+  if (nbands != kLatencyBands) {
+    r.MarkFailed();
+    return;
+  }
+  for (uint64_t b = 0; b < nbands; ++b) restore_one(*latency_bands_[b]);
+}
+
 }  // namespace obs
 }  // namespace streamop

@@ -117,6 +117,11 @@ class ExemplarStore {
   ///  "counters": {"shed_drop": {...}, ...}}.
   std::string ToJson() const;
 
+  /// Checkpoint: every reservoir (control position + slots). Takes each
+  /// per-reservoir mutex, so safe against a concurrent HTTP snapshot.
+  void SerializeTo(ByteWriter& w) const;
+  void RestoreFrom(ByteReader& r);
+
  private:
   // One reservoir: the engine's own skip-based control + fixed slots.
   struct Reservoir {

@@ -41,6 +41,19 @@ class BernoulliSampler {
     offered_ = 0;
   }
 
+  void SerializeTo(ByteWriter& w) const {
+    w.F64(p_);
+    rng_.SerializeTo(w);
+    w.U64(offered_);
+    SerdeWriteVector(w, sample_);
+  }
+  void RestoreFrom(ByteReader& r) {
+    p_ = r.F64();
+    rng_.RestoreFrom(r);
+    offered_ = r.U64();
+    SerdeReadVector(r, &sample_);
+  }
+
  private:
   double p_;
   Pcg64 rng_;
@@ -66,6 +79,19 @@ class SystematicSampler {
 
   const std::vector<T>& sample() const { return sample_; }
   uint64_t offered() const { return offered_; }
+
+  void SerializeTo(ByteWriter& w) const {
+    w.U64(k_);
+    w.U64(phase_);
+    w.U64(offered_);
+    SerdeWriteVector(w, sample_);
+  }
+  void RestoreFrom(ByteReader& r) {
+    k_ = r.U64();
+    phase_ = r.U64();
+    offered_ = r.U64();
+    SerdeReadVector(r, &sample_);
+  }
 
  private:
   uint64_t k_;

@@ -14,8 +14,13 @@
 
 #include <cstdint>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "common/flat_hash_table.h"
 #include "common/hash.h"
+#include "common/serde.h"
 
 namespace streamop {
 
@@ -69,6 +74,37 @@ class DistinctSampler {
   void Clear() {
     sample_.clear();
     level_ = 0;
+  }
+
+  /// Checkpoint: config, level and the retained (element, count) sample,
+  /// emitted sorted by element so equal states serialize identically.
+  void SerializeTo(ByteWriter& w) const {
+    w.U64(capacity_);
+    w.U64(hash_seed_);
+    w.U32(level_);
+    std::vector<std::pair<uint64_t, uint64_t>> sorted;
+    sorted.reserve(sample_.size());
+    for (const auto& [e, c] : sample_) sorted.emplace_back(e, c);
+    std::sort(sorted.begin(), sorted.end());
+    w.U64(sorted.size());
+    for (const auto& [e, c] : sorted) {
+      w.U64(e);
+      w.U64(c);
+    }
+  }
+  void RestoreFrom(ByteReader& r) {
+    capacity_ = r.U64();
+    hash_seed_ = r.U64();
+    level_ = r.U32();
+    sample_.clear();
+    uint64_t n = r.U64();
+    if (!r.CheckCount(n, 16)) return;
+    sample_.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t e = r.U64();
+      uint64_t c = r.U64();
+      sample_.emplace(e, c);
+    }
   }
 
  private:

@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serde.h"
+
 namespace streamop {
 
 class GkQuantileSketch {
@@ -39,6 +41,35 @@ class GkQuantileSketch {
     tuples_.clear();
     n_ = 0;
     since_compress_ = 0;
+  }
+
+  /// Checkpoint: eps, counts and the full (v, g, delta) summary.
+  void SerializeTo(ByteWriter& w) const {
+    w.F64(eps_);
+    w.U64(n_);
+    w.U64(since_compress_);
+    w.U64(tuples_.size());
+    for (const Entry& e : tuples_) {
+      w.F64(e.v);
+      w.U64(e.g);
+      w.U64(e.delta);
+    }
+  }
+  void RestoreFrom(ByteReader& r) {
+    eps_ = r.F64();
+    n_ = r.U64();
+    since_compress_ = r.U64();
+    tuples_.clear();
+    uint64_t n = r.U64();
+    if (!r.CheckCount(n, 24)) return;
+    tuples_.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n; ++i) {
+      Entry e;
+      e.v = r.F64();
+      e.g = r.U64();
+      e.delta = r.U64();
+      tuples_.push_back(e);
+    }
   }
 
  private:

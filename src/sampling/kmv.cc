@@ -85,4 +85,40 @@ void KMinHashSketch::Clear() {
   offers_ = 0;
 }
 
+void KMinHashSketch::SerializeTo(ByteWriter& w) const {
+  w.U64(k_);
+  w.U64(hash_seed_);
+  w.U64(offers_);
+  // Emit entries sorted by hash so the snapshot bytes are independent of
+  // the flat table's slot order (two equal sketches serialize identically).
+  std::vector<std::pair<uint64_t, uint64_t>> sorted;
+  sorted.reserve(entries_.size());
+  for (const auto& [h, cnt] : entries_) sorted.emplace_back(h, cnt);
+  std::sort(sorted.begin(), sorted.end());
+  w.U64(sorted.size());
+  for (const auto& [h, cnt] : sorted) {
+    w.U64(h);
+    w.U64(cnt);
+  }
+}
+
+void KMinHashSketch::RestoreFrom(ByteReader& r) {
+  k_ = r.U64();
+  hash_seed_ = r.U64();
+  offers_ = r.U64();
+  entries_.clear();
+  heap_.clear();
+  uint64_t n = r.U64();
+  if (!r.CheckCount(n, 16)) return;
+  entries_.reserve(static_cast<size_t>(n));
+  heap_.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t h = r.U64();
+    uint64_t cnt = r.U64();
+    entries_.emplace(h, cnt);
+    heap_.push_back(h);
+  }
+  std::make_heap(heap_.begin(), heap_.end());
+}
+
 }  // namespace streamop

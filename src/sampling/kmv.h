@@ -13,6 +13,7 @@
 
 #include "common/flat_hash_table.h"
 #include "common/hash.h"
+#include "common/serde.h"
 
 namespace streamop {
 
@@ -46,6 +47,12 @@ class KMinHashSketch {
   double EstimateRarity() const;
 
   void Clear();
+
+  /// Checkpoint: config, offer count and the retained (hash, multiplicity)
+  /// entries. The heap is rebuilt on restore, so the snapshot does not
+  /// depend on the flat table's slot order.
+  void SerializeTo(ByteWriter& w) const;
+  void RestoreFrom(ByteReader& r);
 
  private:
   // hash value -> multiplicity of the underlying element. The ordered map

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/flat_hash_table.h"
+#include "common/serde.h"
 
 namespace streamop {
 
@@ -76,6 +77,39 @@ class LossyCounting {
     table_.clear();
     n_ = 0;
     current_bucket_ = 1;
+  }
+
+  /// Checkpoint: config, stream position and the tracked (element, f,
+  /// delta) entries. Element types serialize via SerdeWrite/SerdeRead.
+  void SerializeTo(ByteWriter& w) const {
+    w.F64(epsilon_);
+    w.U64(bucket_width_);
+    w.U64(n_);
+    w.U64(current_bucket_);
+    w.U64(table_.size());
+    for (const auto& [k, c] : table_) {
+      SerdeWrite(w, k);
+      w.U64(c.frequency);
+      w.U64(c.max_error);
+    }
+  }
+  void RestoreFrom(ByteReader& r) {
+    epsilon_ = r.F64();
+    bucket_width_ = r.U64();
+    n_ = r.U64();
+    current_bucket_ = r.U64();
+    table_.clear();
+    uint64_t count = r.U64();
+    if (!r.CheckCount(count, 16)) return;
+    table_.reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+      K k{};
+      SerdeRead(r, &k);
+      Counts c;
+      c.frequency = r.U64();
+      c.max_error = r.U64();
+      table_.emplace(std::move(k), c);
+    }
   }
 
  private:

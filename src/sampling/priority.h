@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/serde.h"
 
 namespace streamop {
 
@@ -73,6 +74,34 @@ class PrioritySampler {
 
   void Clear() {
     while (!heap_.empty()) heap_.pop();
+  }
+
+  /// Checkpoint: config, RNG position and the retained heap contents (in
+  /// priority order — the heap is rebuilt by re-pushing on restore).
+  void SerializeTo(ByteWriter& w) const {
+    w.U64(k_);
+    rng_.SerializeTo(w);
+    std::vector<Kept> all = HeapContents();
+    w.U64(all.size());
+    for (const Kept& s : all) {
+      SerdeWrite(w, s.item);
+      w.F64(s.weight);
+      w.F64(s.priority);
+    }
+  }
+  void RestoreFrom(ByteReader& r) {
+    k_ = r.U64();
+    rng_.RestoreFrom(r);
+    Clear();
+    uint64_t n = r.U64();
+    if (!r.CheckCount(n, 16)) return;
+    for (uint64_t i = 0; i < n; ++i) {
+      Kept s{};
+      SerdeRead(r, &s.item);
+      s.weight = r.F64();
+      s.priority = r.F64();
+      heap_.push(std::move(s));
+    }
   }
 
  private:

@@ -43,6 +43,27 @@ class ReservoirControl {
   uint64_t records_seen() const { return t_; }
   void Reset();
 
+  /// Checkpoint: the full skip-sequence position including the RNG stream,
+  /// so a restored control admits exactly the records the original would.
+  void SerializeTo(ByteWriter& w) const {
+    w.U64(n_);
+    w.U8(static_cast<uint8_t>(mode_));
+    w.U64(seed_);
+    rng_.SerializeTo(w);
+    w.U64(t_);
+    w.U64(next_admit_);
+    w.F64(w_);
+  }
+  void RestoreFrom(ByteReader& r) {
+    n_ = r.U64();
+    mode_ = static_cast<Mode>(r.U8());
+    seed_ = r.U64();
+    rng_.RestoreFrom(r);
+    t_ = r.U64();
+    next_admit_ = r.U64();
+    w_ = r.F64();
+  }
+
  private:
   void ScheduleNextSkip();
 
@@ -80,6 +101,17 @@ class ReservoirSampler {
   void Reset() {
     sample_.clear();
     control_.Reset();
+  }
+
+  void SerializeTo(ByteWriter& w) const {
+    w.U64(n_);
+    control_.SerializeTo(w);
+    SerdeWriteVector(w, sample_);
+  }
+  void RestoreFrom(ByteReader& r) {
+    n_ = r.U64();
+    control_.RestoreFrom(r);
+    SerdeReadVector(r, &sample_);
   }
 
  private:
@@ -136,6 +168,29 @@ class CandidateReservoir {
   const std::vector<T>& candidates() const { return candidates_; }
   const Stats& stats() const { return stats_; }
   const Stats& last_window_stats() const { return last_stats_; }
+
+  void SerializeTo(ByteWriter& w) const {
+    w.U64(n_);
+    w.U64(capacity_);
+    control_.SerializeTo(w);
+    rng_.SerializeTo(w);
+    SerdeWriteVector(w, candidates_);
+    w.U64(stats_.cleaning_phases);
+    w.U64(stats_.candidates_admitted);
+    w.U64(last_stats_.cleaning_phases);
+    w.U64(last_stats_.candidates_admitted);
+  }
+  void RestoreFrom(ByteReader& r) {
+    n_ = r.U64();
+    capacity_ = r.U64();
+    control_.RestoreFrom(r);
+    rng_.RestoreFrom(r);
+    SerdeReadVector(r, &candidates_);
+    stats_.cleaning_phases = r.U64();
+    stats_.candidates_admitted = r.U64();
+    last_stats_.cleaning_phases = r.U64();
+    last_stats_.candidates_admitted = r.U64();
+  }
 
  private:
   void Clean() {
@@ -206,6 +261,29 @@ class BackoffReservoir {
   const std::vector<T>& candidates() const { return candidates_; }
   const Stats& stats() const { return stats_; }
   const Stats& last_window_stats() const { return last_stats_; }
+
+  void SerializeTo(ByteWriter& w) const {
+    w.U64(n_);
+    w.U64(capacity_);
+    rng_.SerializeTo(w);
+    w.F64(p_);
+    SerdeWriteVector(w, candidates_);
+    w.U64(stats_.cleaning_phases);
+    w.U64(stats_.candidates_admitted);
+    w.U64(last_stats_.cleaning_phases);
+    w.U64(last_stats_.candidates_admitted);
+  }
+  void RestoreFrom(ByteReader& r) {
+    n_ = r.U64();
+    capacity_ = r.U64();
+    rng_.RestoreFrom(r);
+    p_ = r.F64();
+    SerdeReadVector(r, &candidates_);
+    stats_.cleaning_phases = r.U64();
+    stats_.candidates_admitted = r.U64();
+    last_stats_.cleaning_phases = r.U64();
+    last_stats_.candidates_admitted = r.U64();
+  }
 
  private:
   void Halve() {

@@ -30,6 +30,17 @@ struct WeightedSample {
   double adjusted_weight;
 };
 
+template <typename T>
+void SerdeWrite(ByteWriter& w, const WeightedSample<T>& s) {
+  SerdeWrite(w, s.item);
+  w.F64(s.adjusted_weight);
+}
+template <typename T>
+void SerdeRead(ByteReader& r, WeightedSample<T>* s) {
+  SerdeRead(r, &s->item);
+  s->adjusted_weight = r.F64();
+}
+
 /// Basic subset-sum sampling at a fixed threshold z. The expected value of
 /// EstimateSum() over any subset of offered items equals that subset's true
 /// weight sum; the sample size is whatever the data yields.
@@ -65,6 +76,17 @@ class BasicSubsetSumSampler {
     samples_.clear();
     large_count_ = 0;
     core_.ResetCounter();
+  }
+
+  void SerializeTo(ByteWriter& w) const {
+    core_.SerializeTo(w);
+    SerdeWriteVector(w, samples_);
+    w.U64(large_count_);
+  }
+  void RestoreFrom(ByteReader& r) {
+    core_.RestoreFrom(r);
+    SerdeReadVector(r, &samples_);
+    large_count_ = r.U64();
   }
 
  private:
@@ -155,6 +177,47 @@ class DynamicSubsetSumSampler {
   const std::vector<WeightedSample<T>>& samples() const { return samples_; }
   double z() const { return core_.z(); }
   uint64_t cleaning_phases() const { return stats_.cleaning_phases; }
+
+  /// Checkpoint: options, threshold core (incl. RNG position), retained
+  /// samples, cleaning sequence number and in-window stats.
+  void SerializeTo(ByteWriter& w) const {
+    w.U64(opt_.target_samples);
+    w.F64(opt_.beta);
+    w.F64(opt_.initial_z);
+    w.Bool(opt_.relaxed);
+    w.F64(opt_.relax_factor);
+    w.U64(opt_.seed);
+    w.U8(static_cast<uint8_t>(opt_.mode));
+    core_.SerializeTo(w);
+    SerdeWriteVector(w, samples_);
+    w.U64(large_count_);
+    w.U64(rng_seq_);
+    w.U64(stats_.tuples_offered);
+    w.U64(stats_.samples_admitted);
+    w.U64(stats_.cleaning_phases);
+    w.U64(stats_.final_sample_count);
+    w.F64(stats_.final_z);
+    w.F64(stats_.estimated_sum);
+  }
+  void RestoreFrom(ByteReader& r) {
+    opt_.target_samples = r.U64();
+    opt_.beta = r.F64();
+    opt_.initial_z = r.F64();
+    opt_.relaxed = r.Bool();
+    opt_.relax_factor = r.F64();
+    opt_.seed = r.U64();
+    opt_.mode = static_cast<ThresholdMode>(r.U8());
+    core_.RestoreFrom(r);
+    SerdeReadVector(r, &samples_);
+    large_count_ = r.U64();
+    rng_seq_ = r.U64();
+    stats_.tuples_offered = r.U64();
+    stats_.samples_admitted = r.U64();
+    stats_.cleaning_phases = r.U64();
+    stats_.final_sample_count = r.U64();
+    stats_.final_z = r.F64();
+    stats_.estimated_sum = r.F64();
+  }
 
  private:
   static constexpr double kMinZ = 1e-6;

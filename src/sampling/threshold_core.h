@@ -86,6 +86,21 @@ class ThresholdSamplerCore {
     return d;
   }
 
+  /// Checkpoint: threshold, counter residue and RNG position — everything
+  /// the admit decision for the next tuple depends on.
+  void SerializeTo(ByteWriter& w) const {
+    w.F64(z_);
+    w.F64(counter_);
+    w.U8(static_cast<uint8_t>(mode_));
+    rng_.SerializeTo(w);
+  }
+  void RestoreFrom(ByteReader& r) {
+    z_ = r.F64();
+    counter_ = r.F64();
+    mode_ = static_cast<ThresholdMode>(r.U8());
+    rng_.RestoreFrom(r);
+  }
+
  private:
   double z_;
   double counter_ = 0.0;

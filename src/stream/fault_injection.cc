@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <thread>
+
+#include "common/serde.h"
 
 namespace streamop {
 
@@ -98,6 +102,65 @@ std::function<void(uint64_t, const std::atomic<bool>&)> MakeConsumerStallHook(
       ++slept;
     }
   };
+}
+
+bool InjectCheckpointFault(const std::string& path, CheckpointFault fault,
+                           uint64_t seed) {
+  std::string bytes;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return false;
+    char buf[1 << 14];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+    std::fclose(f);
+  }
+
+  Pcg64 rng(seed, 0xc8e5ULL);
+  switch (fault) {
+    case CheckpointFault::kTruncate: {
+      if (bytes.empty()) return false;
+      bytes.resize(rng.NextBounded(bytes.size()));
+      break;
+    }
+    case CheckpointFault::kBitFlip: {
+      if (bytes.empty()) return false;
+      const size_t bit = rng.NextBounded(bytes.size() * 8);
+      bytes[bit / 8] = static_cast<char>(
+          static_cast<unsigned char>(bytes[bit / 8]) ^ (1u << (bit % 8)));
+      break;
+    }
+    case CheckpointFault::kStaleVersion: {
+      // Snapshot header layout (engine/checkpoint.cc): magic u32, version
+      // u32 at offset 4, ..., header CRC-32C over the first 28 bytes at
+      // offset 28. Bump the version and refresh the header CRC so both
+      // CRCs verify and only the version check can reject the file.
+      if (bytes.size() < 32) return false;
+      const auto load_le = [&bytes](size_t off) {
+        uint32_t v = 0;
+        for (int i = 3; i >= 0; --i) {
+          v = (v << 8) | static_cast<unsigned char>(bytes[off + i]);
+        }
+        return v;
+      };
+      const auto store_le = [&bytes](size_t off, uint32_t v) {
+        for (int i = 0; i < 4; ++i) {
+          bytes[off + i] = static_cast<char>(v >> (8 * i));
+        }
+      };
+      const uint32_t version =
+          load_le(4) + 1 + static_cast<uint32_t>(rng.NextBounded(1000));
+      store_le(4, version);
+      store_le(28, Crc32c(bytes.data(), 28));
+      break;
+    }
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  return std::fclose(f) == 0 && ok;
 }
 
 }  // namespace streamop

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "common/random.h"
 #include "net/trace_generator.h"
@@ -99,6 +100,31 @@ struct ConsumerStallSpec {
 /// a watchdog-initiated abort always terminates it promptly.
 std::function<void(uint64_t, const std::atomic<bool>&)> MakeConsumerStallHook(
     const ConsumerStallSpec& spec);
+
+/// Checkpoint-file faults (engine/checkpoint.h): deterministic in-place
+/// corruption of an on-disk snapshot, for testing that recovery detects
+/// torn, bit-flipped and stale snapshots instead of restoring garbage.
+enum class CheckpointFault {
+  /// Cut the file at a seeded byte offset — a torn write. An offset inside
+  /// the 32-byte header must read as "truncated header"; one inside the
+  /// payload as "truncated payload".
+  kTruncate,
+  /// Flip one seeded bit anywhere in the file — silent media corruption.
+  /// Must surface as a header or payload CRC mismatch.
+  kBitFlip,
+  /// Bump the header's version field and refresh the header CRC so the
+  /// snapshot reads as well-formed but written by an unknown format
+  /// revision. Must be skipped as "version mismatch", not torn — both
+  /// CRCs stay valid.
+  kStaleVersion,
+};
+
+/// Applies `fault` to the file at `path` in place; deterministic for a
+/// given (file contents, seed). Returns false when the file cannot be
+/// read/written or is too small to carry the fault (kStaleVersion needs
+/// the full 32-byte header).
+bool InjectCheckpointFault(const std::string& path, CheckpointFault fault,
+                           uint64_t seed);
 
 }  // namespace streamop
 

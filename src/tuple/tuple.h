@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/serde.h"
 #include "tuple/schema.h"
 #include "tuple/value.h"
 
@@ -91,6 +92,22 @@ class GroupKey {
   uint64_t Hash() const { return hash_; }
 
   std::string ToString() const;
+
+  /// Checkpoint encoding: value count then each value. The cached hash is
+  /// not stored — Deserialize recomputes it, so a snapshot stays valid even
+  /// if the hash mix ever changes between versions of the binary.
+  void SerializeTo(ByteWriter& w) const {
+    w.U64(values_.size());
+    for (const Value& v : values_) v.SerializeTo(w);
+  }
+  static GroupKey Deserialize(ByteReader& r) {
+    uint64_t n = r.U64();
+    if (!r.CheckCount(n, 1)) return GroupKey();
+    std::vector<Value> vals;
+    vals.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n; ++i) vals.push_back(Value::Deserialize(r));
+    return GroupKey(std::move(vals));
+  }
 
  private:
   // Chosen so that the cached hash equals the historical per-call

@@ -122,6 +122,40 @@ uint64_t Value::Hash() const {
   return 0;
 }
 
+void Value::SerializeTo(ByteWriter& w) const {
+  w.U8(static_cast<uint8_t>(type_));
+  switch (type_) {
+    case FieldType::kNull:
+      break;
+    case FieldType::kString:
+      w.Str(str_);
+      break;
+    default:
+      w.U64(raw_);
+      break;
+  }
+}
+
+Value Value::Deserialize(ByteReader& r) {
+  uint8_t tag = r.U8();
+  switch (static_cast<FieldType>(tag)) {
+    case FieldType::kNull:
+      return Value();
+    case FieldType::kBool:
+      return Value(FieldType::kBool, r.U64());
+    case FieldType::kUInt:
+      return Value(FieldType::kUInt, r.U64());
+    case FieldType::kInt:
+      return Value(FieldType::kInt, r.U64());
+    case FieldType::kDouble:
+      return Value(FieldType::kDouble, r.U64());
+    case FieldType::kString:
+      return Value(r.Str());
+  }
+  r.MarkFailed();
+  return Value();
+}
+
 std::string Value::ToString() const {
   switch (type()) {
     case FieldType::kNull:

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/hash.h"
+#include "common/serde.h"
 #include "common/status.h"
 
 namespace streamop {
@@ -163,6 +164,14 @@ class Value {
 
   /// Human-readable rendering for examples and debugging.
   std::string ToString() const;
+
+  /// Checkpoint encoding: type tag byte, then the payload (raw 64-bit word
+  /// for scalars, length-prefixed bytes for strings, nothing for null).
+  void SerializeTo(ByteWriter& w) const;
+
+  /// Inverse of SerializeTo. An unknown type tag fails the reader and
+  /// yields Null.
+  static Value Deserialize(ByteReader& r);
 
  private:
   Value(FieldType t, uint64_t raw) noexcept : type_(t), raw_(raw) {}
