@@ -16,6 +16,7 @@
 #                              "steady_state_ratio": ...,  # budget: <= 1.02
 #                              "checkpoint_bytes": ...,
 #                              "checkpoint_write_ns": ... },
+#     "ingest_throughput": { ... },                # socket/pcap vs in-process
 #     "quality_summary": { ... },                  # per-window error bounds
 #     "metrics_snapshot": { ... },                 # registry JSON from a CLI run
 #     "baseline":   { "<name>": {...} },           # when BENCH_BASELINE is set
@@ -64,7 +65,7 @@ fail() {
   exit 1
 }
 
-BENCHES=(micro_operator micro_samplers micro_obs)
+BENCHES=(micro_operator micro_samplers micro_obs micro_ingest)
 
 for exe in "${BENCHES[@]}"; do
   bin="$BUILD_DIR/bench/$exe"
@@ -162,7 +163,7 @@ def flatten(data):
 
 raw = {}
 flat = {}
-for exe in ("micro_operator", "micro_samplers", "micro_obs"):
+for exe in ("micro_operator", "micro_samplers", "micro_obs", "micro_ingest"):
     with open(f"{tmpdir}/{exe}.json") as f:
         data = json.load(f)
     raw[exe] = data
@@ -247,6 +248,31 @@ result["checkpoint_overhead"] = {
     "checkpoint_write_ns": counter(raw["micro_operator"],
                                    "BM_WindowedGroupedSamplingCheckpointed",
                                    "checkpoint_write_ns"),
+}
+
+# Ingestion cost (DESIGN.md §11): the same pipeline fed in-process vs from
+# a pcap file vs over a loopback TCP socket, plus the reconnect-storm case.
+# The ratios are "fraction of in-process throughput retained"; recorded,
+# not budgeted — the socket path is bounded by syscalls, not the operator.
+def ingest_ips(name):
+    return flat.get(name, {}).get("items_per_second")
+
+in_proc = ingest_ips("BM_InProcessIngest")
+pcap_ips = ingest_ips("BM_PcapIngest")
+tcp_ips = ingest_ips("BM_TcpLoopbackIngest")
+storm_ips = ingest_ips("BM_TcpReconnectStorm")
+if not in_proc or not pcap_ips or not tcp_ips or not storm_ips:
+    sys.exit("error: ingest benchmarks missing from micro_ingest output")
+result["ingest_throughput"] = {
+    "in_process_items_per_second": in_proc,
+    "pcap_items_per_second": pcap_ips,
+    "tcp_items_per_second": tcp_ips,
+    "reconnect_storm_items_per_second": storm_ips,
+    "pcap_fraction": round(pcap_ips / in_proc, 4),
+    "tcp_fraction": round(tcp_ips / in_proc, 4),
+    "storm_fraction_of_tcp": round(storm_ips / tcp_ips, 4),
+    "storm_reconnects": counter(raw["micro_ingest"],
+                                "BM_TcpReconnectStorm", "reconnects"),
 }
 
 # Quality summary: compress the per-window reports from the subset-sum CLI
@@ -345,6 +371,10 @@ print(f"  checkpoint overhead: steady-state "
       f"per-flush {result['checkpoint_overhead']['ratio']}x "
       f"({result['checkpoint_overhead']['checkpoint_bytes']:.0f} B, "
       f"{result['checkpoint_overhead']['checkpoint_write_ns']:.0f} ns/write)")
+print(f"  ingest: pcap {result['ingest_throughput']['pcap_fraction']:.2f}x, "
+      f"tcp {result['ingest_throughput']['tcp_fraction']:.2f}x of in-process; "
+      f"storm keeps {result['ingest_throughput']['storm_fraction_of_tcp']:.2f}x "
+      f"of tcp ({result['ingest_throughput']['storm_reconnects']:.0f} reconnects)")
 print(f"  quality: {result['quality_summary']['windows']} windows, "
       f"mean rel ci95 {result['quality_summary']['mean_rel_ci95']}")
 for name, x in sorted(result.get("speedup", {}).items()):

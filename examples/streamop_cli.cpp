@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -35,6 +36,8 @@
 #include "obs/trace_ring.h"
 #include "query/query.h"
 #include "stream/fault_injection.h"
+#include "stream/pcap_reader.h"
+#include "stream/socket_source.h"
 
 using namespace streamop;
 
@@ -96,6 +99,17 @@ void Usage(const char* argv0) {
       "(duplicates,\n"
       "                        reordering, truncation, timestamp "
       "regressions)\n"
+      "  --udp-port <n>        ingest live records from a UDP producer\n"
+      "                        (streamop_send) bound on this port\n"
+      "  --tcp-connect <h:p>   ingest from a TCP producer at host:port,\n"
+      "                        reconnecting with bounded backoff\n"
+      "  --pcap <path>         ingest from a classic pcap capture file\n"
+      "  --source-timeout-ms <n>  socket read timeout before a heartbeat-\n"
+      "                        empty batch (default 100)\n"
+      "  --source-max-idle-ms <n>  end the run after this much continuous\n"
+      "                        idle time on the source (0 = run forever)\n"
+      "  --source-max-records <n>  end the run after ingesting n records\n"
+      "                        (0 = until the source ends)\n"
       "  (all options also accept --flag=value)\n",
       argv0);
 }
@@ -130,6 +144,16 @@ struct Args {
   std::string checkpoint_dir;
   uint64_t checkpoint_every = 1;
   uint64_t checkpoint_retain = 3;
+  int udp_port = -1;  // -1 = off, 0 = ephemeral
+  std::string tcp_connect;
+  std::string pcap_path;
+  uint64_t source_timeout_ms = 100;
+  uint64_t source_max_idle_ms = 0;
+  uint64_t source_max_records = 0;
+
+  bool use_source() const {
+    return udp_port >= 0 || !tcp_connect.empty() || !pcap_path.empty();
+  }
 };
 
 bool ParseArgs(int argc, char** argv, Args* out) {
@@ -259,12 +283,64 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       const char* v = next();
       if (v == nullptr) return false;
       out->checkpoint_retain = std::strtoull(v, nullptr, 10);
+    } else if (a == "--udp-port") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->udp_port = std::atoi(v);
+    } else if (a == "--tcp-connect") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->tcp_connect = v;
+    } else if (a == "--pcap") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->pcap_path = v;
+    } else if (a == "--source-timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->source_timeout_ms = std::strtoull(v, nullptr, 10);
+    } else if (a == "--source-max-idle-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->source_max_idle_ms = std::strtoull(v, nullptr, 10);
+    } else if (a == "--source-max-records") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->source_max_records = std::strtoull(v, nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
       return false;
     }
   }
   return true;
+}
+
+// Builds the live-ingest source selected by --udp-port / --tcp-connect /
+// --pcap. Returns nullptr (with a message) on a malformed endpoint.
+std::unique_ptr<ResumableSource> MakeSource(const Args& args) {
+  if (!args.pcap_path.empty()) {
+    PcapReaderConfig cfg;
+    cfg.path = args.pcap_path;
+    return std::make_unique<PcapReader>(cfg);
+  }
+  SocketSourceConfig cfg;
+  cfg.read_timeout_ms = args.source_timeout_ms;
+  if (args.udp_port >= 0) {
+    cfg.mode = SocketSourceConfig::Mode::kUdp;
+    cfg.port = static_cast<uint16_t>(args.udp_port);
+    return std::make_unique<SocketSource>(cfg);
+  }
+  const size_t colon = args.tcp_connect.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= args.tcp_connect.size()) {
+    std::fprintf(stderr, "--tcp-connect expects host:port, got '%s'\n",
+                 args.tcp_connect.c_str());
+    return nullptr;
+  }
+  cfg.mode = SocketSourceConfig::Mode::kTcp;
+  cfg.host = args.tcp_connect.substr(0, colon);
+  cfg.port = static_cast<uint16_t>(
+      std::atoi(args.tcp_connect.c_str() + colon + 1));
+  return std::make_unique<SocketSource>(cfg);
 }
 
 Trace MakeFeed(const Args& args) {
@@ -367,9 +443,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Acquire the input trace.
+  // Acquire the input: a live source (network/pcap) or an in-process trace.
+  std::unique_ptr<ResumableSource> source;
+  if (args.use_source()) {
+    source = MakeSource(args);
+    if (source == nullptr) return 2;
+  }
   Trace trace;
-  if (!args.trace_path.empty()) {
+  if (source != nullptr) {
+    // Live ingest replaces the trace entirely; nothing to materialize.
+  } else if (!args.trace_path.empty()) {
     Result<Trace> loaded = Trace::LoadFrom(args.trace_path);
     if (!loaded.ok()) {
       std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
@@ -379,7 +462,7 @@ int main(int argc, char** argv) {
   } else {
     trace = MakeFeed(args);
   }
-  if (args.fault_seed != 0) {
+  if (args.fault_seed != 0 && source == nullptr) {
     FaultInjectionConfig fcfg;
     fcfg.seed = args.fault_seed;
     fcfg.p_duplicate = 0.02;
@@ -391,10 +474,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "fault injection: seed %llu\n",
                  static_cast<unsigned long long>(args.fault_seed));
   }
-  std::fprintf(stderr, "trace: %s packets over %.1f s\n",
-               FormatWithCommas(trace.size()).c_str(), trace.DurationSec());
+  if (source == nullptr) {
+    std::fprintf(stderr, "trace: %s packets over %.1f s\n",
+                 FormatWithCommas(trace.size()).c_str(), trace.DurationSec());
+  }
 
-  if (!args.save_trace.empty()) {
+  if (!args.save_trace.empty() && source == nullptr) {
     Status s = trace.SaveTo(args.save_trace);
     if (!s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
@@ -515,7 +600,7 @@ int main(int argc, char** argv) {
     }
   };
 
-  if (args.shed || !args.checkpoint_dir.empty()) {
+  if (source != nullptr || args.shed || !args.checkpoint_dir.empty()) {
     // Threaded two-level pipeline: a pass-through low node feeds the user's
     // query, with the AIMD shedding gate at the ring drain. Admitted tuples
     // are reweighted by 1/p, so sums and counts remain unbiased estimates.
@@ -541,6 +626,8 @@ int main(int argc, char** argv) {
     opt.checkpoint.dir = args.checkpoint_dir;
     opt.checkpoint.every_n_windows = args.checkpoint_every;
     opt.checkpoint.retain = args.checkpoint_retain;
+    opt.source_max_idle_ms = args.source_max_idle_ms;
+    opt.source_max_records = args.source_max_records;
     TwoLevelRuntime rt(*low, {*cq}, opt);
     if (rt.recovered()) {
       std::fprintf(stderr, "recovered from checkpoint at window %llu\n",
@@ -560,7 +647,13 @@ int main(int argc, char** argv) {
       MetricsFileRefresher refresher(registry, args.metrics_json,
                                      args.metrics_prom,
                                      args.metrics_interval_ms);
-      report = rt.RunThreaded(trace);
+      if (source != nullptr) {
+        std::fprintf(stderr, "ingesting from %s\n",
+                     source->describe().c_str());
+        report = rt.RunSource(*source);
+      } else {
+        report = rt.RunThreaded(trace);
+      }
     }
     const RunReport& r = report.ok() ? *report : rt.last_report();
     if (!report.ok()) {
@@ -589,6 +682,26 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(r.checkpoint_failures),
           static_cast<unsigned long long>(r.checkpoint_corrupt_skipped),
           r.checkpoint_degraded ? "yes" : "no", r.recovered ? "yes" : "no");
+    }
+    for (const SourceReport& s : r.sources) {
+      std::fprintf(
+          stderr,
+          "ingest summary: %s resumed=%s end=%s offset=%llu lag=%llu "
+          "frames=%llu records=%llu malformed_frames=%llu reconnects=%llu "
+          "gaps=%llu (%llu records) dups=%llu heartbeats=%llu%s%s\n",
+          s.source.c_str(), s.resumed_from_offset ? "yes" : "no",
+          s.clean_end ? "clean" : "error",
+          static_cast<unsigned long long>(s.durable_offset),
+          static_cast<unsigned long long>(s.offset_lag),
+          static_cast<unsigned long long>(s.stats.frames),
+          static_cast<unsigned long long>(s.stats.records),
+          static_cast<unsigned long long>(s.stats.malformed_frames),
+          static_cast<unsigned long long>(s.stats.reconnects),
+          static_cast<unsigned long long>(s.stats.gaps),
+          static_cast<unsigned long long>(s.stats.gap_records),
+          static_cast<unsigned long long>(s.stats.duplicate_records),
+          static_cast<unsigned long long>(s.stats.heartbeats),
+          s.error.empty() ? "" : " error=", s.error.c_str());
     }
     if (!report.ok()) return 1;
     write_exports();

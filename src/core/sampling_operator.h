@@ -233,6 +233,12 @@ class SamplingOperator {
   uint64_t recovery_skip_remaining() const { return recovery_skip_remaining_; }
   bool recovering() const { return recovery_skip_remaining_ > 0; }
 
+  /// Cancels the armed positional replay. Called by the runtime when it has
+  /// repositioned the input *source* to the snapshot's durable offset — the
+  /// prefix the replay would skip will never arrive, so skipping must be
+  /// disarmed or the operator would discard live post-resume tuples.
+  void ClearRecoveryReplay() { recovery_skip_remaining_ = 0; }
+
   /// SFUN state slots whose snapshot blob had no restore hook in this
   /// build (restarted fresh instead). Zero on a clean restore.
   uint64_t restore_states_skipped() const { return restore_states_skipped_; }

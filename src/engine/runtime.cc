@@ -123,6 +123,7 @@ TwoLevelRuntime::TwoLevelRuntime(const CompiledQuery& low,
   // get no manager.
   if (!options_.checkpoint.dir.empty()) {
     checkpoint_mgrs_.resize(high_.size());
+    restored_sources_.resize(high_.size());
     for (size_t i = 0; i < high_.size(); ++i) {
       SamplingOperator* op = high_[i]->sampling_operator();
       if (op == nullptr) continue;
@@ -143,6 +144,15 @@ TwoLevelRuntime::TwoLevelRuntime(const CompiledQuery& low,
             ByteReader er(ex);
             obs::ExemplarStore::Default().RestoreFrom(er);
           }
+          // Source-offset section (RunSource snapshots only; absent from
+          // trace-run snapshots and anything written before it existed).
+          restored_sources_[i].restored = true;
+          if (r.remaining() > 0 && r.Bool()) {
+            restored_sources_[i].has_source = true;
+            restored_sources_[i].kind = r.Str();
+            restored_sources_[i].stream_id = r.U64();
+            restored_sources_[i].offset = r.U64();
+          }
           recovered_ = true;
           recovered_windows_ =
               std::max(recovered_windows_, loaded->windows_flushed);
@@ -161,26 +171,17 @@ TwoLevelRuntime::TwoLevelRuntime(const CompiledQuery& low,
         }
       }
 
-      op->set_window_flush_hook([this, op, mgr](uint64_t windows_flushed) {
+      op->set_window_flush_hook([this, op, mgr, i](uint64_t windows_flushed) {
         if (!mgr->ShouldWrite(windows_flushed)) return;
-        ByteWriter w;
-        op->SerializeDurableState(w);
-        // Shed controller state rides along while a threaded run is live
-        // (the hook runs on the consumer thread, which owns the
-        // controller, so this read is unsynchronized but single-threaded).
-        LoadShedController* shed =
-            active_shed_.load(std::memory_order_acquire);
-        w.Bool(shed != nullptr);
-        if (shed != nullptr) {
-          ByteWriter sw;
-          shed->SerializeTo(sw);
-          w.Str(sw.data());
+        if (source_run_active_) {
+          // Mid-batch state doesn't align with any source offset: defer
+          // to the ingest batch boundary, where RunSource snapshots with
+          // the source's durable offset attached.
+          pending_snapshots_[i] = std::max(pending_snapshots_[i],
+                                           windows_flushed);
+          return;
         }
-        ByteWriter ew;
-        obs::ExemplarStore::Default().SerializeTo(ew);
-        w.Bool(true);
-        w.Str(ew.data());
-        mgr->Write(windows_flushed, w.data());
+        WriteNodeSnapshot(op, mgr, windows_flushed, nullptr);
       });
     }
   }
@@ -231,6 +232,95 @@ bool TwoLevelRuntime::AnyNodeRecovering() const {
   return false;
 }
 
+void TwoLevelRuntime::WriteNodeSnapshot(SamplingOperator* op,
+                                        CheckpointManager* mgr,
+                                        uint64_t windows_flushed,
+                                        const ResumableSource* source) {
+  ByteWriter w;
+  op->SerializeDurableState(w);
+  // Shed controller state rides along while a threaded run is live (the
+  // hook runs on the consumer thread, which owns the controller, so this
+  // read is unsynchronized but single-threaded).
+  LoadShedController* shed = active_shed_.load(std::memory_order_acquire);
+  w.Bool(shed != nullptr);
+  if (shed != nullptr) {
+    ByteWriter sw;
+    shed->SerializeTo(sw);
+    w.Str(sw.data());
+  }
+  ByteWriter ew;
+  obs::ExemplarStore::Default().SerializeTo(ew);
+  w.Bool(true);
+  w.Str(ew.data());
+  // Source-offset section: present only for RunSource snapshots, which
+  // are taken at ingest batch boundaries where the operator state and the
+  // source's durable offset describe the same prefix of the input.
+  w.Bool(source != nullptr);
+  if (source != nullptr) {
+    w.Str(source->kind());
+    w.U64(source->stream_id());
+    w.U64(source->durable_offset());
+  }
+  mgr->Write(windows_flushed, w.data());
+}
+
+void TwoLevelRuntime::FlushPendingSnapshots(const ResumableSource* source) {
+  for (size_t i = 0; i < pending_snapshots_.size(); ++i) {
+    if (pending_snapshots_[i] == 0) continue;
+    WriteNodeSnapshot(high_[i]->sampling_operator(), checkpoint_mgrs_[i].get(),
+                      pending_snapshots_[i], source);
+    pending_snapshots_[i] = 0;
+  }
+}
+
+bool TwoLevelRuntime::ApplySourceResume(ResumableSource& source) {
+  if (!recovered_ || restored_sources_.empty()) return false;
+  bool any = false;
+  uint64_t offset = 0;
+  for (size_t i = 0; i < high_.size(); ++i) {
+    if (checkpoint_mgrs_[i] == nullptr) continue;
+    const RestoredSourceInfo& rs = restored_sources_[i];
+    // Every checkpoint-managed node must have been restored from a
+    // snapshot naming THIS source at ONE offset; a node restored without
+    // a source section (or not restored at all) still expects the replay-
+    // from-start contract, and seeking would starve it of its prefix.
+    if (!rs.restored || !rs.has_source) return false;
+    if (rs.kind != source.kind() || rs.stream_id != source.stream_id()) {
+      std::fprintf(stderr,
+                   "[checkpoint] %s: snapshot was taken against %s source "
+                   "id %llx, not %s — falling back to positional replay\n",
+                   high_[i]->name().c_str(), rs.kind.c_str(),
+                   static_cast<unsigned long long>(rs.stream_id),
+                   source.describe().c_str());
+      return false;
+    }
+    if (any && rs.offset != offset) return false;  // mixed offsets
+    offset = rs.offset;
+    any = true;
+  }
+  if (!any) return false;
+  const Status st = source.SeekTo(offset);
+  if (!st.ok()) {
+    std::fprintf(stderr,
+                 "[checkpoint] cannot seek %s to offset %llu (%s) — "
+                 "falling back to positional replay\n",
+                 source.describe().c_str(),
+                 static_cast<unsigned long long>(offset),
+                 st.message().c_str());
+    return false;
+  }
+  // The source now continues exactly where the snapshots left off: no
+  // replayed prefix will arrive, so cancel the positional skip.
+  for (size_t i = 0; i < high_.size(); ++i) {
+    if (checkpoint_mgrs_[i] == nullptr) continue;
+    high_[i]->sampling_operator()->ClearRecoveryReplay();
+  }
+  std::fprintf(stderr, "[checkpoint] resuming %s at offset %llu\n",
+               source.describe().c_str(),
+               static_cast<unsigned long long>(offset));
+  return true;
+}
+
 bool TwoLevelRuntime::healthy() const {
   std::lock_guard<std::mutex> lock(report_mu_);
   return !last_report_.watchdog_fired;
@@ -264,7 +354,8 @@ std::string TwoLevelRuntime::HealthJson() const {
                    (r.shedding_enabled && r.shed_fraction > 0.0))
                       ? "degraded"
                       : "ok";
-  char buf[768];
+  const bool src_active = source_active_.load(std::memory_order_relaxed);
+  char buf[1152];
   std::snprintf(
       buf, sizeof(buf),
       "{\"status\": \"%s\", \"running\": %s, \"watchdog_fired\": %s, "
@@ -275,7 +366,10 @@ std::string TwoLevelRuntime::HealthJson() const {
       "\"checkpoint_enabled\": %s, \"checkpoint_degraded\": %s, "
       "\"recovered\": %s, \"recovered_windows\": %llu, "
       "\"checkpoints_written\": %llu, \"checkpoint_failures\": %llu, "
-      "\"checkpoint_corrupt_skipped\": %llu}\n",
+      "\"checkpoint_corrupt_skipped\": %llu, "
+      "\"source_active\": %s, \"source_offset\": %llu, "
+      "\"source_lag\": %llu, \"source_reconnects\": %llu, "
+      "\"source_gaps\": %llu}\n",
       status, is_running ? "true" : "false",
       r.watchdog_fired ? "true" : "false",
       r.shedding_enabled ? "true" : "false", r.shed_fraction, r.shed_p_min,
@@ -288,7 +382,16 @@ std::string TwoLevelRuntime::HealthJson() const {
       static_cast<unsigned long long>(recovered_windows_),
       static_cast<unsigned long long>(ckpt_writes),
       static_cast<unsigned long long>(ckpt_failures),
-      static_cast<unsigned long long>(ckpt_corrupt));
+      static_cast<unsigned long long>(ckpt_corrupt),
+      src_active ? "true" : "false",
+      static_cast<unsigned long long>(
+          live_source_offset_.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          live_source_lag_.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          live_source_reconnects_.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          live_source_gaps_.load(std::memory_order_relaxed)));
   return buf;
 }
 
@@ -406,6 +509,196 @@ Result<RunReport> TwoLevelRuntime::Run(const Trace& trace) {
   }
   FillCheckpointReport(&report);
   PublishReport(report);
+  return report;
+}
+
+Result<RunReport> TwoLevelRuntime::RunSource(ResumableSource& source) {
+  RunningGuard running(running_);
+  obs::MetricRegistry& reg = options_.registry != nullptr
+                                 ? *options_.registry
+                                 : obs::MetricRegistry::Default();
+  const obs::IngestSourceMetrics ingest =
+      obs::IngestSourceMetrics::Create(reg, source.describe());
+
+  // Restore-side seek must happen before Open(): pcap applies the pending
+  // seek when opening, sockets put the offset in their first HELLO.
+  const bool resumed = ApplySourceResume(source);
+  STREAMOP_RETURN_NOT_OK(source.Open());
+
+  source_run_active_ = true;
+  source_active_.store(true, std::memory_order_relaxed);
+  pending_snapshots_.assign(high_.size(), 0);
+
+  std::vector<PacketRecord> records(options_.batch_size);
+  TupleBatch batch(low_->input_width(), options_.batch_size);
+  TupleBatch low_out_batch;
+  uint64_t delivered = 0;
+  uint64_t malformed = 0;
+  uint64_t first_ts = 0;
+  uint64_t last_ts = 0;
+  bool have_ts = false;
+  int64_t idle_since_ns = -1;
+  bool clean_end = false;
+  Status status;
+  SourceIngestStats prev;  // last stats pushed into the counters
+
+  auto sync_metrics = [&] {
+    const SourceIngestStats& s = source.stats();
+    if (ingest.enabled()) {
+      ingest.frames->Add(s.frames - prev.frames);
+      ingest.records->Add(s.records - prev.records);
+      ingest.malformed_frames->Add(s.malformed_frames - prev.malformed_frames);
+      ingest.reconnects->Add(s.reconnects - prev.reconnects);
+      ingest.gaps->Add(s.gaps - prev.gaps);
+      ingest.gap_records->Add(s.gap_records - prev.gap_records);
+      ingest.duplicates->Add(s.duplicate_records - prev.duplicate_records);
+      ingest.heartbeats->Add(s.heartbeats - prev.heartbeats);
+      ingest.durable_offset->Set(static_cast<double>(source.durable_offset()));
+      ingest.resume_offset->Set(static_cast<double>(s.resume_offset));
+      ingest.offset_lag->Set(static_cast<double>(source.offset_lag()));
+    }
+    prev = s;
+    live_source_offset_.store(source.durable_offset(),
+                              std::memory_order_relaxed);
+    live_source_lag_.store(source.offset_lag(), std::memory_order_relaxed);
+    live_source_reconnects_.store(s.reconnects, std::memory_order_relaxed);
+    live_source_gaps_.store(s.gaps, std::memory_order_relaxed);
+  };
+
+  for (;;) {
+    size_t n = 0;
+    const ResumableSource::ReadResult rr =
+        source.Read(records.data(), records.size(), &n);
+    if (n > 0) {
+      delivered += n;
+      const uint64_t t0 = NowNanos();
+      batch.Clear();
+      for (size_t i = 0; i < n; ++i) {
+        const PacketRecord& p = records[i];
+        if (!have_ts) {
+          first_ts = p.ts_ns;
+          have_ts = true;
+        }
+        last_ts = std::max(last_ts, p.ts_ns);
+        if (p.len < kMinPacketLen) {
+          ++malformed;  // quarantined on arrival, never fed to the nodes
+          OfferMalformedExemplar(p);
+          continue;
+        }
+        batch.AppendPacket(p);
+      }
+      status = low_->PushBatch(batch, 1.0, &low_out_batch);
+      const uint64_t batch_ns = NowNanos() - t0;
+      low_->AddCpuNanos(batch_ns);
+      low_->RecordBatch(batch_ns, batch.num_rows());
+      if (status.ok()) {
+        for (auto& node : high_) {
+          const uint64_t h0 = NowNanos();
+          status = node->PushBatch(low_out_batch, 1.0, nullptr, nullptr);
+          const uint64_t h_ns = NowNanos() - h0;
+          node->AddCpuNanos(h_ns);
+          if (low_out_batch.num_rows() > 0) {
+            node->RecordBatch(h_ns, low_out_batch.num_rows());
+          }
+          if (!status.ok()) break;
+        }
+      }
+      if (!status.ok()) break;
+      idle_since_ns = -1;
+    } else if (rr == ResumableSource::ReadResult::kIdle) {
+      // Heartbeat-empty batch: the wire is quiet but the pipeline keeps
+      // turning — hooks run, metrics refresh, deferred snapshots land.
+      batch.Clear();
+      status = low_->PushBatch(batch, 1.0, &low_out_batch);
+      for (auto& node : high_) {
+        if (!status.ok()) break;
+        status = node->PushBatch(low_out_batch, 1.0, nullptr, nullptr);
+      }
+      if (!status.ok()) break;
+    }
+
+    // Ingest batch boundary: every record read so far is fully processed,
+    // so a deferred snapshot here can bind the operator state to the
+    // source's durable offset.
+    FlushPendingSnapshots(&source);
+    sync_metrics();
+
+    if (rr == ResumableSource::ReadResult::kEnd) {
+      clean_end = source.last_status().ok();
+      break;
+    }
+    if (options_.source_max_records > 0 &&
+        delivered >= options_.source_max_records) {
+      clean_end = true;
+      break;
+    }
+    if (rr == ResumableSource::ReadResult::kIdle &&
+        options_.source_max_idle_ms > 0) {
+      const int64_t now = static_cast<int64_t>(NowNanos());
+      if (idle_since_ns < 0) {
+        idle_since_ns = now;
+      } else if (now - idle_since_ns >=
+                 static_cast<int64_t>(options_.source_max_idle_ms) *
+                     1000000) {
+        clean_end = true;  // configured idle budget: a clean end
+        break;
+      }
+    }
+  }
+
+  // End of stream: flush the final windows, but only on a clean end — an
+  // ingest failure must not emit partial windows as if they completed.
+  if (status.ok() && clean_end) {
+    const uint64_t t0 = NowNanos();
+    status = low_->Finish();
+    if (status.ok()) {
+      std::vector<Tuple> rows = low_->DrainOutput();
+      low_->AddCpuNanos(NowNanos() - t0);
+      for (auto& node : high_) {
+        const uint64_t h0 = NowNanos();
+        for (const Tuple& t : rows) {
+          status = node->Push(t);
+          if (!status.ok()) break;
+        }
+        if (status.ok()) status = node->Finish();
+        node->AddCpuNanos(NowNanos() - h0);
+        if (!status.ok()) break;
+      }
+    }
+  }
+  // Snapshots deferred by the final flush bind to the end-of-stream offset.
+  FlushPendingSnapshots(&source);
+  source_run_active_ = false;
+  source_active_.store(false, std::memory_order_relaxed);
+  sync_metrics();
+
+  RunReport report;
+  report.stream_seconds =
+      have_ts && last_ts > first_ts
+          ? static_cast<double>(last_ts - first_ts) * 1e-9
+          : 0.0;
+  report.packets = delivered;
+  report.packets_malformed = malformed;
+  report.late_tuples = low_->late_tuples();
+  report.low = MakeReport(*low_, report.stream_seconds);
+  for (auto& node : high_) {
+    report.late_tuples += node->late_tuples();
+    report.high.push_back(MakeReport(*node, report.stream_seconds));
+  }
+  SourceReport sr;
+  sr.source = source.describe();
+  sr.resumed_from_offset = resumed;
+  sr.clean_end = clean_end && status.ok();
+  sr.durable_offset = source.durable_offset();
+  sr.offset_lag = source.offset_lag();
+  if (!source.last_status().ok()) sr.error = source.last_status().message();
+  sr.stats = source.stats();
+  report.sources.push_back(std::move(sr));
+  FillCheckpointReport(&report);
+  PublishReport(report);
+
+  if (!status.ok()) return status;
+  if (!clean_end && !source.last_status().ok()) return source.last_status();
   return report;
 }
 

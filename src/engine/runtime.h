@@ -26,6 +26,7 @@
 #include "obs/http_server.h"
 #include "obs/metrics.h"
 #include "query/analyzer.h"
+#include "stream/resumable_source.h"
 #include "stream/ring_buffer.h"
 
 namespace streamop {
@@ -37,6 +38,17 @@ struct NodeReport {
   uint64_t tuples_out = 0;
   double cpu_seconds = 0.0;
   double cpu_percent = 0.0;  // 100 * cpu_seconds / stream_seconds
+};
+
+/// Per-source ingest outcome of a RunSource run (stream/resumable_source.h).
+struct SourceReport {
+  std::string source;              // ResumableSource::describe()
+  bool resumed_from_offset = false;  // restore seeked instead of replaying
+  bool clean_end = false;            // EOF/FIN, not an ingest failure
+  uint64_t durable_offset = 0;       // final resumable offset
+  uint64_t offset_lag = 0;           // producer head - consumed, at exit
+  std::string error;                 // last_status() message when not ok
+  SourceIngestStats stats;
 };
 
 struct RunReport {
@@ -87,6 +99,9 @@ struct RunReport {
   uint64_t checkpoint_failures = 0;
   uint64_t checkpoint_corrupt_skipped = 0;
 
+  // Network/file ingest (RunSource): one entry per source fed this run.
+  std::vector<SourceReport> sources;
+
   NodeReport low;
   std::vector<NodeReport> high;
 };
@@ -127,6 +142,16 @@ struct RuntimeOptions {
   /// at the last flushed window. The `node` field is overwritten per node.
   CheckpointConfig checkpoint;
 
+  /// RunSource: stop after this many delivered records (0 = run until the
+  /// source ends). Lets a live socket run have a bounded footprint.
+  uint64_t source_max_records = 0;
+
+  /// RunSource: end the run cleanly after this much *consecutive* idle
+  /// time (no records, only heartbeat reads). 0 = wait forever. Distinct
+  /// from the per-read timeout (SocketSourceConfig::read_timeout_ms),
+  /// which only bounds one Read() call.
+  uint64_t source_max_idle_ms = 0;
+
   /// Embedded introspection server (obs/http_server.h): -1 disables it,
   /// 0 binds an ephemeral port (read back via http_server()->port()), any
   /// other value binds that port on loopback. The server starts with the
@@ -158,6 +183,24 @@ class TwoLevelRuntime {
   /// the wall-clock overlap differs. The report additionally carries the
   /// end-to-end wall time in `pipeline_seconds`.
   Result<RunReport> RunThreaded(const Trace& trace);
+
+  /// Feeds the pipeline from an external ingest source (a socket or a pcap
+  /// file — stream/resumable_source.h) instead of an in-memory trace. The
+  /// loop is single-threaded: read a batch from the source, push it
+  /// through the nodes, repeat; read timeouts degrade to heartbeat-empty
+  /// batches so the loop keeps turning while the wire is quiet.
+  ///
+  /// Durability differs from the trace runs in one crucial way: snapshots
+  /// requested by the window-flush hook are deferred to the next ingest
+  /// batch boundary, where every record read so far has been fully
+  /// processed, and the source's durable offset is persisted alongside the
+  /// operator state. On restore, when the newest snapshots carry a source
+  /// section matching this source's kind and stream id, the runtime seeks
+  /// the source to the saved offset and cancels positional replay —
+  /// byte-identical resume for pcap, at-most-once for sockets. Any
+  /// mismatch (different source, mixed offsets, pre-source snapshot)
+  /// falls back to the armed replay-from-start path.
+  Result<RunReport> RunSource(ResumableSource& source);
 
   QueryNode& low_node() { return *low_; }
   QueryNode& high_node(size_t i) { return *high_[i]; }
@@ -197,6 +240,17 @@ class TwoLevelRuntime {
   }
 
  private:
+  // What the newest restored snapshot of each high node said about the
+  // input source it was taken against (empty when nothing was restored or
+  // the snapshot predates source sections).
+  struct RestoredSourceInfo {
+    bool restored = false;    // this node restored any snapshot
+    bool has_source = false;  // ... carrying a source-offset section
+    std::string kind;
+    uint64_t stream_id = 0;
+    uint64_t offset = 0;
+  };
+
   // Folds the checkpoint counters and recovery state into `report`.
   void FillCheckpointReport(RunReport* report) const;
   // True while any sampling node is still discarding replayed input.
@@ -204,6 +258,18 @@ class TwoLevelRuntime {
   // Publishes the report to last_report_ (under the mutex, for /healthz
   // readers) and refreshes the degradation gauges in the registry.
   void PublishReport(const RunReport& report);
+  // Serializes one node's durable state (+ shed controller, exemplars and
+  // — for source runs — the source offset section) and hands it to `mgr`.
+  void WriteNodeSnapshot(SamplingOperator* op, CheckpointManager* mgr,
+                         uint64_t windows_flushed,
+                         const ResumableSource* source);
+  // RunSource restore: seek `source` to the checkpointed offset and cancel
+  // positional replay when every restored node agrees on (kind, stream_id,
+  // offset); otherwise leave the replay path armed. Returns whether the
+  // seek was applied.
+  bool ApplySourceResume(ResumableSource& source);
+  // Writes the snapshots deferred by the flush hook during RunSource.
+  void FlushPendingSnapshots(const ResumableSource* source);
 
   Options options_;
   RunReport last_report_;
@@ -220,6 +286,18 @@ class TwoLevelRuntime {
   bool recovered_ = false;
   uint64_t recovered_windows_ = 0;
   std::string restored_shed_blob_;  // applied to the next run's controller
+  std::vector<RestoredSourceInfo> restored_sources_;  // parallel to high_
+  // RunSource state. source_run_active_ gates the flush hook onto the
+  // deferred-snapshot path; it is only mutated by the thread driving
+  // RunSource, and source runs never overlap threaded runs on one runtime.
+  bool source_run_active_ = false;
+  std::vector<uint64_t> pending_snapshots_;  // windows_flushed per node, 0=none
+  // Live ingest view for /healthz while RunSource is in flight.
+  std::atomic<bool> source_active_{false};
+  std::atomic<uint64_t> live_source_offset_{0};
+  std::atomic<uint64_t> live_source_lag_{0};
+  std::atomic<uint64_t> live_source_reconnects_{0};
+  std::atomic<uint64_t> live_source_gaps_{0};
   obs::RingBufferMetrics ring_metrics_;   // outlives the per-run rings
   obs::Counter* producer_retries_ = nullptr;
   obs::Counter* packets_dropped_ = nullptr;

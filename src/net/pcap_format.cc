@@ -1,0 +1,230 @@
+#include "net/pcap_format.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace streamop {
+
+namespace {
+
+inline uint16_t Bswap16(uint16_t v) {
+  return static_cast<uint16_t>((v >> 8) | (v << 8));
+}
+
+inline uint32_t Bswap32(uint32_t v) {
+  return (v >> 24) | ((v >> 8) & 0x0000ff00u) | ((v << 8) & 0x00ff0000u) |
+         (v << 24);
+}
+
+// pcap headers are written in the capturing host's byte order; this
+// codebase targets little-endian hosts (asserted by the serde layer), so
+// "native" below means LE and `swapped` means the file is big-endian.
+inline uint32_t ReadU32(const uint8_t* p, bool swapped) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return swapped ? Bswap32(v) : v;
+}
+
+inline uint16_t ReadU16(const uint8_t* p, bool swapped) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return swapped ? Bswap16(v) : v;
+}
+
+inline void WriteU32(std::string* out, uint32_t v, bool swapped) {
+  if (swapped) v = Bswap32(v);
+  out->append(reinterpret_cast<const char*>(&v), 4);
+}
+
+inline void WriteU16(std::string* out, uint16_t v, bool swapped) {
+  if (swapped) v = Bswap16(v);
+  out->append(reinterpret_cast<const char*>(&v), 2);
+}
+
+// Big-endian (network order) readers for the packet bytes themselves.
+inline uint16_t ReadBe16(const uint8_t* p) {
+  return static_cast<uint16_t>((uint16_t{p[0]} << 8) | p[1]);
+}
+
+inline uint32_t ReadBe32(const uint8_t* p) {
+  return (uint32_t{p[0]} << 24) | (uint32_t{p[1]} << 16) |
+         (uint32_t{p[2]} << 8) | p[3];
+}
+
+inline void AppendBe16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v >> 8));
+  out->push_back(static_cast<char>(v));
+}
+
+inline void AppendBe32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v >> 24));
+  out->push_back(static_cast<char>(v >> 16));
+  out->push_back(static_cast<char>(v >> 8));
+  out->push_back(static_cast<char>(v));
+}
+
+}  // namespace
+
+bool DecodePcapGlobalHeader(const uint8_t* data, PcapGlobalHeader* out) {
+  uint32_t magic;
+  std::memcpy(&magic, data, 4);
+  switch (magic) {
+    case kPcapMagicMicros:
+      out->swapped = false;
+      out->nanosecond = false;
+      break;
+    case kPcapMagicNanos:
+      out->swapped = false;
+      out->nanosecond = true;
+      break;
+    case 0xd4c3b2a1u:  // swapped microsecond magic
+      out->swapped = true;
+      out->nanosecond = false;
+      break;
+    case 0x4d3cb2a1u:  // swapped nanosecond magic
+      out->swapped = true;
+      out->nanosecond = true;
+      break;
+    default:
+      return false;
+  }
+  out->magic = magic;
+  out->version_major = ReadU16(data + 4, out->swapped);
+  out->version_minor = ReadU16(data + 6, out->swapped);
+  // Bytes 8..15: thiszone + sigfigs, always zero in practice; ignored.
+  out->snaplen = ReadU32(data + 16, out->swapped);
+  out->linktype = ReadU32(data + 20, out->swapped);
+  return true;
+}
+
+void DecodePcapRecordHeader(const uint8_t* data, const PcapGlobalHeader& g,
+                            PcapRecordHeader* out) {
+  out->ts_sec = ReadU32(data, g.swapped);
+  out->ts_frac = ReadU32(data + 4, g.swapped);
+  out->incl_len = ReadU32(data + 8, g.swapped);
+  out->orig_len = ReadU32(data + 12, g.swapped);
+}
+
+bool ExtractPacketFromCapture(const uint8_t* data, size_t caplen,
+                              uint32_t linktype, uint64_t ts_ns,
+                              PacketRecord* out) {
+  size_t ip_off = 0;
+  if (linktype == kLinkTypeEthernet) {
+    if (caplen < 14) return false;
+    uint16_t ethertype = ReadBe16(data + 12);
+    ip_off = 14;
+    if (ethertype == 0x8100) {  // one 802.1Q VLAN tag
+      if (caplen < 18) return false;
+      ethertype = ReadBe16(data + 16);
+      ip_off = 18;
+    }
+    if (ethertype != 0x0800) return false;  // not IPv4
+  } else if (linktype != kLinkTypeRawIp && linktype != kLinkTypeIpv4) {
+    return false;
+  }
+
+  if (caplen < ip_off + 20) return false;  // IPv4 header not captured
+  const uint8_t* ip = data + ip_off;
+  if ((ip[0] >> 4) != 4) return false;  // not IPv4
+  const size_t ihl = static_cast<size_t>(ip[0] & 0x0f) * 4;
+  if (ihl < 20) return false;
+
+  out->ts_ns = ts_ns;
+  out->len = ReadBe16(ip + 2);  // IPv4 total length == the PKT len attribute
+  out->proto = ip[9];
+  out->src_ip = ReadBe32(ip + 12);
+  out->dst_ip = ReadBe32(ip + 16);
+  out->src_port = 0;
+  out->dst_port = 0;
+  out->pad = 0;
+  if ((out->proto == kProtoTcp || out->proto == kProtoUdp) &&
+      caplen >= ip_off + ihl + 4) {
+    out->src_port = ReadBe16(ip + ihl);
+    out->dst_port = ReadBe16(ip + ihl + 2);
+  }
+  return true;
+}
+
+Status WritePcap(const Trace& trace, const std::string& path,
+                 const WritePcapOptions& options) {
+  const bool sw = options.swap_byte_order;
+  std::string out;
+  out.reserve(kPcapGlobalHeaderSize +
+              trace.size() * (kPcapRecordHeaderSize + 24));
+
+  WriteU32(&out, options.nanosecond ? kPcapMagicNanos : kPcapMagicMicros, sw);
+  WriteU16(&out, 2, sw);   // version major
+  WriteU16(&out, 4, sw);   // version minor
+  WriteU32(&out, 0, sw);   // thiszone
+  WriteU32(&out, 0, sw);   // sigfigs
+  WriteU32(&out, 65535, sw);
+  WriteU32(&out, options.ethernet ? kLinkTypeEthernet : kLinkTypeRawIp, sw);
+
+  int64_t written = 0;
+  for (const PacketRecord& p : trace.packets()) {
+    if (options.truncate_after_records >= 0 &&
+        written >= options.truncate_after_records) {
+      if (options.truncate_mid_record > 0) {
+        // One more record, cut off mid-write: a torn capture tail the
+        // reader must treat as end-of-file, not garbage input.
+        std::string rec;
+        WriteU32(&rec, static_cast<uint32_t>(p.ts_ns / 1000000000ull), sw);
+        WriteU32(&rec, 0, sw);
+        WriteU32(&rec, 24, sw);
+        WriteU32(&rec, 24, sw);
+        rec.append(24, '\0');
+        out.append(rec.data(),
+                   std::min(options.truncate_mid_record, rec.size()));
+      }
+      break;
+    }
+    ++written;
+
+    // Capture bytes: a minimal IPv4 header plus, for TCP/UDP, the first 4
+    // L4 bytes (the ports) — everything ExtractPacketFromCapture needs to
+    // reconstruct the PacketRecord exactly.
+    std::string pkt;
+    if (options.ethernet) {
+      pkt.append(12, '\0');        // zero MACs
+      AppendBe16(&pkt, 0x0800);    // IPv4 ethertype
+    }
+    pkt.push_back(0x45);  // version 4, ihl 5
+    pkt.push_back(0);     // tos
+    AppendBe16(&pkt, p.len);
+    AppendBe16(&pkt, 0);  // id
+    AppendBe16(&pkt, 0);  // flags/fragment
+    pkt.push_back(64);    // ttl
+    pkt.push_back(static_cast<char>(p.proto));
+    AppendBe16(&pkt, 0);  // checksum (not validated by the reader)
+    AppendBe32(&pkt, p.src_ip);
+    AppendBe32(&pkt, p.dst_ip);
+    if (p.proto == kProtoTcp || p.proto == kProtoUdp) {
+      AppendBe16(&pkt, p.src_port);
+      AppendBe16(&pkt, p.dst_port);
+    }
+
+    const uint64_t sec = p.ts_ns / 1000000000ull;
+    const uint64_t ns = p.ts_ns % 1000000000ull;
+    WriteU32(&out, static_cast<uint32_t>(sec), sw);
+    WriteU32(&out,
+             static_cast<uint32_t>(options.nanosecond ? ns : ns / 1000), sw);
+    WriteU32(&out, static_cast<uint32_t>(pkt.size()), sw);
+    // orig_len claims the packet's on-the-wire size; len below 20 (fault-
+    // injected truncation) is preserved so malformed packets stay
+    // malformed through a pcap round trip.
+    WriteU32(&out, p.len, sw);
+    out.append(pkt);
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  const size_t n = std::fwrite(out.data(), 1, out.size(), f);
+  const bool ok = n == out.size() && std::fclose(f) == 0;
+  if (!ok) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace streamop

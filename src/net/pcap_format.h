@@ -1,0 +1,99 @@
+// Classic libpcap file format (the pre-pcapng container every capture tool
+// still emits): a 24-byte global header followed by [16-byte record header
+// + captured bytes] until EOF. Shared by the seekable reader
+// (stream/pcap_reader.h) and the writer below, which materializes
+// synthetic traces as real capture files for tests, benches and the CLI.
+//
+// Byte order is whatever the capturing host used: readers detect it from
+// the magic (0xa1b2c3d4 straight, 0xd4c3b2a1 swapped; the 0xa1b23c4d /
+// 0x4d3cb2a1 variants mean nanosecond-resolution timestamps) and byteswap
+// every header field accordingly. The packet bytes themselves are network
+// order as captured.
+
+#ifndef STREAMOP_NET_PCAP_FORMAT_H_
+#define STREAMOP_NET_PCAP_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/trace_generator.h"
+
+namespace streamop {
+
+constexpr uint32_t kPcapMagicMicros = 0xa1b2c3d4;
+constexpr uint32_t kPcapMagicNanos = 0xa1b23c4d;
+constexpr size_t kPcapGlobalHeaderSize = 24;
+constexpr size_t kPcapRecordHeaderSize = 16;
+
+// Link types the reader understands (http://www.tcpdump.org/linktypes.html).
+constexpr uint32_t kLinkTypeEthernet = 1;    // 14-byte MAC header
+constexpr uint32_t kLinkTypeRawIp = 101;     // packet starts at the IP header
+constexpr uint32_t kLinkTypeIpv4 = 228;      // ditto, explicitly v4
+
+/// Parsed global header, already byteswapped to host order.
+struct PcapGlobalHeader {
+  uint32_t magic = kPcapMagicNanos;
+  uint16_t version_major = 2;
+  uint16_t version_minor = 4;
+  uint32_t snaplen = 65535;
+  uint32_t linktype = kLinkTypeRawIp;
+  bool swapped = false;       // file byte order != host byte order
+  bool nanosecond = true;     // ts_frac is nanoseconds, not microseconds
+};
+
+/// Parsed per-record header, already byteswapped to host order.
+struct PcapRecordHeader {
+  uint32_t ts_sec = 0;
+  uint32_t ts_frac = 0;   // micro- or nanoseconds per the global header
+  uint32_t incl_len = 0;  // bytes captured (<= snaplen)
+  uint32_t orig_len = 0;  // bytes on the wire
+};
+
+/// Decodes a global header from `data` (>= kPcapGlobalHeaderSize bytes).
+/// Returns false when the magic is not a known pcap magic.
+bool DecodePcapGlobalHeader(const uint8_t* data, PcapGlobalHeader* out);
+
+/// Decodes a record header using the global header's byte order.
+void DecodePcapRecordHeader(const uint8_t* data, const PcapGlobalHeader& g,
+                            PcapRecordHeader* out);
+
+/// Extracts a PacketRecord from one captured packet. Walks the link-layer
+/// framing per `linktype` (Ethernet incl. one optional 802.1Q tag, or raw
+/// IP), then the IPv4 header and — for TCP/UDP with enough captured bytes —
+/// the L4 ports. `len` comes from the IPv4 total-length field (the PKT
+/// schema's len attribute), not the capture lengths. Returns false when
+/// the captured bytes don't reach a parseable IPv4 header (non-IP
+/// ethertypes, IPv6, snaplen-truncated headers): such records are counted
+/// by the reader, never guessed at.
+bool ExtractPacketFromCapture(const uint8_t* data, size_t caplen,
+                              uint32_t linktype, uint64_t ts_ns,
+                              PacketRecord* out);
+
+struct WritePcapOptions {
+  /// Nanosecond-resolution timestamps (exact PacketRecord round trips).
+  /// false writes the classic microsecond format — readers must tolerate
+  /// the precision loss.
+  bool nanosecond = true;
+  /// Write Ethernet framing (kLinkTypeEthernet) instead of raw IP.
+  bool ethernet = false;
+  /// Write every header byteswapped (a foreign-endian capture), for
+  /// exercising reader byte-order tolerance.
+  bool swap_byte_order = false;
+  /// After the first `truncate_after_records` records (if >= 0), stop —
+  /// and if `truncate_mid_record` is set, write only this many bytes of
+  /// one further record (a capture cut off mid-write).
+  int64_t truncate_after_records = -1;
+  size_t truncate_mid_record = 0;
+};
+
+/// Writes `trace` as a pcap file: one synthetic IPv4 header (+8 L4 bytes
+/// carrying the ports) per packet, orig_len = PacketRecord::len. The
+/// result round-trips through stream/pcap_reader back to the same
+/// PacketRecords (timestamps exactly with nanosecond=true).
+Status WritePcap(const Trace& trace, const std::string& path,
+                 const WritePcapOptions& options = WritePcapOptions());
+
+}  // namespace streamop
+
+#endif  // STREAMOP_NET_PCAP_FORMAT_H_

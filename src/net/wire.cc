@@ -1,0 +1,123 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "common/serde.h"
+
+namespace streamop {
+
+namespace {
+
+inline void PutU16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+
+inline void PutU32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+inline void PutU64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+inline uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (uint16_t{p[1]} << 8));
+}
+
+inline uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+inline uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void EncodeFrameHeader(const FrameHeader& h, uint8_t* out) {
+  PutU32(out, kWireMagic);
+  out[4] = static_cast<uint8_t>(h.type);
+  out[5] = h.flags;
+  PutU16(out + 6, h.count);
+  PutU64(out + 8, h.seq);
+  PutU32(out + 16, h.payload_len);
+  PutU32(out + 20, h.crc);
+}
+
+bool DecodeFrameHeader(const uint8_t* data, size_t size, FrameHeader* out) {
+  if (size < kFrameHeaderSize) return false;
+  if (GetU32(data) != kWireMagic) return false;
+  const uint8_t type = data[4];
+  if (type < static_cast<uint8_t>(FrameType::kData) ||
+      type > static_cast<uint8_t>(FrameType::kFin)) {
+    return false;
+  }
+  out->type = static_cast<FrameType>(type);
+  out->flags = data[5];
+  out->count = GetU16(data + 6);
+  out->seq = GetU64(data + 8);
+  out->payload_len = GetU32(data + 16);
+  out->crc = GetU32(data + 20);
+  if (out->payload_len > kMaxFramePayload) return false;
+  if (out->type == FrameType::kData) {
+    if (out->count > kMaxRecordsPerFrame) return false;
+    if (static_cast<size_t>(out->count) * kWireRecordSize !=
+        out->payload_len) {
+      return false;
+    }
+  } else if (out->payload_len != 0 || out->count != 0) {
+    // Control frames carry no payload in protocol version 1.
+    return false;
+  }
+  return true;
+}
+
+void EncodeWireRecord(const PacketRecord& p, uint8_t* out) {
+  PutU64(out, p.ts_ns);
+  PutU32(out + 8, p.src_ip);
+  PutU32(out + 12, p.dst_ip);
+  PutU16(out + 16, p.src_port);
+  PutU16(out + 18, p.dst_port);
+  PutU16(out + 20, p.len);
+  out[22] = p.proto;
+  out[23] = p.pad;
+}
+
+void DecodeWireRecord(const uint8_t* data, PacketRecord* out) {
+  out->ts_ns = GetU64(data);
+  out->src_ip = GetU32(data + 8);
+  out->dst_ip = GetU32(data + 12);
+  out->src_port = GetU16(data + 16);
+  out->dst_port = GetU16(data + 18);
+  out->len = GetU16(data + 20);
+  out->proto = data[22];
+  out->pad = data[23];
+}
+
+size_t BuildFrame(FrameType type, uint64_t seq, const PacketRecord* records,
+                  size_t count, uint8_t* out) {
+  FrameHeader h;
+  h.type = type;
+  h.seq = seq;
+  h.count = static_cast<uint16_t>(count);
+  h.payload_len = static_cast<uint32_t>(count * kWireRecordSize);
+  uint8_t* payload = out + kFrameHeaderSize;
+  for (size_t i = 0; i < count; ++i) {
+    EncodeWireRecord(records[i], payload + i * kWireRecordSize);
+  }
+  h.crc = count > 0 ? Crc32c(payload, h.payload_len) : 0;
+  EncodeFrameHeader(h, out);
+  return kFrameHeaderSize + h.payload_len;
+}
+
+bool VerifyFramePayload(const FrameHeader& h, const uint8_t* payload) {
+  if (h.payload_len == 0) return h.crc == 0;
+  return Crc32c(payload, h.payload_len) == h.crc;
+}
+
+}  // namespace streamop

@@ -1,0 +1,93 @@
+// The streamop ingest wire protocol (DESIGN.md §11): how PacketRecords
+// travel between a remote producer (streamop_send, a capture tap) and the
+// engine's socket sources.
+//
+// Everything on the wire is a *frame*: a fixed 24-byte little-endian header
+// followed by an optional payload of `count` 24-byte PacketRecords. Over
+// UDP one datagram carries exactly one frame; over TCP frames are
+// length-delimited by the header's payload_len, so a reader can re-sync
+// only at connection granularity (a corrupt header forces a reconnect —
+// cheaper and safer than scanning for magic bytes inside a byte stream).
+//
+// Sequence numbers count *records*, not frames: a DATA frame carries the
+// sequence number of its first record, so a receiver can detect gaps,
+// duplicates and reordering at record granularity, and the resume
+// handshake (HELLO/ACK) can name an exact record offset to restart from.
+//
+// The handshake: a consumer that wants to (re)start at record offset S
+// sends HELLO{seq=S}; the producer answers ACK{seq=T} where T is the
+// offset it will actually stream from (T >= S when its replay buffer no
+// longer reaches back to S — the receiver books T-S records as a gap and
+// carries on: at-most-once delivery, never silent loss). HEARTBEAT frames
+// carry the producer's head sequence so an idle consumer can report
+// offset lag; FIN announces a clean end of stream.
+
+#ifndef STREAMOP_NET_WIRE_H_
+#define STREAMOP_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/packet.h"
+
+namespace streamop {
+
+/// Frame discriminator (header byte 4).
+enum class FrameType : uint8_t {
+  kData = 1,       // payload: count PacketRecords; seq = first record's seq
+  kHello = 2,      // consumer -> producer: resume from seq
+  kAck = 3,        // producer -> consumer: streaming resumes at seq
+  kHeartbeat = 4,  // producer liveness; seq = producer head (next seq)
+  kFin = 5,        // clean end of stream; seq = final head
+};
+
+/// Decoded frame header. 24 bytes on the wire, little-endian:
+///   u32 magic | u8 type | u8 flags | u16 count | u64 seq | u32 payload_len
+///   | u32 crc  (CRC-32C of the payload bytes; 0 for empty payloads)
+struct FrameHeader {
+  FrameType type = FrameType::kData;
+  uint8_t flags = 0;
+  uint16_t count = 0;        // records in a DATA payload
+  uint64_t seq = 0;          // meaning depends on type (see FrameType)
+  uint32_t payload_len = 0;  // bytes after the header
+  uint32_t crc = 0;          // CRC-32C over the payload
+};
+
+constexpr uint32_t kWireMagic = 0x31504F53;  // "SOP1"
+constexpr size_t kFrameHeaderSize = 24;
+constexpr size_t kWireRecordSize = 24;  // serialized PacketRecord
+
+/// Records per DATA frame such that a UDP frame stays under a typical
+/// 1500-byte MTU (24 + 61*24 = 1488). TCP senders may use larger frames;
+/// kMaxRecordsPerFrame bounds what any receiver must accept.
+constexpr size_t kUdpRecordsPerFrame = 61;
+constexpr size_t kMaxRecordsPerFrame = 2048;
+constexpr size_t kMaxFramePayload = kMaxRecordsPerFrame * kWireRecordSize;
+
+/// Serializes `h` into `out` (at least kFrameHeaderSize bytes).
+void EncodeFrameHeader(const FrameHeader& h, uint8_t* out);
+
+/// Decodes a frame header. Returns false on bad magic, unknown type, an
+/// oversized payload_len, or a DATA count inconsistent with payload_len —
+/// the caller quarantines the frame (UDP) or resets the connection (TCP).
+bool DecodeFrameHeader(const uint8_t* data, size_t size, FrameHeader* out);
+
+/// Serializes one PacketRecord as 24 little-endian bytes (field-by-field,
+/// not a struct copy — the wire format is stable across ABIs).
+void EncodeWireRecord(const PacketRecord& p, uint8_t* out);
+
+/// Decodes 24 wire bytes into a PacketRecord.
+void DecodeWireRecord(const uint8_t* data, PacketRecord* out);
+
+/// Builds a complete frame (header + payload) into `out`, which must hold
+/// kFrameHeaderSize + count * kWireRecordSize bytes. `records` may be
+/// nullptr when count is 0. Returns the frame's total size.
+size_t BuildFrame(FrameType type, uint64_t seq, const PacketRecord* records,
+                  size_t count, uint8_t* out);
+
+/// Verifies a frame payload against its header CRC.
+bool VerifyFramePayload(const FrameHeader& h, const uint8_t* payload);
+
+}  // namespace streamop
+
+#endif  // STREAMOP_NET_WIRE_H_

@@ -342,5 +342,25 @@ SourceMetrics SourceMetrics::Create(MetricRegistry& reg,
   return m;
 }
 
+IngestSourceMetrics IngestSourceMetrics::Create(
+    MetricRegistry& reg, const std::string& source_name) {
+  const std::string labels = "source=\"" + source_name + "\"";
+  IngestSourceMetrics m;
+  m.frames = reg.GetCounter("streamop_ingest_frames_total", labels);
+  m.records = reg.GetCounter("streamop_ingest_records_total", labels);
+  m.malformed_frames =
+      reg.GetCounter("streamop_ingest_malformed_frames_total", labels);
+  m.reconnects = reg.GetCounter("streamop_ingest_reconnects_total", labels);
+  m.gaps = reg.GetCounter("streamop_ingest_seq_gaps_total", labels);
+  m.gap_records = reg.GetCounter("streamop_ingest_gap_records_total", labels);
+  m.duplicates =
+      reg.GetCounter("streamop_ingest_duplicate_records_total", labels);
+  m.heartbeats = reg.GetCounter("streamop_ingest_heartbeats_total", labels);
+  m.durable_offset = reg.GetGauge("streamop_ingest_durable_offset", labels);
+  m.resume_offset = reg.GetGauge("streamop_ingest_resume_offset", labels);
+  m.offset_lag = reg.GetGauge("streamop_ingest_offset_lag", labels);
+  return m;
+}
+
 }  // namespace obs
 }  // namespace streamop

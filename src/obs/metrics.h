@@ -287,6 +287,29 @@ struct SourceMetrics {
                               const std::string& source_name);
 };
 
+/// Network/file ingest metrics (stream/resumable_source.h): frame and
+/// record flow, connection churn, sequence anomalies, and the durable
+/// offset the crash-recovery handshake would resume from. offset_lag is
+/// how far the consumer trails the producer's announced head (records) or
+/// the file end (bytes) — the first gauge to watch on a slow consumer.
+struct IngestSourceMetrics {
+  Counter* frames = nullptr;            // well-formed frames / pcap records
+  Counter* records = nullptr;           // PacketRecords delivered
+  Counter* malformed_frames = nullptr;  // quarantined frames
+  Counter* reconnects = nullptr;        // socket reconnects / HELLO nudges
+  Counter* gaps = nullptr;              // sequence gaps detected
+  Counter* gap_records = nullptr;       // records lost to gaps
+  Counter* duplicates = nullptr;        // duplicate/reordered records dropped
+  Counter* heartbeats = nullptr;        // idle reads (timeout, no data)
+  Gauge* durable_offset = nullptr;      // current resumable offset
+  Gauge* resume_offset = nullptr;       // offset of the last (re)start
+  Gauge* offset_lag = nullptr;          // producer head - durable offset
+
+  bool enabled() const { return kStatsEnabled && frames != nullptr; }
+  static IngestSourceMetrics Create(MetricRegistry& reg,
+                                    const std::string& source_name);
+};
+
 }  // namespace obs
 }  // namespace streamop
 

@@ -13,12 +13,15 @@
 #define STREAMOP_STREAM_FAULT_INJECTION_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <thread>
 
 #include "common/random.h"
 #include "net/trace_generator.h"
+#include "stream/resumable_source.h"
 #include "stream/stream_source.h"
 
 namespace streamop {
@@ -100,6 +103,64 @@ struct ConsumerStallSpec {
 /// a watchdog-initiated abort always terminates it promptly.
 std::function<void(uint64_t, const std::atomic<bool>&)> MakeConsumerStallHook(
     const ConsumerStallSpec& spec);
+
+/// Ingest-side faults for a ResumableSource. The wrapper injects what the
+/// *consumer host* can plausibly suffer: surprise disconnects (driving the
+/// reconnect/backoff + HELLO-resume machinery) and local stalls (driving
+/// producer-side timeouts and the offset-lag gauge). Producer-side faults —
+/// dropped frames, corrupt payloads, seq gaps, torn final frames — are
+/// injected at the other end of the wire by TraceSenderConfig's fault
+/// knobs (net/trace_sender.h), where they occur in reality.
+struct ResumableFaultConfig {
+  /// Drop the connection after every N delivered records (0 = off).
+  uint64_t disconnect_every_records = 0;
+  /// Stall for stall_ms before every Nth Read() call (0 = off).
+  uint64_t stall_every_reads = 0;
+  uint64_t stall_ms = 0;
+};
+
+/// ResumableSource wrapper applying ResumableFaultConfig. Offsets, stats
+/// and status pass straight through to the inner source — the wrapper adds
+/// adversity, not semantics, so recovery proofs hold with it in place.
+class FaultyResumableSource : public ResumableSource {
+ public:
+  FaultyResumableSource(ResumableSource* inner,
+                        const ResumableFaultConfig& config)
+      : inner_(inner), config_(config) {}
+
+  const char* kind() const override { return inner_->kind(); }
+  uint64_t stream_id() const override { return inner_->stream_id(); }
+  std::string describe() const override { return inner_->describe(); }
+  Status Open() override { return inner_->Open(); }
+  uint64_t durable_offset() const override { return inner_->durable_offset(); }
+  Status SeekTo(uint64_t offset) override { return inner_->SeekTo(offset); }
+  uint64_t offset_lag() const override { return inner_->offset_lag(); }
+  const SourceIngestStats& stats() const override { return inner_->stats(); }
+  Status last_status() const override { return inner_->last_status(); }
+  void InjectDisconnect() override { inner_->InjectDisconnect(); }
+
+  ReadResult Read(PacketRecord* buf, size_t max, size_t* n_out) override {
+    if (config_.stall_every_reads > 0 &&
+        ++reads_ % config_.stall_every_reads == 0 && config_.stall_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(config_.stall_ms));
+    }
+    const ReadResult r = inner_->Read(buf, max, n_out);
+    if (config_.disconnect_every_records > 0) {
+      records_since_disconnect_ += *n_out;
+      if (records_since_disconnect_ >= config_.disconnect_every_records) {
+        records_since_disconnect_ = 0;
+        inner_->InjectDisconnect();
+      }
+    }
+    return r;
+  }
+
+ private:
+  ResumableSource* inner_;
+  ResumableFaultConfig config_;
+  uint64_t reads_ = 0;
+  uint64_t records_since_disconnect_ = 0;
+};
 
 /// Checkpoint-file faults (engine/checkpoint.h): deterministic in-place
 /// corruption of an on-disk snapshot, for testing that recovery detects

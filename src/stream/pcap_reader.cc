@@ -1,0 +1,162 @@
+#include "stream/pcap_reader.h"
+
+#include <cinttypes>
+
+namespace streamop {
+
+namespace {
+
+// No real capture exceeds a 64K snaplen by much; a length past this means
+// we lost record-boundary sync (corrupt file), not a big packet.
+constexpr uint32_t kMaxCaptureBytes = 1u << 18;
+
+uint64_t RecordTsNs(const PcapRecordHeader& rh, const PcapGlobalHeader& g) {
+  const uint64_t frac_ns =
+      g.nanosecond ? rh.ts_frac : uint64_t{rh.ts_frac} * 1000ull;
+  return uint64_t{rh.ts_sec} * 1000000000ull + frac_ns;
+}
+
+}  // namespace
+
+PcapReader::PcapReader(PcapReaderConfig config) : config_(std::move(config)) {}
+
+PcapReader::~PcapReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status PcapReader::Open() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  std::FILE* f = std::fopen(config_.path.c_str(), "rb");
+  if (f == nullptr) {
+    last_status_ = Status::IOError("cannot open pcap file: " + config_.path);
+    return last_status_;
+  }
+  uint8_t g[kPcapGlobalHeaderSize];
+  if (std::fread(g, 1, sizeof(g), f) != sizeof(g)) {
+    std::fclose(f);
+    last_status_ =
+        Status::IOError("pcap file shorter than its global header: " +
+                        config_.path);
+    return last_status_;
+  }
+  if (!DecodePcapGlobalHeader(g, &header_)) {
+    std::fclose(f);
+    last_status_ = Status::IOError("not a pcap file (bad magic): " +
+                                   config_.path);
+    return last_status_;
+  }
+
+  std::fseek(f, 0, SEEK_END);
+  file_size_ = static_cast<uint64_t>(std::ftell(f));
+
+  base_ts_ns_ = 0;
+  if (config_.rebase_timestamps) {
+    // The rebase base is always the file's first record, independent of
+    // where we resume — a restored run must rebase identically.
+    std::fseek(f, kPcapGlobalHeaderSize, SEEK_SET);
+    uint8_t rh_buf[kPcapRecordHeaderSize];
+    if (std::fread(rh_buf, 1, sizeof(rh_buf), f) == sizeof(rh_buf)) {
+      PcapRecordHeader rh;
+      DecodePcapRecordHeader(rh_buf, header_, &rh);
+      base_ts_ns_ = RecordTsNs(rh, header_);
+    }
+  }
+
+  uint64_t start = kPcapGlobalHeaderSize;
+  if (pending_seek_ > 0) {
+    if (pending_seek_ < kPcapGlobalHeaderSize || pending_seek_ > file_size_) {
+      std::fclose(f);
+      char msg[160];
+      std::snprintf(msg, sizeof(msg),
+                    "resume offset %" PRIu64
+                    " outside pcap file (size %" PRIu64 ")",
+                    pending_seek_, file_size_);
+      last_status_ = Status::IOError(msg);
+      return last_status_;
+    }
+    start = pending_seek_;
+  }
+  std::fseek(f, static_cast<long>(start), SEEK_SET);
+
+  file_ = f;
+  offset_ = start;
+  stats_.resume_offset = start;
+  eof_ = false;
+  last_status_ = Status::OK();
+  return last_status_;
+}
+
+Status PcapReader::SeekTo(uint64_t offset) {
+  pending_seek_ = offset;
+  if (file_ == nullptr) return Status::OK();  // applied by the next Open()
+  if (offset < kPcapGlobalHeaderSize || offset > file_size_) {
+    return Status::InvalidArgument("pcap seek outside file bounds");
+  }
+  std::fseek(file_, static_cast<long>(offset), SEEK_SET);
+  offset_ = offset;
+  stats_.resume_offset = offset;
+  eof_ = false;
+  return Status::OK();
+}
+
+ResumableSource::ReadResult PcapReader::Read(PacketRecord* buf, size_t max,
+                                             size_t* n_out) {
+  *n_out = 0;
+  if (file_ == nullptr) {
+    last_status_ = Status::InvalidArgument("PcapReader::Read before Open");
+    return ReadResult::kEnd;
+  }
+  if (eof_) return ReadResult::kEnd;
+
+  size_t n = 0;
+  uint8_t hdr[kPcapRecordHeaderSize];
+  while (n < max) {
+    if (std::fread(hdr, 1, sizeof(hdr), file_) != sizeof(hdr)) {
+      eof_ = true;  // clean EOF, or a torn header: either way the end
+      break;
+    }
+    PcapRecordHeader rh;
+    DecodePcapRecordHeader(hdr, header_, &rh);
+    if (rh.incl_len > kMaxCaptureBytes) {
+      // Lost sync: a record length no real capture produces. Stop rather
+      // than stream garbage; everything before this offset was good.
+      eof_ = true;
+      stats_.malformed_frames++;
+      char msg[128];
+      std::snprintf(msg, sizeof(msg),
+                    "corrupt pcap record header at offset %" PRIu64, offset_);
+      last_status_ = Status::IOError(msg);
+      break;
+    }
+    capture_buf_.resize(rh.incl_len);
+    if (rh.incl_len > 0 &&
+        std::fread(capture_buf_.data(), 1, rh.incl_len, file_) !=
+            rh.incl_len) {
+      eof_ = true;  // torn capture tail: the record never finished writing
+      break;
+    }
+    // The record is complete: the durable offset may now cover it.
+    offset_ += kPcapRecordHeaderSize + rh.incl_len;
+    stats_.frames++;
+
+    PacketRecord rec;
+    const uint64_t ts = RecordTsNs(rh, header_);
+    if (!ExtractPacketFromCapture(capture_buf_.data(), rh.incl_len,
+                                  header_.linktype, ts, &rec)) {
+      stats_.malformed_frames++;
+      continue;
+    }
+    if (config_.rebase_timestamps) {
+      rec.ts_ns = ts >= base_ts_ns_ ? ts - base_ts_ns_ : 0;
+    }
+    buf[n++] = rec;
+    stats_.records++;
+  }
+  *n_out = n;
+  return n > 0 ? ReadResult::kRecords : ReadResult::kEnd;
+}
+
+}  // namespace streamop

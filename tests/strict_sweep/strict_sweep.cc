@@ -27,14 +27,19 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "engine/runtime.h"
+#include "net/pcap_format.h"
 #include "net/trace_generator.h"
+#include "net/trace_sender.h"
 #include "query/query.h"
 #include "stream/fault_injection.h"
+#include "stream/pcap_reader.h"
+#include "stream/socket_source.h"
 
 namespace streamop {
 namespace {
@@ -110,12 +115,20 @@ constexpr KillScenario kKills[] = {
     {"clean", 0},
 };
 
+// Ingest-source axis (DESIGN.md §11): besides the in-process trace, kill
+// cells also run over real resumable sources — a pcap file (recovery must
+// seek to the checkpointed byte offset) and a live TCP producer (recovery
+// must re-HELLO at the checkpointed record offset). Source cells run on
+// the steady overload with no checkpoint-file fault: the axis under test
+// is the offset resume itself.
+constexpr const char* kSources[] = {"pcap", "tcp"};
+
 // The --smoke slice: a handful of cells covering every axis value at
 // least once, bounded enough for a CI gate.
 constexpr const char* kSmokeCells[] = {
     "agg-fine.steady.none.kill1",    "subsetsum.steady.bitflip.kill2",
     "agg-coarse.burst.truncate.kill1", "subsetsum.burst.stale.clean",
-    "agg-fine.steady.none.clean",
+    "agg-fine.steady.none.clean",    "src-pcap.agg-fine.kill1",
 };
 
 struct SweepArgs {
@@ -134,8 +147,13 @@ struct Cell {
   const FaultScenario* fault;
   const KillScenario* kill;
   size_t index;  // position in the full grid — seeds fault injection
+  const char* source = "trace";  // trace | pcap | tcp
 
   std::string id() const {
+    if (std::strcmp(source, "trace") != 0) {
+      return std::string("src-") + source + "." + query->name + "." +
+             kill->name;
+    }
     return std::string(query->name) + "." + overload_s->name + "." +
            fault->name + "." + kill->name;
   }
@@ -203,6 +221,29 @@ fs::path NewestSnapshot(const fs::path& dir) {
   return newest;
 }
 
+// Waits until `min_snapshots` snapshot files exist, then SIGKILLs `pid`.
+// Returns false when the child finished first (cell becomes a SKIP).
+bool WaitForSnapshotsThenKill(pid_t pid, const fs::path& ckpt_dir,
+                              size_t min_snapshots) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  bool killed = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (CountSnapshots(ckpt_dir) >= min_snapshots) {
+      ::kill(pid, SIGKILL);
+      killed = true;
+      break;
+    }
+    int wstatus = 0;
+    if (::waitpid(pid, &wstatus, WNOHANG) == pid) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (!killed) ::kill(pid, SIGKILL);
+  int wstatus = 0;
+  ::waitpid(pid, &wstatus, 0);
+  return killed && WIFSIGNALED(wstatus) && WTERMSIG(wstatus) == SIGKILL;
+}
+
 // Forks a child running the checkpointed two-level pipeline with a
 // throttled consumer, SIGKILLs it once `kill_after` snapshots exist.
 // Returns false when the child finished first (cell becomes a SKIP).
@@ -224,24 +265,8 @@ bool RunChildAndKill(const Trace& trace, const Cell& cell,
     auto report = rt.RunThreaded(trace);
     _exit(report.ok() ? 0 : 4);
   }
-
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(60);
-  bool killed = false;
-  while (std::chrono::steady_clock::now() < deadline) {
-    if (CountSnapshots(ckpt_dir) >= cell.kill->kill_after_snapshots) {
-      ::kill(pid, SIGKILL);
-      killed = true;
-      break;
-    }
-    int wstatus = 0;
-    if (::waitpid(pid, &wstatus, WNOHANG) == pid) return false;
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
-  if (!killed) ::kill(pid, SIGKILL);
-  int wstatus = 0;
-  ::waitpid(pid, &wstatus, 0);
-  return killed && WIFSIGNALED(wstatus) && WTERMSIG(wstatus) == SIGKILL;
+  return WaitForSnapshotsThenKill(pid, ckpt_dir,
+                                  cell.kill->kill_after_snapshots);
 }
 
 void WriteFailBundle(const fs::path& out_dir, const Cell& cell,
@@ -389,6 +414,183 @@ CellResult RunCell(const Cell& cell, const Trace& trace,
   return result;
 }
 
+// A source cell drives the SAME trace through a real ResumableSource
+// (pcap file or live TCP producer), SIGKILLs the checkpointed consumer
+// mid-ingest, and recovers over a fresh source instance: the restored run
+// must seek/re-HELLO to the checkpointed offset (resumed_from_offset) and
+// its output must be a byte-identical suffix of the in-process reference.
+CellResult RunSourceCell(const Cell& cell, const Trace& trace,
+                         const std::vector<std::string>& reference,
+                         const SweepArgs& args, const fs::path& out_dir) {
+  CellResult result;
+  const auto start = std::chrono::steady_clock::now();
+  const fs::path ckpt_dir = out_dir / ("ckpt_" + cell.id());
+  std::error_code ec;
+  fs::remove_all(ckpt_dir, ec);
+  fs::create_directories(ckpt_dir, ec);
+
+  auto low = CompileQuery(kPassThroughLow, Catalog::Default(),
+                          {.seed = args.compile_seed});
+  auto high = CompileQuery(cell.query->sql, Catalog::Default(),
+                           {.seed = args.compile_seed});
+  if (!low.ok() || !high.ok()) {
+    result.status = "FAIL";
+    result.note = "query compilation failed";
+    return result;
+  }
+
+  std::vector<std::string> expected_tail;
+  std::vector<std::string> recovered_rows;
+  const auto fail = [&](const std::string& note) {
+    result.status = "FAIL";
+    result.note = note;
+    WriteFailBundle(out_dir, cell, args, ckpt_dir, result, expected_tail,
+                    recovered_rows);
+  };
+
+  const bool is_pcap = std::strcmp(cell.source, "pcap") == 0;
+  const fs::path pcap_path = out_dir / (cell.id() + ".pcap");
+  std::unique_ptr<TraceSender> sender;
+  pid_t producer = -1;
+  SocketSourceConfig sock_cfg;
+  const auto cleanup = [&] {
+    if (producer > 0) {
+      ::kill(producer, SIGKILL);
+      ::waitpid(producer, nullptr, 0);
+      producer = -1;
+    }
+    fs::remove(pcap_path, ec);
+  };
+
+  if (is_pcap) {
+    Status wrote = WritePcap(trace, pcap_path.string());
+    if (!wrote.ok()) {
+      fail("pcap write failed: " + wrote.ToString());
+      return result;
+    }
+  } else {
+    // The producer is a separate process (forked while this process is
+    // still single-threaded): it survives the consumer's SIGKILL, lingers,
+    // and serves the restarted consumer's resume handshake. Throttled so
+    // the trace is still mid-flight when the consumer dies.
+    TraceSenderConfig scfg;
+    scfg.records = trace.packets();
+    scfg.records_per_frame = 61;
+    scfg.records_per_sec = static_cast<double>(trace.size()) / 6.0;
+    scfg.handshake_timeout_ms = 60000;
+    scfg.linger_ms = 120000;
+    sender = std::make_unique<TraceSender>(std::move(scfg));
+    Status bound = sender->BindTcp(0);
+    if (!bound.ok()) {
+      fail("tcp bind failed: " + bound.ToString());
+      return result;
+    }
+    producer = fork();
+    if (producer == 0) {
+      sender->ServeTcp();
+      _exit(0);
+    }
+    sock_cfg.mode = SocketSourceConfig::Mode::kTcp;
+    sock_cfg.port = sender->tcp_port();
+    sock_cfg.read_timeout_ms = 50;
+  }
+
+  RuntimeOptions opt = CheckpointedOptions(ckpt_dir.string());
+  opt.batch_size = 128;  // small ingest batches = frequent snapshot points
+
+  // Phase 1: fork the consumer, SIGKILL it once enough snapshots exist.
+  const pid_t consumer = fork();
+  if (consumer == 0) {
+    TwoLevelRuntime rt(*low, {*high}, opt);
+    if (is_pcap) {
+      PcapReader inner(PcapReaderConfig{pcap_path.string()});
+      ResumableFaultConfig fc;  // throttle so the parent can kill mid-file
+      fc.stall_every_reads = 1;
+      fc.stall_ms = 4;
+      FaultyResumableSource src(&inner, fc);
+      auto report = rt.RunSource(src);
+      _exit(report.ok() ? 0 : 4);
+    }
+    SocketSource src(sock_cfg);
+    auto report = rt.RunSource(src);
+    _exit(report.ok() ? 0 : 4);
+  }
+  if (!WaitForSnapshotsThenKill(consumer, ckpt_dir,
+                                cell.kill->kill_after_snapshots)) {
+    cleanup();
+    result.status = "SKIP";
+    result.note = "consumer finished before SIGKILL";
+    return result;
+  }
+  result.snapshots = CountSnapshots(ckpt_dir);
+  if (result.snapshots == 0) {
+    cleanup();
+    fail("no snapshot was produced");
+    return result;
+  }
+
+  // Phase 2: recover over a fresh source instance.
+  TwoLevelRuntime rt(*low, {*high}, opt);
+  result.recovered = rt.recovered();
+  result.recovered_windows = rt.recovered_windows();
+  Result<RunReport> report = [&]() -> Result<RunReport> {
+    if (is_pcap) {
+      PcapReader reader(PcapReaderConfig{pcap_path.string()});
+      return rt.RunSource(reader);
+    }
+    SocketSource src(sock_cfg);
+    return rt.RunSource(src);
+  }();
+  cleanup();
+  if (!report.ok()) {
+    fail("recovery run failed: " + report.status().ToString());
+    return result;
+  }
+  result.corrupt_skipped = report->checkpoint_corrupt_skipped;
+  recovered_rows = RowsAsStrings(rt.high_node(0).DrainOutput());
+  result.recovered_rows = recovered_rows.size();
+  result.ref_rows = reference.size();
+  result.elapsed_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+
+  if (!result.recovered) {
+    fail("no snapshot was restored");
+    return result;
+  }
+  if (result.corrupt_skipped != 0) {
+    fail("pristine snapshot flagged as corrupt");
+    return result;
+  }
+  if (report->sources.size() != 1) {
+    fail("recovery run reported no ingest source");
+    return result;
+  }
+  if (!report->sources[0].resumed_from_offset) {
+    fail("recovery replayed from the start instead of seeking the source");
+    return result;
+  }
+  if (!report->sources[0].clean_end) {
+    fail("recovered ingest ended with an error: " +
+         report->sources[0].error);
+    return result;
+  }
+
+  if (recovered_rows.size() > reference.size()) {
+    fail("recovered run emitted more rows than the reference");
+    return result;
+  }
+  expected_tail.assign(reference.end() - recovered_rows.size(),
+                       reference.end());
+  if (recovered_rows != expected_tail) {
+    fail("recovered output diverges from the reference suffix");
+    return result;
+  }
+  fs::remove_all(ckpt_dir, ec);
+  return result;
+}
+
 int Run(const SweepArgs& args) {
   // Build the full grid.
   std::vector<Cell> cells;
@@ -399,6 +601,18 @@ int Run(const SweepArgs& args) {
         for (const auto& k : kKills) {
           cells.push_back(Cell{&q, &o, &f, &k, index++});
         }
+      }
+    }
+  }
+  // Source cells: {agg-fine, subsetsum} × {pcap, tcp} × kill points, on
+  // the steady overload with no checkpoint-file fault.
+  for (const char* src : kSources) {
+    for (const auto& q : kQueries) {
+      if (std::strcmp(q.name, "agg-coarse") == 0) continue;
+      for (const auto& k : kKills) {
+        if (k.kill_after_snapshots == 0) continue;
+        cells.push_back(
+            Cell{&q, &kOverloads[0], &kFaults[0], &k, index++, src});
       }
     }
   }
@@ -479,17 +693,22 @@ int Run(const SweepArgs& args) {
   }
 
   std::ofstream csv(out_dir / "results.csv");
-  csv << "cell,query,sampler,overload,fault,kill_point,status,snapshots,"
-         "corrupt_skipped,recovered,recovered_windows,ref_rows,"
+  csv << "cell,source,query,sampler,overload,fault,kill_point,status,"
+         "snapshots,corrupt_skipped,recovered,recovered_windows,ref_rows,"
          "recovered_rows,fault_seed,elapsed_ms,note\n";
 
   size_t passed = 0, failed = 0, skipped = 0;
   for (const Cell& cell : cells) {
     const std::string key =
         std::string(cell.query->name) + "." + cell.overload_s->name;
-    const CellResult r = RunCell(cell, traces.at(cell.overload_s->name),
-                                 references.at(key), args, out_dir);
-    csv << cell.id() << ',' << cell.query->name << ','
+    const bool is_source_cell = std::strcmp(cell.source, "trace") != 0;
+    const CellResult r =
+        is_source_cell
+            ? RunSourceCell(cell, traces.at(cell.overload_s->name),
+                            references.at(key), args, out_dir)
+            : RunCell(cell, traces.at(cell.overload_s->name),
+                      references.at(key), args, out_dir);
+    csv << cell.id() << ',' << cell.source << ',' << cell.query->name << ','
         << cell.query->sampler << ',' << cell.overload_s->name << ','
         << cell.fault->name << ',' << cell.kill->name << ',' << r.status
         << ',' << r.snapshots << ',' << r.corrupt_skipped << ','
