@@ -27,7 +27,9 @@
 #include "engine/runtime.h"
 #include "net/flow_generator.h"
 #include "net/trace_generator.h"
+#include "obs/alerts.h"
 #include "obs/exemplar.h"
+#include "obs/flight_recorder.h"
 #include "obs/http_server.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
@@ -110,6 +112,22 @@ void Usage(const char* argv0) {
       "                        idle time on the source (0 = run forever)\n"
       "  --source-max-records <n>  end the run after ingesting n records\n"
       "                        (0 = until the source ends)\n"
+      "  --timeseries-interval-ms <n>  scrape the metric registry every n ms\n"
+      "                        into the in-memory time-series ring and run\n"
+      "                        the SLO alert engine over it (serves\n"
+      "                        /timeseries, /alerts, /dashboard; runs the\n"
+      "                        two-level pipeline)\n"
+      "  --alert-rules <path>  install extra alert rules from a file (one\n"
+      "                        rule per line; see docs/OBSERVABILITY.md)\n"
+      "  --quality-ci-target <f>  fire the built-in accuracy-SLO rule when\n"
+      "                        any estimator's 95%% CI half-width exceeds f\n"
+      "  --flight-dir <path>   flight recorder: spill the telemetry tail to\n"
+      "                        a CRC-guarded segment in this directory on\n"
+      "                        cadence and at checkpoints; on startup load\n"
+      "                        any pre-crash segment and print the forensic\n"
+      "                        report\n"
+      "  --dump-forensics      load the flight segment under --flight-dir,\n"
+      "                        print the forensic report and exit\n"
       "  (all options also accept --flag=value)\n",
       argv0);
 }
@@ -150,6 +168,16 @@ struct Args {
   uint64_t source_timeout_ms = 100;
   uint64_t source_max_idle_ms = 0;
   uint64_t source_max_records = 0;
+  uint64_t timeseries_interval_ms = 0;  // 0 = time-series stack off
+  std::string alert_rules_file;
+  double quality_ci_target = 0.0;
+  std::string flight_dir;
+  bool dump_forensics = false;
+
+  bool use_timeseries() const {
+    return timeseries_interval_ms > 0 || !alert_rules_file.empty() ||
+           !flight_dir.empty();
+  }
 
   bool use_source() const {
     return udp_port >= 0 || !tcp_connect.empty() || !pcap_path.empty();
@@ -307,6 +335,24 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       const char* v = next();
       if (v == nullptr) return false;
       out->source_max_records = std::strtoull(v, nullptr, 10);
+    } else if (a == "--timeseries-interval-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->timeseries_interval_ms = std::strtoull(v, nullptr, 10);
+    } else if (a == "--alert-rules") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->alert_rules_file = v;
+    } else if (a == "--quality-ci-target") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->quality_ci_target = std::atof(v);
+    } else if (a == "--flight-dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->flight_dir = v;
+    } else if (a == "--dump-forensics") {
+      out->dump_forensics = true;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
       return false;
@@ -441,6 +487,22 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) {
     Usage(argv[0]);
     return 2;
+  }
+
+  // Offline forensics: decode the flight segment and exit — the workflow
+  // an operator runs right after a crash, before restarting anything.
+  if (args.dump_forensics) {
+    if (args.flight_dir.empty()) {
+      std::fprintf(stderr, "--dump-forensics requires --flight-dir\n");
+      return 2;
+    }
+    auto report = obs::FlightRecorder::Load(args.flight_dir);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(report->ToText().c_str(), stdout);
+    return 0;
   }
 
   // Acquire the input: a live source (network/pcap) or an in-process trace.
@@ -600,7 +662,8 @@ int main(int argc, char** argv) {
     }
   };
 
-  if (source != nullptr || args.shed || !args.checkpoint_dir.empty()) {
+  if (source != nullptr || args.shed || !args.checkpoint_dir.empty() ||
+      args.use_timeseries()) {
     // Threaded two-level pipeline: a pass-through low node feeds the user's
     // query, with the AIMD shedding gate at the ring drain. Admitted tuples
     // are reweighted by 1/p, so sums and counts remain unbiased estimates.
@@ -628,6 +691,22 @@ int main(int argc, char** argv) {
     opt.checkpoint.retain = args.checkpoint_retain;
     opt.source_max_idle_ms = args.source_max_idle_ms;
     opt.source_max_records = args.source_max_records;
+    if (args.use_timeseries()) {
+      opt.timeseries.interval_ms = args.timeseries_interval_ms;
+      opt.quality_ci_target = args.quality_ci_target;
+      opt.flight.dir = args.flight_dir;
+      if (!args.alert_rules_file.empty()) {
+        std::ifstream in(args.alert_rules_file);
+        if (!in) {
+          std::fprintf(stderr, "cannot read %s\n",
+                       args.alert_rules_file.c_str());
+          return 1;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        opt.alert_rules = ss.str();
+      }
+    }
     TwoLevelRuntime rt(*low, {*cq}, opt);
     if (rt.recovered()) {
       std::fprintf(stderr, "recovered from checkpoint at window %llu\n",
@@ -673,6 +752,27 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.packets_malformed),
         static_cast<unsigned long long>(r.producer_backoff_sleeps),
         r.producer_backoff_seconds, r.watchdog_fired ? "FIRED" : "ok");
+    if (args.use_timeseries() && rt.alert_engine() != nullptr) {
+      // Final tick: scrape the end-of-run registry state, give every rule
+      // one last evaluation and (with a flight dir) spill the final tail.
+      if (rt.flight_recorder() != nullptr) {
+        rt.flight_recorder()->RequestSpill();
+      }
+      if (rt.sampler() != nullptr) rt.sampler()->TickOnce();
+      const obs::AlertSummary as = rt.alert_engine()->Summary();
+      std::fprintf(
+          stderr,
+          "alert summary: rules=%zu firing=%zu pending=%zu worst=%s "
+          "scrapes=%llu%s\n",
+          rt.alert_engine()->num_rules(), as.firing, as.pending,
+          as.firing > 0 ? obs::AlertSeverityName(as.worst) : "none",
+          static_cast<unsigned long long>(
+              rt.timeseries() != nullptr ? rt.timeseries()->scrapes() : 0),
+          rt.flight_recorder() == nullptr ? ""
+          : rt.flight_recorder()->spills() > 0
+              ? " (flight segment spilled)"
+              : " (flight spill FAILED)");
+    }
     if (!args.checkpoint_dir.empty()) {
       std::fprintf(
           stderr,

@@ -186,12 +186,62 @@ TwoLevelRuntime::TwoLevelRuntime(const CompiledQuery& low,
     }
   }
 
+  // Flight-recorder observability stack (obs/timeseries.h, obs/alerts.h,
+  // obs/flight_recorder.h): a positive sampling interval or a flight dir
+  // brings up the ring, the alert engine (built-in SLO rules + the user's
+  // --alert-rules file) and the sampler thread. Loading the pre-crash
+  // segment happens BEFORE the first spill could overwrite it.
+  const bool want_timeseries =
+      options_.timeseries.interval_ms > 0 || !options_.flight.dir.empty();
+  if (want_timeseries) {
+    if (!options_.flight.dir.empty()) {
+      auto loaded = obs::FlightRecorder::Load(options_.flight.dir);
+      if (loaded.ok()) {
+        forensic_report_ = std::move(*loaded);
+        std::fputs(forensic_report_.ToText().c_str(), stderr);
+      } else if (loaded.status().code() != StatusCode::kNotFound) {
+        std::fprintf(stderr, "[flight] %s: %s\n",
+                     options_.flight.dir.c_str(),
+                     loaded.status().message().c_str());
+      }
+      flight_ = std::make_unique<obs::FlightRecorder>(options_.flight);
+    }
+    obs::TimeSeriesOptions ts_opts = options_.timeseries;
+    if (ts_opts.interval_ms == 0) ts_opts.interval_ms = 250;
+    ts_ = std::make_unique<obs::TimeSeries>(ts_opts);
+    obs::AlertEngine::Options alert_opts;
+    alert_opts.quality_ci_target = options_.quality_ci_target;
+    alerts_ = std::make_unique<obs::AlertEngine>(alert_opts);
+    alerts_->AddBuiltinRules();
+    if (!options_.alert_rules.empty()) {
+      alerts_status_ = alerts_->AddRulesFromText(options_.alert_rules);
+      if (!alerts_status_.ok()) {
+        std::fprintf(stderr, "[alerts] %s\n",
+                     alerts_status_.message().c_str());
+      }
+    }
+    obs::TimeSeriesSampler::Options sampler_opts;
+    sampler_opts.interval_ms = ts_opts.interval_ms;
+    sampler_opts.registry = &reg;
+    sampler_opts.timeseries = ts_.get();
+    sampler_opts.alerts = alerts_.get();
+    sampler_opts.recorder = flight_.get();
+    sampler_ = std::make_unique<obs::TimeSeriesSampler>(sampler_opts);
+    (void)sampler_->Start();  // no-op under STREAMOP_NO_STATS
+  }
+
   if (options_.http_port >= 0) {
     obs::HttpServerOptions http;
     http.port = static_cast<uint16_t>(options_.http_port);
     http.registry = &reg;
     http.health_json = [this] { return HealthJson(); };
     http.healthy = [this] { return healthy(); };
+    http.timeseries = ts_.get();
+    http.alerts = alerts_.get();
+    http.flight_recorder = flight_.get();
+    if (forensic_report_.valid) {
+      http.forensics_json = [this] { return forensic_report_.ToJson(); };
+    }
     http_server_ = std::make_unique<obs::HttpServer>(std::move(http));
     http_status_ = http_server_->Start();
     if (!http_status_.ok()) http_server_.reset();
@@ -262,6 +312,10 @@ void TwoLevelRuntime::WriteNodeSnapshot(SamplingOperator* op,
     w.U64(source->durable_offset());
   }
   mgr->Write(windows_flushed, w.data());
+  // Checkpoint-cadence forensics: keep the flight segment in step with the
+  // durable state, so a crash right after a checkpoint still leaves a
+  // telemetry tail that covers the checkpointed window.
+  if (flight_ != nullptr) flight_->RequestSpill();
 }
 
 void TwoLevelRuntime::FlushPendingSnapshots(const ResumableSource* source) {
@@ -322,6 +376,7 @@ bool TwoLevelRuntime::ApplySourceResume(ResumableSource& source) {
 }
 
 bool TwoLevelRuntime::healthy() const {
+  if (alerts_ != nullptr && alerts_->critical_firing()) return false;
   std::lock_guard<std::mutex> lock(report_mu_);
   return !last_report_.watchdog_fired;
 }
@@ -344,18 +399,30 @@ std::string TwoLevelRuntime::HealthJson() const {
     ckpt_corrupt += mgr->corrupt_skipped();
     if (mgr->degraded()) ckpt_degraded = true;
   }
+  // Alert summary + flight-recorder status (obs/alerts.h): a firing
+  // critical alert dominates every other status and flips the endpoint to
+  // 503 via healthy().
+  const bool alerts_enabled = alerts_ != nullptr;
+  obs::AlertSummary alerts;
+  if (alerts_enabled) alerts = alerts_->Summary();
+  const bool critical_alert = alerts.critical_firing > 0;
+  const char* alert_worst =
+      alerts.firing > 0 ? obs::AlertSeverityName(alerts.worst) : "none";
+  const bool flight_enabled = flight_ != nullptr && flight_->enabled();
   const bool is_running = running_.load(std::memory_order_relaxed);
   const char* status =
       r.watchdog_fired
           ? "watchdog_fired"
-          : is_running
-                ? "running"
-                : (ckpt_degraded ||
-                   (r.shedding_enabled && r.shed_fraction > 0.0))
-                      ? "degraded"
-                      : "ok";
+          : critical_alert
+                ? "critical_alert"
+                : is_running
+                      ? "running"
+                      : (ckpt_degraded || alerts.firing > 0 ||
+                         (r.shedding_enabled && r.shed_fraction > 0.0))
+                            ? "degraded"
+                            : "ok";
   const bool src_active = source_active_.load(std::memory_order_relaxed);
-  char buf[1152];
+  char buf[1536];
   std::snprintf(
       buf, sizeof(buf),
       "{\"status\": \"%s\", \"running\": %s, \"watchdog_fired\": %s, "
@@ -369,7 +436,12 @@ std::string TwoLevelRuntime::HealthJson() const {
       "\"checkpoint_corrupt_skipped\": %llu, "
       "\"source_active\": %s, \"source_offset\": %llu, "
       "\"source_lag\": %llu, \"source_reconnects\": %llu, "
-      "\"source_gaps\": %llu}\n",
+      "\"source_gaps\": %llu, "
+      "\"alerts_enabled\": %s, \"alerts_firing\": %llu, "
+      "\"alerts_pending\": %llu, \"alerts_critical_firing\": %llu, "
+      "\"alerts_worst_severity\": \"%s\", "
+      "\"flight_recorder_enabled\": %s, \"flight_spills\": %llu, "
+      "\"flight_spill_failures\": %llu, \"forensic_report_loaded\": %s}\n",
       status, is_running ? "true" : "false",
       r.watchdog_fired ? "true" : "false",
       r.shedding_enabled ? "true" : "false", r.shed_fraction, r.shed_p_min,
@@ -391,7 +463,17 @@ std::string TwoLevelRuntime::HealthJson() const {
       static_cast<unsigned long long>(
           live_source_reconnects_.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(
-          live_source_gaps_.load(std::memory_order_relaxed)));
+          live_source_gaps_.load(std::memory_order_relaxed)),
+      alerts_enabled ? "true" : "false",
+      static_cast<unsigned long long>(alerts.firing),
+      static_cast<unsigned long long>(alerts.pending),
+      static_cast<unsigned long long>(alerts.critical_firing), alert_worst,
+      flight_enabled ? "true" : "false",
+      static_cast<unsigned long long>(
+          flight_ != nullptr ? flight_->spills() : 0),
+      static_cast<unsigned long long>(
+          flight_ != nullptr ? flight_->spill_failures() : 0),
+      forensic_report_.valid ? "true" : "false");
   return buf;
 }
 

@@ -158,6 +158,31 @@ struct RuntimeOptions {
   /// runtime, serves /metrics, /metrics.json, /traces, /windows and
   /// /healthz while runs execute, and stops with the runtime's destructor.
   int http_port = -1;
+
+  /// Metrics time-series ring + sampler thread (obs/timeseries.h). The
+  /// runtime-level default zeroes interval_ms — no ring, no sampler, no
+  /// alert engine — so existing embedders pay nothing. Any positive
+  /// interval (or a non-empty flight dir below) brings up the whole
+  /// stack: ring, alert engine with the built-in SLO rules, sampler
+  /// thread, and the /timeseries, /alerts and /dashboard endpoints.
+  obs::TimeSeriesOptions timeseries{.interval_ms = 0};
+
+  /// Extra alert rules (the --alert-rules file contents, one rule per
+  /// line — syntax in obs/alerts.h). Installed after the built-ins; parse
+  /// errors are reported on stderr and via alerts_status().
+  std::string alert_rules;
+
+  /// Accuracy-SLO target for the built-in quality CI-width rule
+  /// (obs/alerts.h AlertEngine::Options). <= 0 disables that rule.
+  double quality_ci_target = 0.0;
+
+  /// Flight recorder (obs/flight_recorder.h): with a non-empty dir the
+  /// sampler spills the telemetry tail there on cadence and at every
+  /// checkpoint write, and the runtime loads any pre-crash segment at
+  /// construction, printing the forensic report to stderr and serving it
+  /// on /forensics. A non-empty dir implies the time-series stack even if
+  /// timeseries.interval_ms was left 0 (it then runs at 250ms).
+  obs::FlightRecorderOptions flight;
 };
 
 /// One low-level query feeding any number of high-level queries.
@@ -217,6 +242,22 @@ class TwoLevelRuntime {
   /// startup failed (see http_status()).
   obs::HttpServer* http_server() { return http_server_.get(); }
   const Status& http_status() const { return http_status_; }
+
+  /// The observability time-series stack, or nullptr when disabled
+  /// (timeseries.interval_ms == 0 and flight.dir empty).
+  obs::TimeSeries* timeseries() { return ts_.get(); }
+  obs::AlertEngine* alert_engine() { return alerts_.get(); }
+  obs::FlightRecorder* flight_recorder() { return flight_.get(); }
+  obs::TimeSeriesSampler* sampler() { return sampler_.get(); }
+  /// Parse status of RuntimeOptions::alert_rules (OK when empty).
+  const Status& alerts_status() const { return alerts_status_; }
+
+  /// The pre-crash forensic report loaded from flight.dir at construction
+  /// (ForensicReport::valid is false when none was found). The JSON form
+  /// is what /forensics serves under "report".
+  const obs::ForensicReport& forensic_report() const {
+    return forensic_report_;
+  }
 
   /// True while Run()/RunThreaded() is executing.
   bool running() const { return running_.load(std::memory_order_relaxed); }
@@ -310,8 +351,18 @@ class TwoLevelRuntime {
   obs::Gauge* packets_malformed_gauge_ = nullptr;
   obs::Gauge* watchdog_fired_gauge_ = nullptr;
   Status http_status_;
-  // Declared last: destroyed first, so the serving thread (whose handlers
-  // read last_report_ through HealthJson) stops before the state it reads.
+  // Time-series / alerting / forensics stack (obs/timeseries.h et al.),
+  // created when options enable it. Declared before http_server_ and
+  // sampler_ so both consumer threads stop before their data sources die.
+  std::unique_ptr<obs::TimeSeries> ts_;
+  std::unique_ptr<obs::AlertEngine> alerts_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  obs::ForensicReport forensic_report_;  // pre-crash segment, if any
+  Status alerts_status_;
+  // Declared last: destroyed first, so the sampler and serving threads
+  // (whose handlers read last_report_, the ring and the alert board) stop
+  // before the state they read.
+  std::unique_ptr<obs::TimeSeriesSampler> sampler_;
   std::unique_ptr<obs::HttpServer> http_server_;
 };
 

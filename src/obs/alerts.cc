@@ -1,0 +1,551 @@
+#include "obs/alerts.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace streamop {
+namespace obs {
+
+namespace {
+
+void AppendJsonEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+void AppendDouble(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+const char* CmpName(AlertRule::Cmp c) {
+  switch (c) {
+    case AlertRule::Cmp::kGt:
+      return ">";
+    case AlertRule::Cmp::kGe:
+      return ">=";
+    case AlertRule::Cmp::kLt:
+      return "<";
+    case AlertRule::Cmp::kLe:
+      return "<=";
+  }
+  return "?";
+}
+
+const char* ExprName(AlertRule::Expr e) {
+  switch (e) {
+    case AlertRule::Expr::kValue:
+      return "value";
+    case AlertRule::Expr::kRate:
+      return "rate";
+    case AlertRule::Expr::kBurn:
+      return "burn";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* AlertSeverityName(AlertSeverity s) {
+  switch (s) {
+    case AlertSeverity::kInfo:
+      return "info";
+    case AlertSeverity::kWarning:
+      return "warning";
+    case AlertSeverity::kCritical:
+      return "critical";
+  }
+  return "?";
+}
+
+const char* AlertStateName(AlertState s) {
+  switch (s) {
+    case AlertState::kInactive:
+      return "inactive";
+    case AlertState::kPending:
+      return "pending";
+    case AlertState::kFiring:
+      return "firing";
+  }
+  return "?";
+}
+
+AlertEngine::AlertEngine() : AlertEngine(Options{}) {}
+
+AlertEngine::AlertEngine(Options options) : options_(options) {
+  if (options_.max_transitions < 8) options_.max_transitions = 8;
+  transitions_.resize(options_.max_transitions);
+}
+
+void AlertEngine::AddRule(const AlertRule& rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RuleState rs;
+  rs.rule = rule;
+  if (!rs.rule.has_clear_threshold) {
+    rs.rule.clear_threshold = rs.rule.threshold;
+  }
+  if (rs.rule.for_intervals < 1) rs.rule.for_intervals = 1;
+  if (rs.rule.resolve_intervals < 1) rs.rule.resolve_intervals = 1;
+  rules_.push_back(std::move(rs));
+}
+
+void AlertEngine::AddBuiltinRules() {
+  auto rule = [](const char* name, AlertRule::Expr expr, const char* metric,
+                 AlertRule::Cmp cmp, double threshold, uint32_t for_n,
+                 AlertSeverity sev) {
+    AlertRule r;
+    r.name = name;
+    r.expr = expr;
+    r.metric = metric;
+    r.cmp = cmp;
+    r.threshold = threshold;
+    r.for_intervals = for_n;
+    r.resolve_intervals = for_n;
+    r.severity = sev;
+    return r;
+  };
+  // Degradation: the AIMD gate is dropping a meaningful share of input.
+  {
+    AlertRule r = rule("shed_fraction_high", AlertRule::Expr::kValue,
+                       "streamop_runtime_shed_fraction", AlertRule::Cmp::kGt,
+                       0.05, 2, AlertSeverity::kWarning);
+    r.clear_threshold = 0.01;  // hysteresis: resolve only once well below
+    r.has_clear_threshold = true;
+    AddRule(r);
+  }
+  {
+    AlertRule r = rule("shed_fraction_critical", AlertRule::Expr::kValue,
+                       "streamop_runtime_shed_fraction", AlertRule::Cmp::kGt,
+                       0.5, 2, AlertSeverity::kCritical);
+    r.clear_threshold = 0.25;
+    r.has_clear_threshold = true;
+    AddRule(r);
+  }
+  // Backpressure: the producer is outrunning the consumer.
+  AddRule(rule("ring_push_failures", AlertRule::Expr::kRate,
+               "streamop_ring_push_failures_total", AlertRule::Cmp::kGt,
+               1000.0, 2, AlertSeverity::kWarning));
+  // Ingest integrity (per-source series aggregate under the bare name).
+  AddRule(rule("ingest_gap_records", AlertRule::Expr::kRate,
+               "streamop_ingest_gap_records_total", AlertRule::Cmp::kGt, 0.0,
+               1, AlertSeverity::kWarning));
+  AddRule(rule("ingest_duplicates", AlertRule::Expr::kRate,
+               "streamop_ingest_duplicate_records_total", AlertRule::Cmp::kGt,
+               0.0, 1, AlertSeverity::kInfo));
+  AddRule(rule("late_tuples", AlertRule::Expr::kRate,
+               "streamop_operator_late_tuples_total", AlertRule::Cmp::kGt,
+               100.0, 2, AlertSeverity::kWarning));
+  // Durability: degraded checkpointing means a crash now loses work.
+  AddRule(rule("checkpoint_degraded", AlertRule::Expr::kValue,
+               "streamop_checkpoint_degraded", AlertRule::Cmp::kGe, 1.0, 1,
+               AlertSeverity::kCritical));
+  AddRule(rule("checkpoint_age", AlertRule::Expr::kValue,
+               "streamop_checkpoint_age_windows", AlertRule::Cmp::kGt, 16.0,
+               2, AlertSeverity::kWarning));
+  AddRule(rule("watchdog_fired", AlertRule::Expr::kValue,
+               "streamop_runtime_watchdog_fired", AlertRule::Cmp::kGe, 1.0, 1,
+               AlertSeverity::kCritical));
+  // Accuracy SLO: the paper's estimators publish per-window 95% CIs; a
+  // widening CI is the "answer quality is degrading" signal (PAPER.md §6).
+  if (options_.quality_ci_target > 0.0) {
+    AlertRule r = rule("quality_ci_width", AlertRule::Expr::kValue,
+                       "streamop_quality_sum_ci95", AlertRule::Cmp::kGt,
+                       options_.quality_ci_target, 2, AlertSeverity::kWarning);
+    AddRule(r);
+  }
+}
+
+Result<AlertRule> AlertEngine::ParseRuleLine(const std::string& line) {
+  std::istringstream in(line);
+  std::string tok;
+  AlertRule r;
+  if (!(in >> tok) || tok != "alert") {
+    return Status::InvalidArgument("rule must start with 'alert'");
+  }
+  if (!(in >> r.name)) return Status::InvalidArgument("missing rule name");
+  if (!(in >> tok) || tok != "if") {
+    return Status::InvalidArgument("expected 'if' after the rule name");
+  }
+  // Expression: value(metric) | rate(metric) | burn(num, den). The
+  // operand may contain spaces only after a comma (burn).
+  std::string expr;
+  if (!(in >> expr)) return Status::InvalidArgument("missing expression");
+  while (expr.find('(') != std::string::npos &&
+         expr.find(')') == std::string::npos && (in >> tok)) {
+    expr += tok;
+  }
+  const size_t open = expr.find('(');
+  const size_t close = expr.rfind(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    return Status::InvalidArgument("malformed expression: " + expr);
+  }
+  const std::string fn = expr.substr(0, open);
+  const std::string args = expr.substr(open + 1, close - open - 1);
+  if (fn == "value") {
+    r.expr = AlertRule::Expr::kValue;
+    r.metric = args;
+  } else if (fn == "rate") {
+    r.expr = AlertRule::Expr::kRate;
+    r.metric = args;
+  } else if (fn == "burn") {
+    r.expr = AlertRule::Expr::kBurn;
+    const size_t comma = args.find(',');
+    if (comma == std::string::npos) {
+      return Status::InvalidArgument("burn() needs two metrics: " + expr);
+    }
+    r.metric = args.substr(0, comma);
+    r.denom_metric = args.substr(comma + 1);
+  } else {
+    return Status::InvalidArgument("unknown expression '" + fn +
+                                   "' (want value/rate/burn)");
+  }
+  if (!(in >> tok)) return Status::InvalidArgument("missing comparator");
+  if (tok == ">") {
+    r.cmp = AlertRule::Cmp::kGt;
+  } else if (tok == ">=") {
+    r.cmp = AlertRule::Cmp::kGe;
+  } else if (tok == "<") {
+    r.cmp = AlertRule::Cmp::kLt;
+  } else if (tok == "<=") {
+    r.cmp = AlertRule::Cmp::kLe;
+  } else {
+    return Status::InvalidArgument("unknown comparator '" + tok + "'");
+  }
+  if (!(in >> r.threshold)) {
+    return Status::InvalidArgument("missing threshold");
+  }
+  bool have_severity = false;
+  while (in >> tok) {
+    if (tok == "for") {
+      if (!(in >> r.for_intervals) || r.for_intervals < 1) {
+        return Status::InvalidArgument("'for' needs a positive count");
+      }
+    } else if (tok == "resolve") {
+      if (!(in >> r.resolve_intervals) || r.resolve_intervals < 1) {
+        return Status::InvalidArgument("'resolve' needs a positive count");
+      }
+    } else if (tok == "clear") {
+      if (!(in >> r.clear_threshold)) {
+        return Status::InvalidArgument("'clear' needs a value");
+      }
+      r.has_clear_threshold = true;
+    } else if (tok == "over") {
+      if (!(in >> r.window_s) || r.window_s <= 0) {
+        return Status::InvalidArgument("'over' needs positive seconds");
+      }
+    } else if (tok == "severity") {
+      if (!(in >> tok)) return Status::InvalidArgument("missing severity");
+      if (tok == "info") {
+        r.severity = AlertSeverity::kInfo;
+      } else if (tok == "warning") {
+        r.severity = AlertSeverity::kWarning;
+      } else if (tok == "critical") {
+        r.severity = AlertSeverity::kCritical;
+      } else {
+        return Status::InvalidArgument("unknown severity '" + tok + "'");
+      }
+      have_severity = true;
+    } else {
+      return Status::InvalidArgument("unknown keyword '" + tok + "'");
+    }
+  }
+  if (!have_severity) {
+    return Status::InvalidArgument("rule needs 'severity <level>'");
+  }
+  return r;
+}
+
+Status AlertEngine::AddRulesFromText(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    bool blank = true;
+    for (char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) continue;
+    Result<AlertRule> rule = ParseRuleLine(line);
+    if (!rule.ok()) {
+      return Status::InvalidArgument("alert rules line " +
+                                     std::to_string(lineno) + ": " +
+                                     rule.status().message());
+    }
+    AddRule(*rule);
+  }
+  return Status::OK();
+}
+
+double AlertEngine::EvalExpr(const AlertRule& rule,
+                             const TimeSeries& ts) const {
+  switch (rule.expr) {
+    case AlertRule::Expr::kValue:
+      return ts.MaxValue(rule.metric);
+    case AlertRule::Expr::kRate:
+      return ts.Rate(rule.metric, rule.window_s);
+    case AlertRule::Expr::kBurn: {
+      const double num = ts.Rate(rule.metric, rule.window_s);
+      const double den = ts.Rate(rule.denom_metric, rule.window_s);
+      if (!std::isfinite(num) || !std::isfinite(den) || den <= 0.0) {
+        return std::nan("");
+      }
+      return num / den;
+    }
+  }
+  return std::nan("");
+}
+
+bool AlertEngine::Crossed(const AlertRule& rule, double value,
+                          bool clearing) const {
+  if (!std::isfinite(value)) return false;
+  const double threshold =
+      clearing ? rule.clear_threshold : rule.threshold;
+  switch (rule.cmp) {
+    case AlertRule::Cmp::kGt:
+      return value > threshold;
+    case AlertRule::Cmp::kGe:
+      return value >= threshold;
+    case AlertRule::Cmp::kLt:
+      return value < threshold;
+    case AlertRule::Cmp::kLe:
+      return value <= threshold;
+  }
+  return false;
+}
+
+void AlertEngine::Record(uint64_t t_ns, const RuleState& rs, AlertState from,
+                         AlertState to) {
+  AlertTransition& t = transitions_[log_next_];
+  t.t_ns = t_ns;
+  t.rule = rs.rule.name;
+  t.from = from;
+  t.to = to;
+  t.value = rs.last_value;
+  log_next_ = (log_next_ + 1) % transitions_.size();
+  ++log_total_;
+}
+
+void AlertEngine::Evaluate(const TimeSeries& ts, uint64_t t_ns) {
+  if constexpr (!kStatsEnabled) {
+    (void)ts;
+    (void)t_ns;
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t critical = 0;
+  for (RuleState& rs : rules_) {
+    rs.last_value = EvalExpr(rs.rule, ts);
+    const bool firing_test = Crossed(rs.rule, rs.last_value, false);
+    switch (rs.state) {
+      case AlertState::kInactive:
+        if (firing_test) {
+          rs.consecutive_true = 1;
+          if (rs.consecutive_true >= rs.rule.for_intervals) {
+            Record(t_ns, rs, AlertState::kInactive, AlertState::kFiring);
+            rs.state = AlertState::kFiring;
+            rs.consecutive_clear = 0;
+            ++rs.times_fired;
+          } else {
+            Record(t_ns, rs, AlertState::kInactive, AlertState::kPending);
+            rs.state = AlertState::kPending;
+          }
+          rs.since_ns = t_ns;
+        }
+        break;
+      case AlertState::kPending:
+        if (firing_test) {
+          ++rs.consecutive_true;
+          if (rs.consecutive_true >= rs.rule.for_intervals) {
+            Record(t_ns, rs, AlertState::kPending, AlertState::kFiring);
+            rs.state = AlertState::kFiring;
+            rs.since_ns = t_ns;
+            rs.consecutive_clear = 0;
+            ++rs.times_fired;
+          }
+        } else {
+          Record(t_ns, rs, AlertState::kPending, AlertState::kInactive);
+          rs.state = AlertState::kInactive;
+          rs.since_ns = t_ns;
+          rs.consecutive_true = 0;
+        }
+        break;
+      case AlertState::kFiring:
+        // Hysteresis: the clear test uses clear_threshold, and the
+        // condition must stay clear for resolve_intervals evaluations.
+        if (!Crossed(rs.rule, rs.last_value, true)) {
+          ++rs.consecutive_clear;
+          if (rs.consecutive_clear >= rs.rule.resolve_intervals) {
+            Record(t_ns, rs, AlertState::kFiring, AlertState::kInactive);
+            rs.state = AlertState::kInactive;
+            rs.since_ns = t_ns;
+            rs.consecutive_true = 0;
+            rs.consecutive_clear = 0;
+          }
+        } else {
+          rs.consecutive_clear = 0;
+        }
+        break;
+    }
+    if (rs.state == AlertState::kFiring &&
+        rs.rule.severity == AlertSeverity::kCritical) {
+      ++critical;
+    }
+  }
+  ++evaluations_;
+  critical_firing_.store(critical, std::memory_order_release);
+}
+
+size_t AlertEngine::num_rules() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rules_.size();
+}
+
+uint64_t AlertEngine::evaluations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evaluations_;
+}
+
+std::vector<AlertStatus> AlertEngine::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AlertStatus> out;
+  out.reserve(rules_.size());
+  for (const RuleState& rs : rules_) {
+    AlertStatus st;
+    st.rule = rs.rule;
+    st.state = rs.state;
+    st.last_value = rs.last_value;
+    st.since_ns = rs.since_ns;
+    st.consecutive_true = rs.consecutive_true;
+    st.consecutive_clear = rs.consecutive_clear;
+    st.times_fired = rs.times_fired;
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+std::vector<AlertTransition> AlertEngine::Transitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AlertTransition> out;
+  const size_t n = std::min<uint64_t>(log_total_, transitions_.size());
+  out.reserve(n);
+  // Oldest first: the ring's next write slot is the oldest entry once the
+  // log has wrapped.
+  const size_t start =
+      log_total_ >= transitions_.size() ? log_next_ : 0;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(transitions_[(start + i) % transitions_.size()]);
+  }
+  return out;
+}
+
+AlertSummary AlertEngine::Summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AlertSummary s;
+  for (const RuleState& rs : rules_) {
+    if (rs.state == AlertState::kFiring) {
+      ++s.firing;
+      if (rs.rule.severity == AlertSeverity::kCritical) ++s.critical_firing;
+      if (rs.rule.severity > s.worst) s.worst = rs.rule.severity;
+    } else if (rs.state == AlertState::kPending) {
+      ++s.pending;
+    }
+  }
+  return s;
+}
+
+bool AlertEngine::critical_firing() const {
+  return critical_firing_.load(std::memory_order_acquire) > 0;
+}
+
+std::string AlertEngine::ToJson() const {
+  const std::vector<AlertStatus> rules = Snapshot();
+  const std::vector<AlertTransition> transitions = Transitions();
+  const AlertSummary summary = Summary();
+  std::string out = "{\"summary\": {\"firing\": ";
+  out += std::to_string(summary.firing);
+  out += ", \"pending\": " + std::to_string(summary.pending);
+  out += ", \"critical_firing\": " + std::to_string(summary.critical_firing);
+  out += ", \"worst_severity\": \"";
+  out += summary.firing > 0 ? AlertSeverityName(summary.worst) : "none";
+  out += "\"}, \"rules\": [";
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const AlertStatus& st = rules[i];
+    if (i) out += ", ";
+    out += "{\"name\": \"";
+    AppendJsonEscaped(out, st.rule.name);
+    out += "\", \"expr\": \"";
+    out += ExprName(st.rule.expr);
+    out += "(";
+    AppendJsonEscaped(out, st.rule.metric);
+    if (st.rule.expr == AlertRule::Expr::kBurn) {
+      out += ", ";
+      AppendJsonEscaped(out, st.rule.denom_metric);
+    }
+    out += ") ";
+    out += CmpName(st.rule.cmp);
+    out += " ";
+    AppendDouble(out, st.rule.threshold);
+    out += "\", \"severity\": \"";
+    out += AlertSeverityName(st.rule.severity);
+    out += "\", \"state\": \"";
+    out += AlertStateName(st.state);
+    out += "\", \"value\": ";
+    AppendDouble(out, st.last_value);
+    out += ", \"threshold\": ";
+    AppendDouble(out, st.rule.threshold);
+    out += ", \"clear_threshold\": ";
+    AppendDouble(out, st.rule.clear_threshold);
+    out += ", \"for\": " + std::to_string(st.rule.for_intervals);
+    out += ", \"resolve\": " + std::to_string(st.rule.resolve_intervals);
+    out += ", \"since_ms\": " + std::to_string(st.since_ns / 1000000);
+    out += ", \"times_fired\": " + std::to_string(st.times_fired);
+    out += "}";
+  }
+  out += "], \"transitions\": [";
+  for (size_t i = 0; i < transitions.size(); ++i) {
+    const AlertTransition& t = transitions[i];
+    if (i) out += ", ";
+    out += "{\"t_ms\": " + std::to_string(t.t_ns / 1000000);
+    out += ", \"rule\": \"";
+    AppendJsonEscaped(out, t.rule);
+    out += "\", \"from\": \"";
+    out += AlertStateName(t.from);
+    out += "\", \"to\": \"";
+    out += AlertStateName(t.to);
+    out += "\", \"value\": ";
+    AppendDouble(out, t.value);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace streamop

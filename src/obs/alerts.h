@@ -1,0 +1,162 @@
+// SLO alert engine over the metrics time-series ring (obs/timeseries.h):
+// declarative threshold / rate / burn-rate rules with the classic
+// pending -> firing -> resolved state machine and hysteresis, evaluated
+// once per scrape on the sampler thread — never on the per-tuple path.
+//
+// Rule text syntax (one rule per line, `#` comments; see
+// docs/OBSERVABILITY.md for the full table):
+//
+//   alert <name> if <expr> <cmp> <threshold> [for <n>] [resolve <m>]
+//         [clear <value>] [over <seconds>] severity <info|warning|critical>
+//
+//   expr := value(<metric>)            latest value, worst across labels
+//         | rate(<metric>)             per-second rate over `over` seconds
+//         | burn(<num>, <den>)         rate(num)/rate(den) — the budget
+//                                      burn fraction of an SLO
+//   cmp  := > | >= | < | <=
+//
+// `for n` requires the condition to hold for n consecutive evaluations
+// before the rule fires (pending in between); `resolve m` requires m
+// consecutive clear evaluations before a firing rule resolves; `clear v`
+// sets a hysteresis threshold for the clear test (defaults to the firing
+// threshold). Metrics are matched by exact series key ("name{labels}") or
+// bare name (aggregating across labeled series: rates sum, values take
+// the worst).
+
+#ifndef STREAMOP_OBS_ALERTS_H_
+#define STREAMOP_OBS_ALERTS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/timeseries.h"
+
+namespace streamop {
+namespace obs {
+
+enum class AlertSeverity : uint8_t { kInfo = 0, kWarning = 1, kCritical = 2 };
+enum class AlertState : uint8_t { kInactive = 0, kPending = 1, kFiring = 2 };
+
+const char* AlertSeverityName(AlertSeverity s);
+const char* AlertStateName(AlertState s);
+
+struct AlertRule {
+  std::string name;
+  enum class Expr : uint8_t { kValue, kRate, kBurn } expr = Expr::kValue;
+  std::string metric;        // value()/rate() operand; burn() numerator
+  std::string denom_metric;  // burn() denominator
+  enum class Cmp : uint8_t { kGt, kGe, kLt, kLe } cmp = Cmp::kGt;
+  double threshold = 0.0;
+  double clear_threshold = 0.0;  // hysteresis level for the clear test
+  bool has_clear_threshold = false;
+  uint32_t for_intervals = 1;      // consecutive true evals before firing
+  uint32_t resolve_intervals = 1;  // consecutive clear evals before resolve
+  double window_s = 10.0;          // rate()/burn() lookback
+  AlertSeverity severity = AlertSeverity::kWarning;
+};
+
+/// One state-machine transition, kept in a bounded log for /alerts and the
+/// flight recorder ("what fired in the last minute before the crash").
+struct AlertTransition {
+  uint64_t t_ns = 0;
+  std::string rule;
+  AlertState from = AlertState::kInactive;
+  AlertState to = AlertState::kInactive;
+  double value = 0.0;  // the rule expression's value at transition time
+};
+
+struct AlertStatus {
+  AlertRule rule;
+  AlertState state = AlertState::kInactive;
+  double last_value = 0.0;
+  uint64_t since_ns = 0;  // entered the current state at this time
+  uint32_t consecutive_true = 0;
+  uint32_t consecutive_clear = 0;
+  uint64_t times_fired = 0;
+};
+
+struct AlertSummary {
+  size_t firing = 0;
+  size_t pending = 0;
+  size_t critical_firing = 0;
+  AlertSeverity worst = AlertSeverity::kInfo;  // worst firing severity
+};
+
+class AlertEngine {
+ public:
+  struct Options {
+    size_t max_transitions = 256;  // bounded transition log
+    /// Accuracy-SLO target for the built-in quality rule: fire when any
+    /// estimator's 95% CI half-width exceeds this (absolute units of the
+    /// estimated quantity). <= 0 disables the rule.
+    double quality_ci_target = 0.0;
+  };
+
+  AlertEngine();
+  explicit AlertEngine(Options options);
+
+  /// Installs the built-in SLO rules over the engine's own telemetry:
+  /// shed fraction, ring push-failure rate, ingest gap/duplicate rate,
+  /// late-tuple rate, checkpoint degraded/age, watchdog fired, and (when
+  /// quality_ci_target > 0) the per-estimator accuracy SLO.
+  void AddBuiltinRules();
+
+  void AddRule(const AlertRule& rule);
+
+  /// Parses rule text (the `--alert-rules` file) and installs every rule.
+  /// On error returns kInvalidArgument naming the offending line; rules on
+  /// earlier lines are still installed.
+  Status AddRulesFromText(const std::string& text);
+
+  static Result<AlertRule> ParseRuleLine(const std::string& line);
+
+  /// One evaluation pass over every rule; called after each scrape.
+  void Evaluate(const TimeSeries& ts, uint64_t t_ns = NowNanos());
+
+  size_t num_rules() const;
+  uint64_t evaluations() const;
+  std::vector<AlertStatus> Snapshot() const;
+  std::vector<AlertTransition> Transitions() const;
+  AlertSummary Summary() const;
+
+  /// True while any rule of critical severity is firing — the /healthz
+  /// 503 condition.
+  bool critical_firing() const;
+
+  /// {"rules": [...], "transitions": [...], "summary": {...}}
+  std::string ToJson() const;
+
+ private:
+  struct RuleState {
+    AlertRule rule;
+    AlertState state = AlertState::kInactive;
+    double last_value = 0.0;
+    uint64_t since_ns = 0;
+    uint32_t consecutive_true = 0;
+    uint32_t consecutive_clear = 0;
+    uint64_t times_fired = 0;
+  };
+
+  double EvalExpr(const AlertRule& rule, const TimeSeries& ts) const;
+  bool Crossed(const AlertRule& rule, double value, bool clearing) const;
+  void Record(uint64_t t_ns, const RuleState& rs, AlertState from,
+              AlertState to);  // requires mu_
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::vector<RuleState> rules_;
+  std::vector<AlertTransition> transitions_;  // ring, newest at log_next_-1
+  size_t log_next_ = 0;
+  uint64_t log_total_ = 0;
+  uint64_t evaluations_ = 0;
+  std::atomic<size_t> critical_firing_{0};
+};
+
+}  // namespace obs
+}  // namespace streamop
+
+#endif  // STREAMOP_OBS_ALERTS_H_

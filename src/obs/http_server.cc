@@ -73,7 +73,8 @@ std::string NotFound() {
                    "\"endpoints\": [\"/metrics\", \"/metrics.json\", "
                    "\"/traces\", \"/spans\", \"/spans/window/{seq}\", "
                    "\"/profile\", \"/exemplars\", \"/windows\", "
-                   "\"/healthz\"]");
+                   "\"/timeseries\", \"/alerts\", \"/forensics\", "
+                   "\"/dashboard\", \"/healthz\"]");
 }
 
 std::string BadRequest(const char* message = "bad request") {
@@ -108,6 +109,98 @@ bool ParseU64(std::string_view s, uint64_t* out) {
   *out = v;
   return true;
 }
+
+// %-decoding for /timeseries?metric=: series keys carry '{', '}', '"' and
+// '=' which well-behaved clients percent-encode. '+' means space.
+std::string UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size()) {
+      auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      const int hi = hex(s[i + 1]);
+      const int lo = hex(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+      } else {
+        out += s[i];
+      }
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+// The live dashboard: one dependency-free self-refreshing page. Sparklines
+// are inline SVG built from /timeseries; the alert board polls /alerts.
+constexpr const char kDashboardHtml[] = R"HTML(<!doctype html>
+<html><head><meta charset="utf-8"><title>streamop dashboard</title>
+<style>
+body{font-family:monospace;background:#111;color:#ddd;margin:16px}
+h1{font-size:16px} h2{font-size:13px;color:#9ad;margin:12px 0 4px}
+table{border-collapse:collapse;font-size:12px}
+td,th{padding:2px 8px;border-bottom:1px solid #333;text-align:left}
+.firing{color:#f55;font-weight:bold}.pending{color:#fa0}.inactive{color:#5a5}
+.critical{background:#400}.warning{background:#430}.info{background:#224}
+svg{vertical-align:middle}
+.spark{stroke:#6cf;stroke-width:1;fill:none}
+.muted{color:#777}
+</style></head><body>
+<h1>streamop flight deck <span id=ts class=muted></span></h1>
+<h2>alerts</h2><table id=alerts></table>
+<h2>headline series (rate/s for counters)</h2><table id=series></table>
+<script>
+const HEADLINE=[/^streamop_operator_tuples_total/,/^streamop_runtime_shed_fraction/,
+ /^streamop_ring_push_failures_total/,/^streamop_ingest_gap_records_total/,
+ /^streamop_operator_late_tuples_total/,/^streamop_checkpoint_age_windows/,
+ /^streamop_quality_sum_ci95/,/^streamop_operator_rows_out_total/];
+function spark(pts){
+ if(!pts.length)return'';
+ const w=180,h=24,vs=pts.map(p=>p[2]!==null&&p.length>2?p[2]:p[1]);
+ const mx=Math.max(...vs),mn=Math.min(...vs),rg=(mx-mn)||1;
+ const xy=vs.map((v,i)=>`${(i*w/Math.max(1,vs.length-1)).toFixed(1)},`+
+   `${(h-2-(v-mn)/rg*(h-4)).toFixed(1)}`).join(' ');
+ return`<svg width=${w} height=${h}><polyline class=spark points="${xy}"/></svg>`+
+   `<span class=muted> ${vs[vs.length-1].toPrecision(4)}</span>`;
+}
+async function tick(){
+ try{
+  const al=await(await fetch('/alerts')).json();
+  let h='<tr><th>rule</th><th>severity</th><th>state</th><th>value</th><th>threshold</th><th>fired</th></tr>';
+  (al.rules||[]).forEach(r=>{
+   h+=`<tr class=${r.severity}><td>${r.name}</td><td>${r.severity}</td>`+
+      `<td class=${r.state}>${r.state}</td><td>${r.value===null?'-':r.value}</td>`+
+      `<td>${r.threshold}</td><td>${r.times_fired}</td></tr>`;});
+  document.getElementById('alerts').innerHTML=h;
+  const ls=await(await fetch('/timeseries')).json();
+  const keys=(ls.series||[]).map(s=>s.key)
+    .filter(k=>HEADLINE.some(re=>re.test(k))).slice(0,16);
+  let sh='<tr><th>series</th><th>last 60s</th></tr>';
+  for(const k of keys){
+   const r=await(await fetch('/timeseries?metric='+encodeURIComponent(k)+
+     '&range=60')).json();
+   const s=(r.series||[])[0];
+   if(!s)continue;
+   const pts=s.kind==='counter'?s.points.map(p=>[p[0],p[2],p[2]]):s.points;
+   sh+=`<tr><td>${k}</td><td>${spark(pts)}</td></tr>`;
+  }
+  document.getElementById('series').innerHTML=sh;
+  document.getElementById('ts').textContent=
+    '· '+new Date().toLocaleTimeString()+(ls.enabled===false?' (timeseries disabled)':'');
+ }catch(e){document.getElementById('ts').textContent='· fetch error: '+e;}
+}
+tick();setInterval(tick,2000);
+</script></body></html>
+)HTML";
 
 }  // namespace
 
@@ -313,14 +406,68 @@ std::string HttpServer::HandleRequest(std::string_view head) {
     return MakeResponse(200, "OK", "application/json",
                         options_.quality_ring->ToJson());
   }
+  if (target == "/timeseries") {
+    if (options_.timeseries == nullptr) {
+      return MakeResponse(200, "OK", "application/json",
+                          "{\"enabled\": false}\n");
+    }
+    const std::string metric = UrlDecode(QueryParam(query, "metric"));
+    if (metric.empty()) {
+      return MakeResponse(200, "OK", "application/json",
+                          options_.timeseries->SeriesListJson());
+    }
+    uint64_t range_s = 60;
+    const std::string_view r = QueryParam(query, "range");
+    if (!r.empty() && !ParseU64(r, &range_s)) {
+      return BadRequest("bad range; want /timeseries?metric=...&range=N");
+    }
+    return MakeResponse(
+        200, "OK", "application/json",
+        options_.timeseries->RangeJson(metric,
+                                       static_cast<double>(range_s)));
+  }
+  if (target == "/alerts") {
+    if (options_.alerts == nullptr) {
+      return MakeResponse(200, "OK", "application/json",
+                          "{\"enabled\": false}\n");
+    }
+    return MakeResponse(200, "OK", "application/json",
+                        options_.alerts->ToJson());
+  }
+  if (target == "/forensics") {
+    std::string body = "{\"enabled\": ";
+    const FlightRecorder* fr = options_.flight_recorder;
+    body += fr != nullptr && fr->enabled() ? "true" : "false";
+    if (fr != nullptr && fr->enabled()) {
+      body += ", \"segment\": \"" + fr->segment_path() + "\"";
+      body += ", \"spills\": " + std::to_string(fr->spills());
+      body += ", \"spill_failures\": " + std::to_string(fr->spill_failures());
+      body += ", \"last_spill_ms\": " +
+              std::to_string(fr->last_spill_ns() / 1000000);
+    }
+    // The pre-crash report of the previous process, when one was loaded.
+    body += ", \"report\": ";
+    const std::string report =
+        options_.forensics_json ? options_.forensics_json() : "";
+    body += report.empty() ? "null" : report;
+    body += "}\n";
+    return MakeResponse(200, "OK", "application/json", std::move(body));
+  }
+  if (target == "/dashboard") {
+    return MakeResponse(200, "OK", "text/html; charset=utf-8",
+                        kDashboardHtml);
+  }
   if (target == "/healthz") {
     bool healthy = options_.healthy ? options_.healthy() : true;
     std::string body = options_.health_json ? options_.health_json()
                                             : "{\"status\": \"ok\"}\n";
+    // A critical alert (or watchdog verdict) flips /healthz to 503;
+    // Retry-After tells load balancers to probe again rather than eject
+    // the instance permanently.
     return healthy
                ? MakeResponse(200, "OK", "application/json", std::move(body))
                : MakeResponse(503, "Service Unavailable", "application/json",
-                              std::move(body));
+                              std::move(body), "Retry-After: 2\r\n");
   }
   return NotFound();
 }

@@ -13,7 +13,14 @@
 //                            ?format=phases for phase-cycle JSON)
 //   GET /exemplars           reservoir-sampled telemetry exemplars
 //   GET /windows             recent WindowQualityReports (QualityRing)
-//   GET /healthz             liveness + degradation (200 ok / 503 unhealthy)
+//   GET /timeseries          series list; ?metric=&range= for point data
+//                            from the metrics time-series ring
+//   GET /alerts              alert board: rules, states, transition log
+//   GET /forensics           flight-recorder status + the pre-crash report
+//                            loaded on recovery (if any)
+//   GET /dashboard           self-refreshing HTML: sparklines + alert board
+//   GET /healthz             liveness + degradation (200 ok / 503 unhealthy,
+//                            with Retry-After while critical alerts fire)
 //
 // Every error (400/404/405 and the connection-limit 503) carries a JSON
 // body {"error": {"code", "message", ...}}; the connection-limit 503 adds
@@ -47,11 +54,14 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/alerts.h"
 #include "obs/exemplar.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/quality.h"
 #include "obs/span.h"
+#include "obs/timeseries.h"
 #include "obs/trace_ring.h"
 
 namespace streamop {
@@ -73,6 +83,17 @@ struct HttpServerOptions {
   SpanRing* span_ring = nullptr;
   Profiler* profiler = nullptr;
   ExemplarStore* exemplars = nullptr;
+
+  // Time-series / alerting / forensics sources (obs/timeseries.h et al.).
+  // These have no process-wide defaults: when null the corresponding
+  // endpoints answer {"enabled": false} instead of 404, so dashboards can
+  // probe capability without special-casing status codes.
+  TimeSeries* timeseries = nullptr;
+  AlertEngine* alerts = nullptr;
+  FlightRecorder* flight_recorder = nullptr;
+  // Pre-rendered forensic report of the previous (crashed) process, JSON;
+  // served verbatim by /forensics when non-empty.
+  std::function<std::string()> forensics_json;
 
   // /healthz body and status. Defaults: {"status": "ok"} and healthy.
   std::function<std::string()> health_json;

@@ -122,6 +122,14 @@ size_t MetricRegistry::num_metrics() const {
   return entries_.size();
 }
 
+void MetricRegistry::Visit(
+    const std::function<void(const MetricRef&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& e : entries_) {
+    fn(MetricRef{e.name, e.labels, e.kind, e.counter, e.gauge, e.histogram});
+  }
+}
+
 std::string MetricRegistry::ToJson() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\n \"counters\": {";

@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -159,6 +160,19 @@ class ScopedTimer {
   uint64_t t0_ = 0;
 };
 
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One registry entry as seen by Visit(): borrowed references, valid only
+/// inside the callback (the registry mutex is held across the visit).
+struct MetricRef {
+  const std::string& name;
+  const std::string& labels;
+  MetricKind kind;
+  const Counter* counter;      // non-null iff kind == kCounter
+  const Gauge* gauge;          // non-null iff kind == kGauge
+  const Histogram* histogram;  // non-null iff kind == kHistogram
+};
+
 /// Named metric registry. Registration (GetCounter/GetGauge/GetHistogram)
 /// is mutex-protected and idempotent per (name, labels); it happens at
 /// component construction, never on the hot path. Metric objects live in
@@ -187,8 +201,13 @@ class MetricRegistry {
 
   size_t num_metrics() const;
 
+  /// Enumerates every entry in registration order under the registry
+  /// mutex — the scrape path of the time-series ring (obs/timeseries.h).
+  /// The callback must not call back into the registry.
+  void Visit(const std::function<void(const MetricRef&)>& fn) const;
+
  private:
-  enum class Kind { kCounter, kGauge, kHistogram };
+  using Kind = MetricKind;
   struct Entry {
     std::string name;
     std::string labels;

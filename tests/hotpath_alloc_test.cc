@@ -8,14 +8,18 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <filesystem>
 #include <new>
 #include <string>
 #include <vector>
 
 #include "core/sampling_operator.h"
 #include "net/packet.h"
+#include "obs/alerts.h"
 #include "obs/exemplar.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/profiler.h"
 #include "obs/span.h"
 #include "obs/trace_ring.h"
@@ -275,6 +279,74 @@ TEST(HotPathAllocTest, BatchRefillFromPacketsAllocatesNothing) {
   }
   uint64_t after = g_allocations.load(std::memory_order_relaxed);
   EXPECT_EQ(after - before, 0u);
+}
+
+// The flight-recorder stack rides along without reintroducing heap
+// traffic: with the registry being scraped into the time-series ring and
+// every built-in alert rule evaluated between bursts, the steady-state
+// delta must still be zero. The spill itself is checkpoint-cadence disk
+// I/O and allocates by design, so it happens outside the measured region;
+// inside it only the cadence gate (the per-tick cost) runs.
+TEST(HotPathAllocTest, TimeseriesAlertsAndFlightGateStayAllocationFree) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "hotpath_flight_gate";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  Catalog catalog = Catalog::Default();
+  Result<CompiledQuery> cq = CompileQuery(
+      "SELECT tb, srcIP, destIP, sum(len), count(*) FROM PKTS "
+      "GROUP BY time/20 as tb, srcIP, destIP",
+      catalog, {.seed = 3});
+  ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+  SamplingOperator op(cq->sampling);
+  obs::MetricRegistry reg;
+  op.set_metrics(obs::OperatorMetrics::Create(reg, "hotpath_ts"));
+
+  obs::TimeSeries ts(
+      {.capacity = 32, .max_series = 128, .max_points = 128,
+       .max_bucket_deltas = 1024, .interval_ms = 100});
+  obs::AlertEngine alerts(
+      obs::AlertEngine::Options{.quality_ci_target = 0.05});
+  alerts.AddBuiltinRules();
+  obs::FlightRecorder flight(
+      {.dir = dir.string(), .spill_every_n_ticks = 1ull << 40});
+
+  std::vector<Tuple> tuples = SteadyStateTuples(2048, 32, 16);
+  uint64_t t_ns = 1000000000ull;
+  const uint64_t step_ns = 100ull * 1000 * 1000;
+  uint64_t tick = 0;
+  // Warm-up: create every group, let the ring learn every series (the
+  // one-time descriptor allocations), run the state machines once and
+  // take the allocating spill now rather than in the measured region.
+  for (const Tuple& t : tuples) ASSERT_TRUE(op.Process(t).ok());
+  for (int i = 0; i < 4; ++i) {
+    ts.Scrape(reg, t_ns += step_ns);
+    alerts.Evaluate(ts, t_ns);
+    flight.MaybeSpill(ts, &alerts, ++tick);
+  }
+  flight.RequestSpill();
+  flight.MaybeSpill(ts, &alerts, ++tick);
+  ASSERT_EQ(flight.spills(), 1u);
+
+  uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  size_t failures = 0;
+  for (size_t burst = 0; burst < 4; ++burst) {
+    for (size_t i = burst * 512; i < (burst + 1) * 512; ++i) {
+      failures += !op.Process(tuples[i]).ok();
+    }
+    ts.Scrape(reg, t_ns += step_ns);
+    alerts.Evaluate(ts, t_ns);
+    flight.MaybeSpill(ts, &alerts, ++tick);  // cadence gate only: no spill
+  }
+  uint64_t after = g_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(failures, 0u);
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_EQ(flight.spills(), 1u);  // the gate never spilled mid-burst
+  EXPECT_GE(ts.scrapes(), 8u);
+  fs::remove_all(dir);
 }
 
 // The counting allocator itself must work, or the zero-deltas above would

@@ -12,13 +12,17 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "engine/runtime.h"
 #include "net/trace_generator.h"
+#include "obs/alerts.h"
+#include "obs/flight_recorder.h"
 #include "obs/http_server.h"
+#include "obs/timeseries.h"
 #include "obs/metrics.h"
 #include "obs/quality.h"
 #include "obs/trace_ring.h"
@@ -170,6 +174,10 @@ TEST(HttpServerTest, EveryEndpointDeclaresItsContentType) {
       {"/exemplars", "Content-Type: application/json"},
       {"/windows", "Content-Type: application/json"},
       {"/healthz", "Content-Type: application/json"},
+      {"/timeseries", "Content-Type: application/json"},
+      {"/alerts", "Content-Type: application/json"},
+      {"/forensics", "Content-Type: application/json"},
+      {"/dashboard", "Content-Type: text/html; charset=utf-8"},
   };
   for (const Case& c : cases) {
     std::string req = std::string("GET ") + c.path + " HTTP/1.1\r\n\r\n";
@@ -335,6 +343,167 @@ TEST(HttpServerTest, PortAlreadyInUseFailsCleanly) {
   Status s = second.Start();
   EXPECT_FALSE(s.ok());
   EXPECT_FALSE(second.running());
+}
+
+// ---------- flight-recorder stack routes ----------
+
+TEST(HttpServerTest, FlightRoutesServeDisabledStubsWithoutSources) {
+  // A server with no timeseries/alerts/flight wired must keep the routes
+  // present (scrapers should not 404) but say they are off.
+  ServerFixture f;
+  for (const char* path : {"/timeseries", "/alerts"}) {
+    Result<std::string> resp = HttpGet(f.server->port(), path);
+    ASSERT_TRUE(resp.ok()) << path;
+    EXPECT_NE(StatusLine(*resp).find("200"), std::string::npos) << *resp;
+    EXPECT_NE(Body(*resp).find("\"enabled\": false"), std::string::npos)
+        << path << "\n" << *resp;
+  }
+  Result<std::string> forensics = HttpGet(f.server->port(), "/forensics");
+  ASSERT_TRUE(forensics.ok());
+  EXPECT_NE(Body(*forensics).find("\"enabled\": false"), std::string::npos)
+      << *forensics;
+  EXPECT_NE(Body(*forensics).find("\"report\": null"), std::string::npos)
+      << *forensics;
+  // The dashboard is static HTML and always serves; it degrades
+  // client-side when the JSON endpoints report disabled.
+  Result<std::string> dash = HttpGet(f.server->port(), "/dashboard");
+  ASSERT_TRUE(dash.ok());
+  EXPECT_NE(StatusLine(*dash).find("200"), std::string::npos) << *dash;
+  EXPECT_NE(Headers(*dash).find("Content-Type: text/html"),
+            std::string::npos)
+      << *dash;
+  EXPECT_NE(Body(*dash).find("streamop dashboard"), std::string::npos);
+}
+
+TEST(HttpServerTest, TimeseriesAndAlertRoutesServeLiveData) {
+  obs::TimeSeries ts({.capacity = 16, .max_series = 32, .max_points = 32,
+                      .max_bucket_deltas = 64, .interval_ms = 100});
+  obs::AlertEngine alerts;
+  obs::AlertRule rule;
+  rule.name = "test_gauge_high";
+  rule.metric = "streamop_test_gauge";
+  rule.threshold = 10.0;
+  rule.severity = obs::AlertSeverity::kCritical;
+  alerts.AddRule(rule);
+
+  HttpServerOptions opts;
+  opts.timeseries = &ts;
+  opts.alerts = &alerts;
+  ServerFixture f(opts);
+
+  f.registry.GetCounter("streamop_test_total")->Add(7);
+  f.registry.GetGauge("streamop_test_gauge")->Set(3.0);
+  uint64_t t_ns = 1000000000ull;
+  for (int i = 0; i < 3; ++i) {
+    f.registry.GetCounter("streamop_test_total")->Add(5);
+    ts.Scrape(f.registry, t_ns += 100000000ull);
+    alerts.Evaluate(ts, t_ns);
+  }
+
+  Result<std::string> list = HttpGet(f.server->port(), "/timeseries");
+  ASSERT_TRUE(list.ok());
+  EXPECT_NE(Body(*list).find("\"streamop_test_total\""), std::string::npos)
+      << *list;
+  EXPECT_NE(Body(*list).find("\"interval_ms\": 100"), std::string::npos)
+      << *list;
+
+  Result<std::string> range = HttpGet(
+      f.server->port(), "/timeseries?metric=streamop_test_total&range=60");
+  ASSERT_TRUE(range.ok());
+  EXPECT_NE(StatusLine(*range).find("200"), std::string::npos) << *range;
+  EXPECT_NE(Body(*range).find("\"points\""), std::string::npos) << *range;
+
+  Result<std::string> bad = HttpGet(
+      f.server->port(), "/timeseries?metric=streamop_test_total&range=abc");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_NE(StatusLine(*bad).find("400"), std::string::npos) << *bad;
+
+  Result<std::string> al = HttpGet(f.server->port(), "/alerts");
+  ASSERT_TRUE(al.ok());
+  EXPECT_NE(Body(*al).find("\"test_gauge_high\""), std::string::npos) << *al;
+  EXPECT_NE(Body(*al).find("\"inactive\""), std::string::npos) << *al;
+}
+
+TEST(HttpServerTest, CriticalAlertFlips503WithRetryAfter) {
+  obs::TimeSeries ts({.capacity = 16, .max_series = 32, .max_points = 32,
+                      .max_bucket_deltas = 64, .interval_ms = 100});
+  obs::AlertEngine alerts;
+  obs::AlertRule rule;
+  rule.name = "test_gauge_high";
+  rule.metric = "streamop_test_gauge";
+  rule.threshold = 10.0;
+  rule.severity = obs::AlertSeverity::kCritical;
+  alerts.AddRule(rule);
+
+  HttpServerOptions opts;
+  opts.timeseries = &ts;
+  opts.alerts = &alerts;
+  // The runtime's healthy() consults critical_firing(); mirror that here.
+  opts.healthy = [&alerts] { return !alerts.critical_firing(); };
+  ServerFixture f(opts);
+
+  Result<std::string> ok = HttpGet(f.server->port(), "/healthz");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_NE(StatusLine(*ok).find("200"), std::string::npos) << *ok;
+
+  f.registry.GetGauge("streamop_test_gauge")->Set(42.0);
+  ts.Scrape(f.registry, 1000000000ull);
+  alerts.Evaluate(ts, 1000000000ull);
+  ASSERT_TRUE(alerts.critical_firing());
+
+  Result<std::string> sick = HttpGet(f.server->port(), "/healthz");
+  ASSERT_TRUE(sick.ok());
+  EXPECT_NE(StatusLine(*sick).find("503"), std::string::npos) << *sick;
+  EXPECT_NE(Headers(*sick).find("Retry-After: 2"), std::string::npos)
+      << *sick;
+}
+
+TEST(HttpServerTest, ForensicsRouteCarriesSegmentStatusAndLoadedReport) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "http_forensics_route";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  obs::TimeSeries ts({.capacity = 16, .max_series = 32, .max_points = 32,
+                      .max_bucket_deltas = 64, .interval_ms = 100});
+  obs::AlertEngine alerts;
+  obs::FlightRecorder flight({.dir = dir.string()});
+
+  HttpServerOptions opts;
+  opts.timeseries = &ts;
+  opts.alerts = &alerts;
+  opts.flight_recorder = &flight;
+  ServerFixture f(opts);
+
+  f.registry.GetCounter("streamop_test_total")->Add(9);
+  ts.Scrape(f.registry, 1000000000ull);
+  alerts.Evaluate(ts, 1000000000ull);
+  ASSERT_TRUE(flight.Spill(ts, &alerts).ok());
+
+  Result<std::string> resp = HttpGet(f.server->port(), "/forensics");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_NE(Body(*resp).find("\"enabled\": true"), std::string::npos)
+      << *resp;
+  EXPECT_NE(Body(*resp).find("\"spills\": 1"), std::string::npos) << *resp;
+  EXPECT_NE(Body(*resp).find("flight.seg"), std::string::npos) << *resp;
+
+  // A loaded pre-crash report is surfaced through the forensics_json hook
+  // exactly as TwoLevelRuntime wires it.
+  Result<obs::ForensicReport> loaded =
+      obs::FlightRecorder::Load(dir.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  HttpServerOptions opts2;
+  opts2.flight_recorder = &flight;
+  obs::ForensicReport report = *loaded;
+  opts2.forensics_json = [&report] { return report.ToJson(); };
+  ServerFixture f2(opts2);
+  Result<std::string> resp2 = HttpGet(f2.server->port(), "/forensics");
+  ASSERT_TRUE(resp2.ok());
+  EXPECT_EQ(Body(*resp2).find("\"report\": null"), std::string::npos)
+      << *resp2;
+  EXPECT_NE(Body(*resp2).find("\"scrapes\": 1"), std::string::npos) << *resp2;
+  fs::remove_all(dir);
 }
 
 // ---------- runtime integration ----------

@@ -239,6 +239,86 @@ TEST(MetricRegistryTest, PrometheusRoundTrip) {
   EXPECT_DOUBLE_EQ(inf_value, 4.0);
 }
 
+TEST(MetricRegistryTest, PrometheusBucketLinesReconstructExactBucketCounts) {
+  // Differencing consecutive cumulative `_bucket` lines must reproduce the
+  // histogram's native per-bucket counts exactly — the property the
+  // time-series ring (obs/timeseries.h) relies on when it derives
+  // interval-accurate quantiles from bucket deltas.
+  MetricRegistry reg;
+  Histogram* h = reg.GetHistogram("streamop_test_ns", "node=\"a\"");
+  const uint64_t probes[] = {1, 1, 5, 64, 64, 64, 100, 4096, 4097, 1000000};
+  for (uint64_t v : probes) h->Record(v);
+
+  // Expected (upper bound, native count) pairs, ascending, occupied only.
+  std::vector<std::pair<uint64_t, uint64_t>> expected;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    if (h->bucket_count(i) > 0) {
+      expected.emplace_back(Histogram::BucketUpperBound(i), h->bucket_count(i));
+    }
+  }
+  ASSERT_GE(expected.size(), 4u);
+
+  PromParse p = ParsePrometheus(reg.ToPrometheus());
+  std::vector<std::pair<uint64_t, uint64_t>> parsed;  // (le, delta)
+  double prev_cum = 0.0;
+  for (const std::string& key : p.sample_order) {
+    if (key.rfind("streamop_test_ns_bucket{", 0) != 0) continue;
+    const size_t le_pos = key.find("le=\"");
+    ASSERT_NE(le_pos, std::string::npos) << key;
+    const std::string le = key.substr(le_pos + 4, key.find('"', le_pos + 4) -
+                                                      le_pos - 4);
+    const double cum = p.samples.at(key);
+    if (le == "+Inf") {
+      EXPECT_DOUBLE_EQ(cum, static_cast<double>(h->count()));
+      continue;
+    }
+    parsed.emplace_back(std::stoull(le),
+                        static_cast<uint64_t>(cum - prev_cum));
+    prev_cum = cum;
+  }
+  ASSERT_EQ(parsed.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(parsed[i].first, expected[i].first) << "bucket " << i;
+    EXPECT_EQ(parsed[i].second, expected[i].second) << "bucket " << i;
+  }
+}
+
+TEST(MetricRegistryTest, IngestMetricsCarryPerSourceLabels) {
+  // Every streamop_ingest_* family is registered per source; two sources
+  // must land in disjoint labeled series and export that way.
+  MetricRegistry reg;
+  obs::IngestSourceMetrics a = obs::IngestSourceMetrics::Create(reg, "udp:7");
+  obs::IngestSourceMetrics b =
+      obs::IngestSourceMetrics::Create(reg, "pcap:x.pcap");
+  a.records->Add(10);
+  a.gap_records->Add(3);
+  b.records->Add(20);
+  b.durable_offset->Set(512.0);
+  EXPECT_NE(a.records, b.records);
+
+  PromParse p = ParsePrometheus(reg.ToPrometheus());
+  EXPECT_DOUBLE_EQ(
+      p.samples.at("streamop_ingest_records_total{source=\"udp:7\"}"), 10.0);
+  EXPECT_DOUBLE_EQ(
+      p.samples.at("streamop_ingest_records_total{source=\"pcap:x.pcap\"}"),
+      20.0);
+  EXPECT_DOUBLE_EQ(
+      p.samples.at("streamop_ingest_gap_records_total{source=\"udp:7\"}"),
+      3.0);
+  EXPECT_DOUBLE_EQ(
+      p.samples.at("streamop_ingest_durable_offset{source=\"pcap:x.pcap\"}"),
+      512.0);
+  // The registry enumeration API the time-series scraper uses sees the
+  // same labeled entries.
+  size_t ingest_series = 0;
+  reg.Visit([&](const obs::MetricRef& m) {
+    if (m.name.rfind("streamop_ingest_", 0) == 0 && !m.labels.empty()) {
+      ++ingest_series;
+    }
+  });
+  EXPECT_EQ(ingest_series, 22u);  // 11 families x 2 sources
+}
+
 // ---------- trace ring ----------
 
 TEST(TraceRingTest, DisabledRingRecordsNothing) {
